@@ -1,0 +1,25 @@
+//! Design-choice ablations DESIGN.md calls out: per-switch §5 costs and
+//! packet-level vs full-link protection granularity.
+
+use ccai_bench::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("optimization_switches", |b| {
+        b.iter(|| std::hint::black_box(figures::ablation_optimizations()))
+    });
+    group.bench_function("protection_granularity", |b| {
+        b.iter(|| std::hint::black_box(figures::ablation_granularity()))
+    });
+    group.finish();
+
+    let (selective, full_link) = figures::ablation_granularity();
+    assert!(full_link > selective);
+    println!("granularity: selective {:.2}% vs full-link {:.2}%",
+        selective * 100.0, full_link * 100.0);
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

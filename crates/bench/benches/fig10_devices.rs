@@ -1,0 +1,22 @@
+//! Fig. 10: the five evaluation xPUs.
+
+use ccai_bench::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("five_device_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig10()))
+    });
+    group.finish();
+
+    for p in figures::fig10() {
+        let overhead = p.e2e_overhead();
+        assert!((0.0..0.04).contains(&overhead), "{}: {overhead}", p.label);
+        println!("fig10 {:<20} (+{:.2}%)", p.label, overhead * 100.0);
+    }
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 11: optimized vs non-optimized ccAI (the §5 ablation).
+
+use ccai_bench::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("token_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig11_fix_batch()))
+    });
+    group.bench_function("batch_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig11_fix_token()))
+    });
+    group.finish();
+
+    for p in figures::fig11_fix_batch().iter().chain(figures::fig11_fix_token().iter()) {
+        let reduction = p.reduction();
+        assert!((0.80..0.95).contains(&reduction), "{}: {reduction}", p.label);
+        println!("fig11 {:<10} reduction {:.2}%", p.label, reduction * 100.0);
+    }
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

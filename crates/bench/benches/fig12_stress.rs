@@ -1,0 +1,28 @@
+//! Fig. 12: stress tests — limited PCIe bandwidth and KV-cache swapping.
+
+use ccai_bench::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("limited_bandwidth", |b| {
+        b.iter(|| std::hint::black_box(figures::fig12a()))
+    });
+    group.bench_function("kv_cache_swapping", |b| {
+        b.iter(|| std::hint::black_box(figures::fig12b()))
+    });
+    group.finish();
+
+    for p in figures::fig12a() {
+        assert!(p.e2e_overhead() < 0.08, "{}", p.label);
+    }
+    for p in figures::fig12b() {
+        assert!(p.ccai_added() < 0.02, "{}: ccAI adds {}", p.label, p.ccai_added());
+        println!("fig12b {:<10} vanilla {:.1}% / ccai {:.1}%", p.label,
+            p.vanilla_relative() * 100.0, p.ccai_relative() * 100.0);
+    }
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 8: Llama-2-7b token and batch sweeps (E2E/TPS/TTFT), vanilla vs
+//! ccAI. Criterion measures the simulation itself; the printed series is
+//! the paper artifact (see `cargo run -p ccai-bench --bin figures -- fig8`).
+
+use ccai_bench::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("fix_batch_token_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig8_fix_batch()))
+    });
+    group.bench_function("fix_token_batch_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig8_fix_token()))
+    });
+    group.finish();
+
+    // Assert the paper's headline band as part of the bench run.
+    for p in figures::fig8_fix_batch().iter().chain(figures::fig8_fix_token().iter()) {
+        let overhead = p.e2e_overhead();
+        assert!((0.0..0.07).contains(&overhead), "{}: {overhead}", p.label);
+    }
+    println!("fig8: all overheads within the paper band (0%..7%)");
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 9: nine LLMs (OPT-1.3b → Babel-83b) at 512 tokens, batch 1.
+
+use ccai_bench::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("nine_model_sweep", |b| {
+        b.iter(|| std::hint::black_box(figures::fig9()))
+    });
+    group.finish();
+
+    for p in figures::fig9() {
+        let overhead = p.e2e_overhead();
+        assert!((0.0..0.06).contains(&overhead), "{}: {overhead}", p.label);
+        println!("fig9 {:<18} vanilla={:>7.2}s ccai={:>7.2}s (+{:.2}%)",
+            p.label, p.vanilla.e2e.as_secs_f64(), p.ccai.e2e.as_secs_f64(), overhead * 100.0);
+    }
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,470 @@
+//! Generators for every table and figure of the evaluation.
+
+use ccai_core::perf::OptimizationConfig;
+use ccai_llm::harness::{run, run_with_kv, Mode};
+use ccai_llm::{InferenceWorkload, KvCache, LlmSpec, Metrics, PromptGenerator};
+use ccai_pcie::{LinkConfig, LinkSpeed};
+use ccai_xpu::XpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// One vanilla-vs-ccAI comparison point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonPoint {
+    /// Configuration label ("64-tok", "12-bat", "A100", …).
+    pub label: String,
+    /// Baseline metrics.
+    pub vanilla: Metrics,
+    /// Protected metrics.
+    pub ccai: Metrics,
+}
+
+impl ComparisonPoint {
+    /// Fractional E2E overhead.
+    pub fn e2e_overhead(&self) -> f64 {
+        self.ccai.e2e_overhead_vs(&self.vanilla)
+    }
+
+    /// Fractional TTFT overhead.
+    pub fn ttft_overhead(&self) -> f64 {
+        self.ccai.ttft_overhead_vs(&self.vanilla)
+    }
+
+    /// Fractional TPS loss.
+    pub fn tps_loss(&self) -> f64 {
+        self.ccai.tps_loss_vs(&self.vanilla)
+    }
+}
+
+/// The Fig. 8 token sweep (batch = 1): 64 → 2048 output tokens.
+pub const FIG8_TOKENS: [u32; 6] = [64, 128, 256, 512, 1024, 2048];
+
+/// The Fig. 8 batch sweep (tokens = 128): 1 → 96.
+pub const FIG8_BATCHES: [u32; 7] = [1, 3, 6, 12, 24, 48, 96];
+
+/// Fig. 8a/c/e: Llama-2-7b on A100, batch fixed at 1, token sweep.
+pub fn fig8_fix_batch() -> Vec<ComparisonPoint> {
+    FIG8_TOKENS
+        .iter()
+        .map(|&tokens| {
+            let w = InferenceWorkload::chat(LlmSpec::llama2_7b(), tokens, 1);
+            let device = XpuSpec::a100();
+            ComparisonPoint {
+                label: format!("{tokens}-tok"),
+                vanilla: run(&w, &device, Mode::Vanilla),
+                ccai: run(&w, &device, Mode::ccai()),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 8b/d/f: Llama-2-7b on A100, tokens fixed at 128, batch sweep.
+pub fn fig8_fix_token() -> Vec<ComparisonPoint> {
+    FIG8_BATCHES
+        .iter()
+        .map(|&batch| {
+            let w = InferenceWorkload::chat(LlmSpec::llama2_7b(), 128, batch);
+            let device = XpuSpec::a100();
+            ComparisonPoint {
+                label: format!("{batch}-bat"),
+                vanilla: run(&w, &device, Mode::Vanilla),
+                ccai: run(&w, &device, Mode::ccai()),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 9: nine LLMs, 512 tokens, batch 1, on A100.
+pub fn fig9() -> Vec<ComparisonPoint> {
+    LlmSpec::figure9_set()
+        .into_iter()
+        .map(|model| {
+            let label = model.name().to_string();
+            let w = InferenceWorkload::chat(model, 512, 1);
+            let device = XpuSpec::a100();
+            ComparisonPoint {
+                label,
+                vanilla: run(&w, &device, Mode::Vanilla),
+                ccai: run(&w, &device, Mode::ccai()),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 10: five xPUs, 512 tokens, batch 1 (OPT-1.3b on the small-memory
+/// devices, Llama-2-7b elsewhere — the paper's substitution).
+pub fn fig10() -> Vec<ComparisonPoint> {
+    XpuSpec::evaluation_set()
+        .into_iter()
+        .map(|device| {
+            let model = if device.memory_bytes() < (20 << 30) {
+                LlmSpec::opt_1_3b()
+            } else {
+                LlmSpec::llama2_7b()
+            };
+            let w = InferenceWorkload::chat(model, 512, 1);
+            ComparisonPoint {
+                label: device.name().to_string(),
+                vanilla: run(&w, &device, Mode::Vanilla),
+                ccai: run(&w, &device, Mode::ccai()),
+            }
+        })
+        .collect()
+}
+
+/// One optimized-vs-unoptimized comparison point (Fig. 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationPoint {
+    /// Configuration label.
+    pub label: String,
+    /// Full ccAI.
+    pub ccai: Metrics,
+    /// ccAI with the §5 optimizations disabled.
+    pub no_opt: Metrics,
+}
+
+impl AblationPoint {
+    /// Fractional E2E reduction achieved by the optimizations
+    /// (the paper reports 88.7%–89.8%).
+    pub fn reduction(&self) -> f64 {
+        (self.no_opt.e2e.as_secs_f64() - self.ccai.e2e.as_secs_f64())
+            / self.no_opt.e2e.as_secs_f64()
+    }
+}
+
+/// Fig. 11 left: token sweep (batch 1) of optimized vs non-optimized.
+pub fn fig11_fix_batch() -> Vec<AblationPoint> {
+    [64u32, 128, 256, 512, 1024]
+        .iter()
+        .map(|&tokens| {
+            let w = InferenceWorkload::chat(LlmSpec::llama2_7b(), tokens, 1);
+            let device = XpuSpec::a100();
+            AblationPoint {
+                label: format!("{tokens}-tok"),
+                ccai: run(&w, &device, Mode::ccai()),
+                no_opt: run(&w, &device, Mode::ccai_unoptimized()),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 11 right: batch sweep (tokens 128).
+pub fn fig11_fix_token() -> Vec<AblationPoint> {
+    [1u32, 3, 6, 12, 24]
+        .iter()
+        .map(|&batch| {
+            let w = InferenceWorkload::chat(LlmSpec::llama2_7b(), 128, batch);
+            let device = XpuSpec::a100();
+            AblationPoint {
+                label: format!("{batch}-bat"),
+                ccai: run(&w, &device, Mode::ccai()),
+                no_opt: run(&w, &device, Mode::ccai_unoptimized()),
+            }
+        })
+        .collect()
+}
+
+/// The Fig. 12a link configurations.
+pub fn fig12a_links() -> Vec<(&'static str, LinkConfig)> {
+    vec![
+        ("16GT/s*16lanes", LinkConfig::new(LinkSpeed::Gen4, 16)),
+        ("8GT/s*16lanes", LinkConfig::new(LinkSpeed::Gen3, 16)),
+        ("8GT/s*8lanes", LinkConfig::new(LinkSpeed::Gen3, 8)),
+    ]
+}
+
+/// Fig. 12a: Llama-2-7b, 512 tokens, batch 1 under limited PCIe links.
+pub fn fig12a() -> Vec<ComparisonPoint> {
+    fig12a_links()
+        .into_iter()
+        .map(|(label, link)| {
+            let device = XpuSpec::a100().with_link(link);
+            let w = InferenceWorkload::chat(LlmSpec::llama2_7b(), 512, 1);
+            ComparisonPoint {
+                label: label.to_string(),
+                vanilla: run(&w, &device, Mode::Vanilla),
+                ccai: run(&w, &device, Mode::ccai()),
+            }
+        })
+        .collect()
+}
+
+/// One KV-cache stress point (Fig. 12b).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KvStressPoint {
+    /// Utilization label ("80%-util", …).
+    pub label: String,
+    /// Vanilla with a resident cache (the 100% reference).
+    pub vanilla_resident: Metrics,
+    /// Vanilla with swapping.
+    pub vanilla_swapping: Metrics,
+    /// ccAI with swapping.
+    pub ccai_swapping: Metrics,
+}
+
+impl KvStressPoint {
+    /// Vanilla relative performance vs the resident reference (the paper
+    /// reports ~83%).
+    pub fn vanilla_relative(&self) -> f64 {
+        self.vanilla_resident.e2e.as_secs_f64() / self.vanilla_swapping.e2e.as_secs_f64()
+    }
+
+    /// ccAI relative performance vs the resident reference.
+    pub fn ccai_relative(&self) -> f64 {
+        self.vanilla_resident.e2e.as_secs_f64() / self.ccai_swapping.e2e.as_secs_f64()
+    }
+
+    /// The extra slowdown ccAI adds under swapping (paper: < 2%).
+    pub fn ccai_added(&self) -> f64 {
+        self.ccai_swapping.e2e.as_secs_f64() / self.vanilla_swapping.e2e.as_secs_f64() - 1.0
+    }
+}
+
+/// Fig. 12b: 3 GiB KV cache at 80/70/60% memory utilization,
+/// ShareGPT-like prompts (4–924 tokens).
+pub fn fig12b() -> Vec<KvStressPoint> {
+    // Average the prompt distribution into a representative workload: the
+    // deterministic generator gives a reproducible mean prompt length.
+    let mut generator = PromptGenerator::sharegpt_like(42);
+    let mean_len: u32 = {
+        let sample: u64 = (0..256).map(|_| generator.next_len() as u64).sum();
+        (sample / 256) as u32
+    };
+    let w = InferenceWorkload::new(LlmSpec::llama2_7b(), mean_len.max(4), 464, 1);
+    let device = XpuSpec::a100();
+    let resident = run(&w, &device, Mode::Vanilla);
+
+    [0.80f64, 0.70, 0.60]
+        .iter()
+        .map(|&fraction| {
+            let kv = KvCache::limited(fraction);
+            KvStressPoint {
+                label: format!("{}%-util", (fraction * 100.0) as u32),
+                vanilla_resident: resident,
+                vanilla_swapping: run_with_kv(&w, &device, Mode::Vanilla, &kv),
+                ccai_swapping: run_with_kv(&w, &device, Mode::ccai(), &kv),
+            }
+        })
+        .collect()
+}
+
+/// The §5 four-way optimization ablation: which switch buys what.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptAblationRow {
+    /// Which single optimization was disabled (or "all-on"/"all-off").
+    pub label: String,
+    /// E2E with that configuration.
+    pub metrics: Metrics,
+}
+
+/// Ablates each §5 optimization individually on the Fig. 8 midpoint
+/// (512 tokens, batch 1).
+pub fn ablation_optimizations() -> Vec<OptAblationRow> {
+    let w = InferenceWorkload::chat(LlmSpec::llama2_7b(), 512, 1);
+    let device = XpuSpec::a100();
+    let all_on = OptimizationConfig::all_on();
+    let configs = vec![
+        ("all-on".to_string(), all_on),
+        (
+            "no-metadata-batching".to_string(),
+            OptimizationConfig { metadata_batching: false, ..all_on },
+        ),
+        (
+            "no-batched-notify".to_string(),
+            OptimizationConfig { batched_notify: false, ..all_on },
+        ),
+        ("no-aes-ni".to_string(), OptimizationConfig { aes_ni: false, ..all_on }),
+        (
+            "single-crypto-lane".to_string(),
+            OptimizationConfig { crypto_lanes: 1, ..all_on },
+        ),
+        ("all-off".to_string(), OptimizationConfig::none()),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, opts)| OptAblationRow {
+            label,
+            metrics: run(&w, &device, Mode::CcAi(opts)),
+        })
+        .collect()
+}
+
+/// Selective (per-packet) protection vs whole-link encryption: the §8.1
+/// "Comparison to secure PCIe" argument, quantified. Returns
+/// `(selective_overhead, full_link_overhead)` E2E fractions.
+pub fn ablation_granularity() -> (f64, f64) {
+    let device = XpuSpec::a100();
+    let w = InferenceWorkload::chat(LlmSpec::llama2_7b(), 512, 1);
+    let vanilla = run(&w, &device, Mode::Vanilla);
+    let selective = run(&w, &device, Mode::ccai());
+
+    // Full-link encryption: every byte of every phase is crypt-protected,
+    // including the bulk working set *and* the logits both directions at
+    // the synchronous rate (no pass-through class exists).
+    let full_link = {
+        let mut w2 = w.clone();
+        // Model full-link cost by moving all step H2D traffic into the
+        // synchronous class: without packet classification nothing can be
+        // deferred or passed through.
+        let extra = w2.model.step_h2d_bytes();
+        w2.model = LlmSpec::custom(
+            "Llama2-7b-full-link",
+            w2.model.params_b(),
+            w2.model.quant_bits(),
+            w2.model.hidden(),
+            w2.model.vocab(),
+            w2.model.layers(),
+            w2.model.decode_efficiency(),
+            0,
+            w2.model.step_extra_d2h_bytes() + extra,
+        );
+        run(&w2, &device, Mode::ccai())
+    };
+    (
+        selective.e2e_overhead_vs(&vanilla),
+        full_link.e2e_overhead_vs(&vanilla),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_overheads_in_paper_band() {
+        for point in fig8_fix_batch().iter().chain(fig8_fix_token().iter()) {
+            let overhead = point.e2e_overhead();
+            assert!(
+                (0.0..0.07).contains(&overhead),
+                "{}: E2E overhead {overhead}",
+                point.label
+            );
+            let loss = point.tps_loss();
+            assert!((0.0..0.07).contains(&loss), "{}: TPS loss {loss}", point.label);
+        }
+    }
+
+    #[test]
+    fn fig8_batch_knee_is_where_the_paper_puts_it() {
+        let points = fig8_fix_token();
+        let overhead = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.label == label)
+                .expect("label exists")
+                .e2e_overhead()
+        };
+        // Paper: +1.53% at 12-bat jumps to +5.15% at 24-bat, then stays
+        // flat (5.67% at 48, 5.32% at 96).
+        assert!(overhead("24-bat") > 1.8 * overhead("12-bat"));
+        assert!((overhead("96-bat") - overhead("24-bat")).abs() < 0.03);
+    }
+
+    #[test]
+    fn fig9_heavy_models_cost_more_than_light() {
+        let points = fig9();
+        let by_name = |name: &str| {
+            points
+                .iter()
+                .find(|p| p.label == name)
+                .expect("model present")
+                .e2e_overhead()
+        };
+        assert!(by_name("Deepseek-r1-32b") > by_name("BLOOM-3b"));
+        assert!(by_name("Llama3-70b") > by_name("Llama3-8b"));
+        // But not linearly with size (the paper's point): Babel-83b costs
+        // less than Deepseek-r1-32b.
+        assert!(by_name("Babel-83b") < by_name("Deepseek-r1-32b"));
+        for p in &points {
+            assert!((0.0..0.06).contains(&p.e2e_overhead()), "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn fig10_all_devices_low_overhead() {
+        let points = fig10();
+        assert_eq!(points.len(), 5);
+        for p in &points {
+            assert!(
+                (0.0..0.04).contains(&p.e2e_overhead()),
+                "{}: {}",
+                p.label,
+                p.e2e_overhead()
+            );
+        }
+    }
+
+    #[test]
+    fn fig11_reductions_match_paper_band() {
+        for point in fig11_fix_batch().iter().chain(fig11_fix_token().iter()) {
+            let reduction = point.reduction();
+            assert!(
+                (0.80..0.95).contains(&reduction),
+                "{}: reduction {reduction}",
+                point.label
+            );
+        }
+    }
+
+    #[test]
+    fn fig12a_overhead_does_not_blow_up_on_slow_links() {
+        let points = fig12a();
+        assert_eq!(points[0].label, "16GT/s*16lanes");
+        for p in &points {
+            assert!(
+                (0.0..0.08).contains(&p.e2e_overhead()),
+                "{}: {}",
+                p.label,
+                p.e2e_overhead()
+            );
+        }
+        // Slower links raise absolute latency for both systems.
+        assert!(points[2].vanilla.e2e > points[0].vanilla.e2e);
+    }
+
+    #[test]
+    fn fig12b_matches_paper_shape() {
+        for p in fig12b() {
+            let relative = p.vanilla_relative();
+            assert!(
+                (0.70..0.95).contains(&relative),
+                "{}: vanilla relative {relative}",
+                p.label
+            );
+            assert!(p.ccai_added() < 0.02, "{}: ccAI adds {}", p.label, p.ccai_added());
+        }
+    }
+
+    #[test]
+    fn ablation_each_switch_matters() {
+        let rows = ablation_optimizations();
+        let e2e = |label: &str| {
+            rows.iter()
+                .find(|r| r.label == label)
+                .expect("row present")
+                .metrics
+                .e2e
+                .as_secs_f64()
+        };
+        let all_on = e2e("all-on");
+        // Every disabled switch costs something.
+        for label in ["no-metadata-batching", "no-batched-notify", "no-aes-ni", "single-crypto-lane"]
+        {
+            assert!(e2e(label) > all_on, "{label} should cost time");
+        }
+        // And the combination dominates any single switch.
+        let all_off = e2e("all-off");
+        for label in ["no-metadata-batching", "no-batched-notify", "no-aes-ni"] {
+            assert!(all_off >= e2e(label));
+        }
+        // Metadata batching is the single biggest lever (the §5 I/O-read
+        // optimization).
+        assert!(e2e("no-metadata-batching") > e2e("no-aes-ni"));
+    }
+
+    #[test]
+    fn granularity_ablation_favors_selective_protection() {
+        let (selective, full_link) = ablation_granularity();
+        assert!(full_link > selective, "full-link {full_link} vs selective {selective}");
+        assert!(selective < 0.02);
+    }
+}

@@ -1,0 +1,698 @@
+//! The TVM-side Adaptor (§3, §7.1).
+//!
+//! A kernel module (`ccAI_adaptor` in the prototype) with two jobs:
+//! providing confidential xPU support underneath the unmodified driver
+//! stack, and interacting with the PCIe-SC over its MMIO control window.
+//!
+//! Transparency is structural: the Adaptor slots into the two seams the
+//! kernel already owns —
+//!
+//! * it implements [`DmaStager`], the DMA-mapping service every driver
+//!   uses, encrypting into bounce buffers on the way out and decrypting
+//!   landing buffers on the way back (`de/encrypt_data` in the paper);
+//! * [`AdaptorPort`] wraps the kernel's TLP submission path, mirroring
+//!   write-protected MMIO traffic with integrity tags.
+//!
+//! The §5 optimizations are switchable ([`OptimizationConfig`]): metadata
+//! batching (I/O-read), batched tags + single doorbell (I/O-write), and
+//! the crypto acceleration flags, so Fig. 11's "No Opt" baseline runs the
+//! very same code with the switches off.
+
+use crate::filter::{L1Rule, L2Rule, PolicyBlob, SecurityAction};
+use crate::handler::{ChunkRef, CryptoEngine, StreamDirection, TagRecord, CHUNK_SIZE};
+use crate::perf::OptimizationConfig;
+use crate::sc::{regs, status_bits, MMIO_STREAM, ENV_POLICY_RECORD_LEN, STREAM_MAP_RECORD_LEN};
+use ccai_pcie::{Bdf, Fabric, HostMemory, Tlp, TlpType};
+use ccai_crypto::{hkdf, Key};
+use ccai_trust::keymgmt::StreamId;
+use ccai_trust::WorkloadKeyManager;
+use ccai_tvm::stager::IntegrityError;
+use ccai_tvm::{DmaStager, GuestMemory, StagedBuffer, TlpPort};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Transfers at least this large use the parallel encryption path when
+/// multiple crypto lanes are configured (§5 "allocate additional CPU
+/// threads and cores to process the security operations in parallel").
+pub const PARALLEL_CRYPTO_THRESHOLD: usize = 256 * 1024;
+
+/// Encrypts a buffer's 4 KiB chunks across `lanes` OS threads, returning
+/// per-chunk ciphertexts and tag records in sequence order.
+fn seal_chunks_parallel(
+    key: &Key,
+    stream: StreamId,
+    data: &[u8],
+    lanes: usize,
+) -> Vec<(Vec<u8>, TagRecord)> {
+    let chunks: Vec<(u64, &[u8])> = data
+        .chunks(CHUNK_SIZE as usize)
+        .enumerate()
+        .map(|(i, c)| (i as u64, c))
+        .collect();
+    let lanes = lanes.max(1).min(chunks.len().max(1));
+    let stripe = chunks.len().div_ceil(lanes);
+    let mut results: Vec<Vec<(Vec<u8>, TagRecord)>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .chunks(stripe)
+            .map(|stripe_chunks| {
+                scope.spawn(move |_| {
+                    // Each lane expands its own key schedule, as each core
+                    // does on the real system.
+                    let cipher = ccai_crypto::AesGcm::new(key);
+                    stripe_chunks
+                        .iter()
+                        .map(|&(seq, chunk)| {
+                            let chunk_ref = ChunkRef { stream, seq };
+                            let mut sealed =
+                                cipher.seal(&chunk_ref.nonce(), chunk, &chunk_ref.aad());
+                            let split = sealed.len() - 16;
+                            let mut tag = [0u8; 16];
+                            tag.copy_from_slice(&sealed[split..]);
+                            sealed.truncate(split);
+                            (sealed, TagRecord { stream, seq, tag })
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("crypto lane panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+/// Adaptor operation counters (priced by the perf model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptorCounters {
+    /// MMIO reads issued to the PCIe-SC (metadata queries, status).
+    pub sc_mmio_reads: u64,
+    /// MMIO writes issued to the PCIe-SC (control, tags, doorbells).
+    pub sc_mmio_writes: u64,
+    /// Tag TLPs sent.
+    pub tag_packets: u64,
+    /// Doorbell notifications sent.
+    pub doorbells: u64,
+    /// Plaintext bytes encrypted.
+    pub bytes_encrypted: u64,
+    /// Ciphertext bytes decrypted.
+    pub bytes_decrypted: u64,
+    /// Chunks staged H2D.
+    pub chunks_staged: u64,
+    /// Chunks recovered D2H.
+    pub chunks_recovered: u64,
+    /// Driver MMIO writes observed through the port.
+    pub driver_mmio_writes: u64,
+    /// Driver MMIO reads observed through the port.
+    pub driver_mmio_reads: u64,
+    /// MMIO integrity tags mirrored.
+    pub mmio_tags: u64,
+}
+
+/// Static configuration captured when the Adaptor loads.
+#[derive(Debug, Clone)]
+pub struct AdaptorConfig {
+    /// The TVM's requester id.
+    pub tvm_bdf: Bdf,
+    /// The protected xPU's requester id.
+    pub xpu_bdf: Bdf,
+    /// The SC control-window base.
+    pub sc_region_base: u64,
+    /// The xPU's BAR0 (register) window.
+    pub xpu_bar0: std::ops::Range<u64>,
+    /// The xPU's BAR1 (aperture) window.
+    pub xpu_bar1: std::ops::Range<u64>,
+    /// The shared staging window in guest memory the Adaptor owns.
+    pub staging_base: u64,
+    /// Length of the staging window.
+    pub staging_len: u64,
+    /// Guest address of the tag landing buffer (inside a shared range).
+    pub tag_landing: u64,
+    /// Guest address of the metadata batch buffer.
+    pub metadata_buf: u64,
+    /// Whether MMIO writes are mirrored with integrity tags.
+    pub mmio_integrity: bool,
+    /// The §5 optimization switches.
+    pub opts: OptimizationConfig,
+}
+
+struct AdaptorState {
+    config: AdaptorConfig,
+    master: [u8; 32],
+    epoch: u32,
+    keys: WorkloadKeyManager,
+    engine: CryptoEngine,
+    counters: AdaptorCounters,
+    next_stream: u32,
+    staging_cursor: u64,
+    /// Landing buffers awaiting recovery: device_addr → (stream, chunks).
+    pending_d2h: Vec<(u64, StreamId, u64)>,
+    tag_cursor: u64,
+    mmio_seq: u64,
+}
+
+impl AdaptorState {
+    fn stream_key(&mut self, id: StreamId) -> Key {
+        if self.keys.stream_key(id).is_err() {
+            self.keys.provision_stream(id, u64::MAX - 1);
+        }
+        self.keys.stream_key(id).expect("just provisioned").clone()
+    }
+
+    fn alloc_staging(&mut self, len: u64) -> u64 {
+        let aligned = (self.staging_cursor + CHUNK_SIZE - 1) & !(CHUNK_SIZE - 1);
+        assert!(
+            aligned + len <= self.config.staging_len,
+            "adaptor staging window exhausted"
+        );
+        self.staging_cursor = aligned + len;
+        self.config.staging_base + aligned
+    }
+
+    fn control_write(&mut self, offset: u64, payload: Vec<u8>) -> Tlp {
+        self.counters.sc_mmio_writes += 1;
+        Tlp::memory_write(self.config.tvm_bdf, self.config.sc_region_base + offset, payload)
+    }
+
+    fn stream_map_record(
+        &mut self,
+        id: StreamId,
+        direction: StreamDirection,
+        base: u64,
+        len: u64,
+        base_seq: u64,
+    ) -> Tlp {
+        let mut record = Vec::with_capacity(STREAM_MAP_RECORD_LEN);
+        record.extend_from_slice(&id.0.to_be_bytes());
+        record.push(match direction {
+            StreamDirection::HostToDevice => 0,
+            StreamDirection::DeviceToHost => 1,
+        });
+        record.extend_from_slice(&base.to_be_bytes());
+        record.extend_from_slice(&len.to_be_bytes());
+        record.extend_from_slice(&base_seq.to_be_bytes());
+        self.control_write(regs::STREAM_MAP, record)
+    }
+}
+
+impl fmt::Debug for AdaptorState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdaptorState")
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+/// The Adaptor kernel module.
+#[derive(Clone)]
+pub struct Adaptor {
+    state: Rc<RefCell<AdaptorState>>,
+}
+
+impl fmt::Debug for Adaptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Adaptor({:?})", self.state.borrow().counters)
+    }
+}
+
+impl Adaptor {
+    /// Loads the Adaptor with the post-attestation master secret (the
+    /// same one the PCIe-SC holds).
+    pub fn new(config: AdaptorConfig, master: [u8; 32]) -> Adaptor {
+        let mut state = AdaptorState {
+            config,
+            master,
+            epoch: 0,
+            keys: WorkloadKeyManager::new(crate::sc::epoch_master(&master, 0)),
+            engine: CryptoEngine::new(),
+            counters: AdaptorCounters::default(),
+            next_stream: 0x100,
+            staging_cursor: 0,
+            pending_d2h: Vec::new(),
+            tag_cursor: 0,
+            mmio_seq: 0,
+        };
+        state.keys.provision_stream(MMIO_STREAM, u64::MAX - 1);
+        Adaptor { state: Rc::new(RefCell::new(state)) }
+    }
+
+    /// Derives the SC-compatible config key from the same master secret.
+    pub fn config_key(master: &[u8; 32]) -> Key {
+        Key::from_bytes(&hkdf(b"ccai-config-key", master, b"policy", 16)).expect("16B key")
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> AdaptorCounters {
+        self.state.borrow().counters
+    }
+
+    /// Wraps a fabric into the Adaptor-mediated TLP port the driver uses.
+    pub fn port<'f>(&self, fabric: &'f mut Fabric) -> AdaptorPort<'f> {
+        AdaptorPort { state: Rc::clone(&self.state), fabric }
+    }
+
+    /// `hw_init` (§7.1): registers the tag landing and metadata buffers
+    /// with the SC.
+    pub fn hw_init(&self, port: &mut dyn TlpPort) {
+        let (landing, metadata) = {
+            let mut state = self.state.borrow_mut();
+            // Registering the landing buffer resets the SC's record
+            // cursor; mirror that locally so both sides stay in step.
+            state.tag_cursor = 0;
+            let landing_addr = state.config.tag_landing;
+            let metadata_addr = state.config.metadata_buf;
+            (
+                state.control_write(regs::TAG_LANDING_ADDR, landing_addr.to_le_bytes().to_vec()),
+                state.control_write(
+                    regs::METADATA_BUF_ADDR,
+                    metadata_addr.to_le_bytes().to_vec(),
+                ),
+            )
+        };
+        port.request(landing);
+        port.request(metadata);
+    }
+
+    /// `pkt_filter_manage` (§7.1): builds the default policy for this
+    /// platform, seals it under the config key, stages it into the SC's
+    /// configuration space and applies it. Returns `true` if the SC
+    /// reports successful application.
+    pub fn install_default_policy(&self, port: &mut dyn TlpPort, master: &[u8; 32]) -> bool {
+        let (tlps, status_read) = {
+            let mut state = self.state.borrow_mut();
+            let c = state.config.clone();
+            let l1 = vec![
+                L1Rule::admit(TlpType::MemWrite, c.tvm_bdf),
+                L1Rule::admit(TlpType::MemRead, c.tvm_bdf),
+                L1Rule::admit(TlpType::CfgRead, c.tvm_bdf),
+                L1Rule::admit(TlpType::CfgWrite, c.tvm_bdf),
+                L1Rule::admit(TlpType::MemRead, c.xpu_bdf),
+                L1Rule::admit(TlpType::MemWrite, c.xpu_bdf),
+                L1Rule::admit(TlpType::Message, c.xpu_bdf),
+                // Completions carry the ORIGINAL requester's id: upstream
+                // completions answering TVM reads say "TVM", downstream
+                // completions answering device DMA reads say "xPU".
+                L1Rule::admit(TlpType::Completion, c.tvm_bdf),
+                L1Rule::admit(TlpType::CompletionData, c.tvm_bdf),
+                L1Rule::admit(TlpType::Completion, c.xpu_bdf),
+                L1Rule::admit(TlpType::CompletionData, c.xpu_bdf),
+                L1Rule::default_deny(),
+            ];
+            let l2 = vec![
+                // MMIO control writes to the xPU registers: A3.
+                L2Rule::for_range(
+                    TlpType::MemWrite,
+                    c.tvm_bdf,
+                    c.xpu_bar0.clone(),
+                    SecurityAction::WriteProtect,
+                ),
+                // Register reads: A4.
+                L2Rule::for_range(
+                    TlpType::MemRead,
+                    c.tvm_bdf,
+                    c.xpu_bar0.clone(),
+                    SecurityAction::PassThrough,
+                ),
+                // Aperture traffic: A4 (bulk data must ride the DMA path;
+                // sensitive regions are covered by streams).
+                L2Rule::for_range(
+                    TlpType::MemWrite,
+                    c.tvm_bdf,
+                    c.xpu_bar1.clone(),
+                    SecurityAction::PassThrough,
+                ),
+                L2Rule::for_range(
+                    TlpType::MemRead,
+                    c.tvm_bdf,
+                    c.xpu_bar1.clone(),
+                    SecurityAction::PassThrough,
+                ),
+                // Config cycles: A4.
+                L2Rule::for_type(TlpType::CfgRead, c.tvm_bdf, SecurityAction::PassThrough),
+                L2Rule::for_type(TlpType::CfgWrite, c.tvm_bdf, SecurityAction::PassThrough),
+                // Device DMA reads toward the staging window: A4 (their
+                // completions carry the ciphertext and are matched by the
+                // SC's outstanding-read tracker).
+                L2Rule::for_range(
+                    TlpType::MemRead,
+                    c.xpu_bdf,
+                    c.staging_base..c.staging_base + c.staging_len,
+                    SecurityAction::PassThrough,
+                ),
+                // Device DMA writes toward the staging window: A2
+                // (encrypt results in flight).
+                L2Rule::for_range(
+                    TlpType::MemWrite,
+                    c.xpu_bdf,
+                    c.staging_base..c.staging_base + c.staging_len,
+                    SecurityAction::CryptProtect,
+                ),
+                // Interrupts and completions: A4.
+                L2Rule::for_type(TlpType::Message, c.xpu_bdf, SecurityAction::PassThrough),
+                L2Rule::for_type(TlpType::Completion, c.xpu_bdf, SecurityAction::PassThrough),
+                L2Rule::for_type(
+                    TlpType::CompletionData,
+                    c.xpu_bdf,
+                    SecurityAction::PassThrough,
+                ),
+                L2Rule::for_type(TlpType::Completion, c.tvm_bdf, SecurityAction::PassThrough),
+                L2Rule::for_type(
+                    TlpType::CompletionData,
+                    c.tvm_bdf,
+                    SecurityAction::PassThrough,
+                ),
+            ];
+            let blob =
+                PolicyBlob::seal(&l1, &l2, &Self::config_key(master), [0x0D; 12]).to_bytes();
+
+            let mut tlps = Vec::new();
+            for (i, chunk) in blob.chunks(1024).enumerate() {
+                tlps.push(state.control_write(
+                    regs::POLICY_STAGING + (i * 1024) as u64,
+                    chunk.to_vec(),
+                ));
+            }
+            tlps.push(
+                state.control_write(regs::POLICY_LEN, (blob.len() as u64).to_le_bytes().to_vec()),
+            );
+            tlps.push(state.control_write(regs::POLICY_APPLY, vec![1, 0, 0, 0, 0, 0, 0, 0]));
+
+            // Environment policy: allow the whole register window.
+            let mut env = Vec::with_capacity(ENV_POLICY_RECORD_LEN);
+            env.push(0u8);
+            env.extend_from_slice(&c.xpu_bar0.start.to_be_bytes());
+            env.extend_from_slice(&c.xpu_bar0.end.to_be_bytes());
+            tlps.push(state.control_write(regs::ENV_POLICY, env));
+
+            state.counters.sc_mmio_reads += 1;
+            let status_read =
+                Tlp::memory_read(c.tvm_bdf, c.sc_region_base + regs::STATUS, 8, 0x51);
+            (tlps, status_read)
+        };
+        for tlp in tlps {
+            port.request(tlp);
+        }
+        let replies = port.request(status_read);
+        replies
+            .first()
+            .map(|r| {
+                let mut bytes = [0u8; 8];
+                let n = r.payload().len().min(8);
+                bytes[..n].copy_from_slice(&r.payload()[..n]);
+                u64::from_le_bytes(bytes) & status_bits::POLICY_OK != 0
+            })
+            .unwrap_or(false)
+    }
+
+    /// Registers an expected-value guard (e.g. the page-table base
+    /// register) with the SC's environment guard.
+    pub fn guard_register(&self, port: &mut dyn TlpPort, addr: u64, expected: u64) {
+        let tlp = {
+            let mut state = self.state.borrow_mut();
+            let mut env = Vec::with_capacity(ENV_POLICY_RECORD_LEN);
+            env.push(1u8);
+            env.extend_from_slice(&addr.to_be_bytes());
+            env.extend_from_slice(&expected.to_be_bytes());
+            state.control_write(regs::ENV_POLICY, env)
+        };
+        port.request(tlp);
+    }
+
+    /// Registers the device's reset register so the SC can observe the
+    /// environment-cleaning write.
+    pub fn register_reset_address(&self, port: &mut dyn TlpPort, addr: u64) {
+        let tlp = {
+            let mut state = self.state.borrow_mut();
+            let mut env = Vec::with_capacity(ENV_POLICY_RECORD_LEN);
+            env.push(2u8);
+            env.extend_from_slice(&addr.to_be_bytes());
+            env.extend_from_slice(&0u64.to_be_bytes());
+            state.control_write(regs::ENV_POLICY, env)
+        };
+        port.request(tlp);
+    }
+
+    /// Ends the confidential task: destroys this task's keys on both
+    /// sides and advances to the next epoch's schedule in lockstep with
+    /// the SC.
+    pub fn end_task(&self, port: &mut dyn TlpPort) {
+        let tlp = {
+            let mut state = self.state.borrow_mut();
+            state.keys.destroy();
+            state.epoch += 1;
+            let epoch = state.epoch;
+            let master = state.master;
+            state.keys = WorkloadKeyManager::new(crate::sc::epoch_master(&master, epoch));
+            state.keys.provision_stream(MMIO_STREAM, u64::MAX - 1);
+            state.control_write(regs::TASK_END, vec![1, 0, 0, 0, 0, 0, 0, 0])
+        };
+        port.request(tlp);
+    }
+}
+
+impl DmaStager for Adaptor {
+    fn stage_to_device(
+        &mut self,
+        port: &mut dyn TlpPort,
+        memory: &mut GuestMemory,
+        data: &[u8],
+    ) -> StagedBuffer {
+        // Phase 1 (state borrow): allocate, register, encrypt.
+        let (control_tlps, metadata_reads, base, len) = {
+            let mut state = self.state.borrow_mut();
+            let base = state.alloc_staging(data.len() as u64);
+            let stream = StreamId(state.next_stream);
+            state.next_stream += 1;
+            let key = state.stream_key(stream);
+
+            let mut control_tlps = Vec::new();
+            control_tlps.push(state.stream_map_record(
+                stream,
+                StreamDirection::HostToDevice,
+                base,
+                data.len() as u64,
+                0,
+            ));
+
+            // Encrypt into the bounce buffer; collect tags. Large
+            // transfers fan the chunks out across the configured crypto
+            // lanes (§5); small ones stay on the caller's core.
+            let lanes = state.config.opts.crypto_lanes as usize;
+            let mut tags = Vec::new();
+            if lanes > 1 && data.len() >= PARALLEL_CRYPTO_THRESHOLD {
+                for (i, (ct, record)) in
+                    seal_chunks_parallel(&key, stream, data, lanes).into_iter().enumerate()
+                {
+                    memory.write(base + i as u64 * CHUNK_SIZE, &ct);
+                    tags.push(record);
+                }
+            } else {
+                for (i, chunk) in data.chunks(CHUNK_SIZE as usize).enumerate() {
+                    let chunk_ref = ChunkRef { stream, seq: i as u64 };
+                    let (ct, tag) = state.engine.seal_detached(
+                        &key,
+                        &chunk_ref.nonce(),
+                        chunk,
+                        &chunk_ref.aad(),
+                    );
+                    memory.write(base + i as u64 * CHUNK_SIZE, &ct);
+                    tags.push(TagRecord { stream, seq: i as u64, tag });
+                }
+            }
+            state.counters.bytes_encrypted += data.len() as u64;
+            state.counters.chunks_staged += tags.len() as u64;
+
+            // Tag packets: batched or per chunk (§5 I/O-write opt).
+            let per_tlp = if state.config.opts.batched_notify {
+                crate::perf::TAGS_PER_TLP as usize
+            } else {
+                1
+            };
+            for group in tags.chunks(per_tlp) {
+                let mut payload = Vec::with_capacity(group.len() * 28);
+                for record in group {
+                    payload.extend_from_slice(&record.to_bytes());
+                }
+                state.counters.tag_packets += 1;
+                control_tlps.push(state.control_write(regs::TAG_QUEUE, payload));
+            }
+
+            // Doorbells.
+            let chunk_count = data.len().div_ceil(CHUNK_SIZE as usize) as u64;
+            let doorbells = if state.config.opts.batched_notify { 1 } else { chunk_count };
+            for _ in 0..doorbells {
+                state.counters.doorbells += 1;
+                let notify =
+                    state.control_write(regs::NOTIFY, chunk_count.to_le_bytes().to_vec());
+                control_tlps.push(notify);
+            }
+
+            // Metadata queries (§5 I/O-read opt off → one read per chunk).
+            let mut metadata_reads = Vec::new();
+            if !state.config.opts.metadata_batching {
+                for _ in 0..chunk_count {
+                    state.counters.sc_mmio_reads += 1;
+                    metadata_reads.push(Tlp::memory_read(
+                        state.config.tvm_bdf,
+                        state.config.sc_region_base + regs::METADATA_QUERY,
+                        8,
+                        0x52,
+                    ));
+                }
+            }
+            (control_tlps, metadata_reads, base, data.len() as u64)
+        };
+
+        // Phase 2 (no state borrow): emit traffic.
+        for tlp in metadata_reads {
+            port.request(tlp);
+        }
+        for tlp in control_tlps {
+            port.request(tlp);
+        }
+        StagedBuffer { device_addr: base, len }
+    }
+
+    fn alloc_from_device(
+        &mut self,
+        port: &mut dyn TlpPort,
+        _memory: &mut GuestMemory,
+        len: u64,
+    ) -> StagedBuffer {
+        let (map_tlp, base) = {
+            let mut state = self.state.borrow_mut();
+            let base = state.alloc_staging(len);
+            let stream = StreamId(state.next_stream);
+            state.next_stream += 1;
+            let _ = state.stream_key(stream);
+            let chunks = len.div_ceil(CHUNK_SIZE);
+            state.pending_d2h.push((base, stream, chunks));
+            let tlp =
+                state.stream_map_record(stream, StreamDirection::DeviceToHost, base, len, 0);
+            (tlp, base)
+        };
+        port.request(map_tlp);
+        StagedBuffer { device_addr: base, len }
+    }
+
+    fn recover_from_device(
+        &mut self,
+        _port: &mut dyn TlpPort,
+        memory: &mut GuestMemory,
+        buffer: StagedBuffer,
+    ) -> Result<Vec<u8>, IntegrityError> {
+        let mut state = self.state.borrow_mut();
+        let idx = state
+            .pending_d2h
+            .iter()
+            .position(|(base, _, _)| *base == buffer.device_addr)
+            .ok_or_else(|| IntegrityError { reason: "unknown landing buffer".to_string() })?;
+        let (base, stream, chunks) = state.pending_d2h.remove(idx);
+        let key = state.stream_key(stream);
+
+        // Read the SC-deposited tag records from the landing buffer.
+        let landing = state.config.tag_landing;
+        let cursor = state.tag_cursor;
+        state.tag_cursor += chunks;
+        let mut tags = std::collections::HashMap::new();
+        for i in 0..chunks {
+            let record_addr = landing + (cursor + i) * 28;
+            let bytes = memory.read(record_addr, 28);
+            let record = TagRecord::from_bytes(&bytes).ok_or_else(|| IntegrityError {
+                reason: "malformed tag record in landing buffer".to_string(),
+            })?;
+            tags.insert((record.stream, record.seq), record.tag);
+        }
+
+        // Decrypt and verify chunk by chunk.
+        let mut plaintext = Vec::with_capacity(buffer.len as usize);
+        for i in 0..chunks {
+            let offset = i * CHUNK_SIZE;
+            let this_len = CHUNK_SIZE.min(buffer.len - offset);
+            let ct = memory.read(base + offset, this_len);
+            let chunk_ref = ChunkRef { stream, seq: i };
+            let tag = tags.remove(&(stream, i)).ok_or_else(|| IntegrityError {
+                reason: format!("missing tag for chunk {i}"),
+            })?;
+            let plain = state
+                .engine
+                .open_detached(&key, &chunk_ref.nonce(), &ct, &tag, &chunk_ref.aad())
+                .map_err(|()| IntegrityError {
+                    reason: format!("authentication failed for chunk {i}"),
+                })?;
+            plaintext.extend_from_slice(&plain);
+            state.counters.chunks_recovered += 1;
+        }
+        state.counters.bytes_decrypted += plaintext.len() as u64;
+        Ok(plaintext)
+    }
+
+    fn release_all(&mut self) {
+        let mut state = self.state.borrow_mut();
+        state.staging_cursor = 0;
+        state.pending_d2h.clear();
+    }
+}
+
+/// The Adaptor-mediated TLP port the driver stack uses.
+pub struct AdaptorPort<'f> {
+    state: Rc<RefCell<AdaptorState>>,
+    fabric: &'f mut Fabric,
+}
+
+impl fmt::Debug for AdaptorPort<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AdaptorPort")
+    }
+}
+
+impl TlpPort for AdaptorPort<'_> {
+    fn request(&mut self, tlp: Tlp) -> Vec<Tlp> {
+        // Mirror write-protected MMIO register writes with integrity tags
+        // so bus tampering of control traffic is detectable (A3).
+        let mirror = {
+            let mut state = self.state.borrow_mut();
+            let header = tlp.header();
+            let is_bar0_write = header.tlp_type() == TlpType::MemWrite
+                && header
+                    .address()
+                    .is_some_and(|a| state.config.xpu_bar0.contains(&a));
+            if is_bar0_write {
+                state.counters.driver_mmio_writes += 1;
+            } else if header.tlp_type() == TlpType::MemRead
+                && header
+                    .address()
+                    .is_some_and(|a| state.config.xpu_bar0.contains(&a))
+            {
+                state.counters.driver_mmio_reads += 1;
+            }
+            if is_bar0_write && state.config.mmio_integrity {
+                let seq = state.mmio_seq;
+                state.mmio_seq += 1;
+                let key = state.stream_key(MMIO_STREAM);
+                let chunk = ChunkRef { stream: MMIO_STREAM, seq };
+                let mut signed =
+                    tlp.header().address().expect("checked").to_be_bytes().to_vec();
+                signed.extend_from_slice(tlp.payload());
+                let tag = state.engine.plain_tag(&key, &chunk.nonce(), &signed);
+                let record = TagRecord { stream: MMIO_STREAM, seq, tag };
+                state.counters.mmio_tags += 1;
+                Some(state.control_write(regs::TAG_QUEUE, record.to_bytes().to_vec()))
+            } else {
+                None
+            }
+        };
+        if let Some(mirror) = mirror {
+            self.fabric.host_request(mirror);
+        }
+        self.fabric.host_request(tlp)
+    }
+
+    fn pump(&mut self, memory: &mut dyn HostMemory) -> usize {
+        self.fabric.pump(memory)
+    }
+}

@@ -1,0 +1,206 @@
+//! Compatibility comparison (Table 2) and TCB accounting (Table 3).
+//!
+//! Table 2 compares ccAI with eighteen prior systems along the paper's
+//! three axes: user transparency, multi-type xPU support, and
+//! heterogeneous-cloud support. Table 3 breaks down the trusted computing
+//! base the prototype adds (software LoC on the TVM, FPGA resources in
+//! the PCIe-SC).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Yes/no/special answers in the compatibility matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Answer {
+    /// No changes needed (good).
+    No,
+    /// Changes required (bad).
+    Yes,
+    /// Custom user-level API required.
+    CustomizedApi,
+    /// Optional under the design.
+    Optional,
+}
+
+impl fmt::Display for Answer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Answer::No => write!(f, "No"),
+            Answer::Yes => write!(f, "Yes"),
+            Answer::CustomizedApi => write!(f, "Customized API"),
+            Answer::Optional => write!(f, "Optional"),
+        }
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompatRow {
+    /// The design family ("CPU TEE-based Designs", …).
+    pub design_type: &'static str,
+    /// The system name.
+    pub system: &'static str,
+    /// Application changes required?
+    pub app_changes: Answer,
+    /// xPU software-stack changes required?
+    pub xpu_sw_changes: Answer,
+    /// xPU hardware changes required?
+    pub xpu_hw_changes: Answer,
+    /// Which xPUs are supported.
+    pub supported_xpu: &'static str,
+    /// Which TEE/TVM is required.
+    pub supported_tee: &'static str,
+    /// Host privileged-software changes required.
+    pub host_pl_sw_changes: &'static str,
+}
+
+/// The full Table 2 matrix, in the paper's row order.
+pub fn table2() -> Vec<CompatRow> {
+    use Answer::*;
+    let row = |design_type,
+               system,
+               app_changes,
+               xpu_sw_changes,
+               xpu_hw_changes,
+               supported_xpu,
+               supported_tee,
+               host_pl_sw_changes| CompatRow {
+        design_type,
+        system,
+        app_changes,
+        xpu_sw_changes,
+        xpu_hw_changes,
+        supported_xpu,
+        supported_tee,
+        host_pl_sw_changes,
+    };
+    vec![
+        row("CPU TEE-based", "ACAI", No, Yes, No, "TDISP-compliant xPU", "Arm CCA", "RMM, Monitor"),
+        row("CPU TEE-based", "Cronus", No, Yes, No, "General xPU", "Arm SEL2", "S-Hyp, Monitor"),
+        row("CPU TEE-based", "CURE", No, Yes, No, "GPU", "Customized RISC-V TEE", "Monitor, CPU Firmware"),
+        row("CPU TEE-based", "HIX", CustomizedApi, Yes, No, "GPU", "Intel SGX", "CPU Firmware"),
+        row("CPU TEE-based", "Portal", No, Yes, No, "GPU", "Arm CCA", "RMM, Monitor"),
+        row("CPU TEE-based", "HyperTEE", CustomizedApi, Yes, No, "DNN Accelerator", "Customized RISC-V TEE", "Monitor"),
+        row("PL-SW-assisted", "CAGE", No, Yes, No, "GPU", "Arm CCA", "Monitor"),
+        row("PL-SW-assisted", "Honeycomb", No, Yes, No, "GPU", "AMD SEV", "SVSM, Monitor"),
+        row("PL-SW-assisted", "MyTEE", No, Yes, No, "GPU", "Customized Arm TEE", "Monitor"),
+        row("Hardware", "ITX", CustomizedApi, Yes, Yes, "IPU", "General TVM", "No"),
+        row("Hardware", "NVIDIA H100", No, Yes, Yes, "GPU", "Intel TDX, AMD SEV", "No"),
+        row("Hardware", "Graviton", No, Yes, Yes, "GPU", "Intel SGX", "No"),
+        row("Hardware", "ShEF", CustomizedApi, Yes, Yes, "FPGA-Acc.", "General TVM", "No"),
+        row("Isolated Platform", "HETEE", CustomizedApi, No, No, "General xPU", "Customized proxy TEE", "No"),
+        row("TDISP-based", "Intel TDX Connect", No, Optional, Optional, "TDISP-compliant xPU", "Intel TDX", "TDX Connect"),
+        row("TDISP-based", "ARM RMEDA", No, Optional, Optional, "TDISP-compliant xPU", "Arm CCA", "RMM"),
+        row("TDISP-based", "AMD SEV-TIO", No, Optional, Optional, "TDISP-compliant xPU", "AMD SEV", "SEV Firmware"),
+        row("Ours", "ccAI", No, No, No, "General xPU", "General TVM", "No"),
+    ]
+}
+
+/// One row of Table 3 (TCB addition).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcbRow {
+    /// "TVM" or "PCIe-SC".
+    pub side: &'static str,
+    /// Component name.
+    pub component: &'static str,
+    /// Software lines of code added (TVM side).
+    pub loc: Option<u32>,
+    /// Adaptive look-up tables (FPGA side).
+    pub aluts: Option<u32>,
+    /// Logic registers.
+    pub regs: Option<u32>,
+    /// Block RAMs.
+    pub brams: Option<u32>,
+}
+
+/// The Table 3 TCB breakdown as reported by the paper.
+pub fn table3() -> Vec<TcbRow> {
+    vec![
+        TcbRow { side: "TVM", component: "Adaptor", loc: Some(2_100), aluts: None, regs: None, brams: None },
+        TcbRow { side: "TVM", component: "Trust Modules", loc: Some(1_000), aluts: None, regs: None, brams: None },
+        TcbRow { side: "PCIe-SC", component: "Packet Filter", loc: None, aluts: Some(11_300), regs: Some(32_400), brams: Some(310) },
+        TcbRow { side: "PCIe-SC", component: "Packet Handlers", loc: None, aluts: Some(175_500), regs: Some(56_800), brams: Some(72) },
+        TcbRow { side: "PCIe-SC", component: "HRoT-Blade", loc: None, aluts: Some(0), regs: Some(0), brams: Some(0) },
+        TcbRow { side: "PCIe-SC", component: "Others", loc: None, aluts: Some(31_500), regs: Some(106_500), brams: Some(248) },
+    ]
+}
+
+/// Paper-reported Table 3 totals.
+pub fn table3_totals() -> (u32, u32, u32, u32) {
+    let rows = table3();
+    (
+        rows.iter().filter_map(|r| r.loc).sum(),
+        rows.iter().filter_map(|r| r.aluts).sum(),
+        rows.iter().filter_map(|r| r.regs).sum(),
+        rows.iter().filter_map(|r| r.brams).sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccai_is_the_only_fully_compatible_row() {
+        let rows = table2();
+        let fully_compatible: Vec<&CompatRow> = rows
+            .iter()
+            .filter(|r| {
+                r.app_changes == Answer::No
+                    && r.xpu_sw_changes == Answer::No
+                    && r.xpu_hw_changes == Answer::No
+                    && r.supported_xpu == "General xPU"
+                    && r.supported_tee == "General TVM"
+                    && r.host_pl_sw_changes == "No"
+            })
+            .collect();
+        assert_eq!(fully_compatible.len(), 1);
+        assert_eq!(fully_compatible[0].system, "ccAI");
+    }
+
+    #[test]
+    fn matrix_covers_all_eighteen_systems() {
+        assert_eq!(table2().len(), 18);
+        let names: std::collections::HashSet<_> =
+            table2().iter().map(|r| r.system).collect();
+        assert_eq!(names.len(), 18, "no duplicate rows");
+    }
+
+    #[test]
+    fn hardware_designs_modify_hardware() {
+        for row in table2() {
+            if row.design_type == "Hardware" {
+                assert_eq!(row.xpu_hw_changes, Answer::Yes, "{}", row.system);
+            }
+        }
+    }
+
+    #[test]
+    fn most_prior_work_modifies_xpu_software() {
+        let rows = table2();
+        let modifying = rows
+            .iter()
+            .filter(|r| r.system != "ccAI" && r.xpu_sw_changes == Answer::Yes)
+            .count();
+        assert!(modifying >= 12, "the paper's central complaint");
+    }
+
+    #[test]
+    fn table3_totals_match_paper() {
+        let (loc, aluts, regs, brams) = table3_totals();
+        assert_eq!(loc, 3_100); // "3.1K LoC"
+        assert_eq!(aluts, 218_300); // ≈ 218.6K reported (rounding)
+        assert_eq!(regs, 195_700);
+        assert_eq!(brams, 630);
+    }
+
+    #[test]
+    fn packet_handlers_dominate_aluts() {
+        // The AES-GCM-SHA engine is the big consumer — a design fact the
+        // ablation benches lean on.
+        let rows = table3();
+        let handlers = rows.iter().find(|r| r.component == "Packet Handlers").unwrap();
+        let filter = rows.iter().find(|r| r.component == "Packet Filter").unwrap();
+        assert!(handlers.aluts.unwrap() > 10 * filter.aluts.unwrap());
+    }
+}

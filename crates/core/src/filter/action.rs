@@ -1,0 +1,112 @@
+//! The four packet security actions of Table 1.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What the PCIe-SC does with a classified packet.
+///
+/// | Access permission     | Action                                            |
+/// |-----------------------|---------------------------------------------------|
+/// | Prohibited            | A1 — disallow                                     |
+/// | Write-Read Protected  | A2 — integrity check (crypt.) + en/decryption     |
+/// | Write Protected       | A3 — integrity check (plain) + security verify    |
+/// | Full Accessible       | A4 — transparent transmission                     |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SecurityAction {
+    /// A1: the packet is prohibited and dropped.
+    Disallow,
+    /// A2: decrypt/encrypt the payload and verify its authentication tag —
+    /// for sensitive data (user data, model parameters, execution
+    /// results).
+    CryptProtect,
+    /// A3: verify integrity of the plaintext payload and run environment
+    /// checks (e.g. the xPU page-table register) — for non-sensitive but
+    /// security-relevant traffic such as MMIO control writes.
+    WriteProtect,
+    /// A4: transmit transparently — interrupts, status reads, and other
+    /// general packets.
+    PassThrough,
+}
+
+impl SecurityAction {
+    /// Table 1's "Packet Access Permission" name for this action.
+    pub fn permission_name(self) -> &'static str {
+        match self {
+            SecurityAction::Disallow => "Prohibited",
+            SecurityAction::CryptProtect => "Write-Read Protected",
+            SecurityAction::WriteProtect => "Write Protected",
+            SecurityAction::PassThrough => "Full Accessible",
+        }
+    }
+
+    /// The paper's action label (A1–A4).
+    pub fn label(self) -> &'static str {
+        match self {
+            SecurityAction::Disallow => "A1",
+            SecurityAction::CryptProtect => "A2",
+            SecurityAction::WriteProtect => "A3",
+            SecurityAction::PassThrough => "A4",
+        }
+    }
+
+    /// Compact wire encoding for policy blobs.
+    pub fn to_code(self) -> u8 {
+        match self {
+            SecurityAction::Disallow => 1,
+            SecurityAction::CryptProtect => 2,
+            SecurityAction::WriteProtect => 3,
+            SecurityAction::PassThrough => 4,
+        }
+    }
+
+    /// Decodes the wire encoding.
+    pub fn from_code(code: u8) -> Option<SecurityAction> {
+        match code {
+            1 => Some(SecurityAction::Disallow),
+            2 => Some(SecurityAction::CryptProtect),
+            3 => Some(SecurityAction::WriteProtect),
+            4 => Some(SecurityAction::PassThrough),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SecurityAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.label(), self.permission_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for action in [
+            SecurityAction::Disallow,
+            SecurityAction::CryptProtect,
+            SecurityAction::WriteProtect,
+            SecurityAction::PassThrough,
+        ] {
+            assert_eq!(SecurityAction::from_code(action.to_code()), Some(action));
+        }
+        assert_eq!(SecurityAction::from_code(0), None);
+        assert_eq!(SecurityAction::from_code(5), None);
+    }
+
+    #[test]
+    fn table1_names() {
+        assert_eq!(SecurityAction::Disallow.permission_name(), "Prohibited");
+        assert_eq!(SecurityAction::CryptProtect.permission_name(), "Write-Read Protected");
+        assert_eq!(SecurityAction::WriteProtect.permission_name(), "Write Protected");
+        assert_eq!(SecurityAction::PassThrough.permission_name(), "Full Accessible");
+        assert_eq!(SecurityAction::CryptProtect.label(), "A2");
+    }
+
+    #[test]
+    fn display_includes_both() {
+        let s = SecurityAction::WriteProtect.to_string();
+        assert!(s.contains("A3") && s.contains("Write Protected"));
+    }
+}

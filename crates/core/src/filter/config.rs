@@ -1,0 +1,331 @@
+//! Encrypted dynamic policy configuration (§4.1).
+//!
+//! "ccAI supports dynamic policy updates to Packet Filter via a dedicated
+//! configuration space. … ccAI encrypts the security policies before
+//! storing them in the configuration space," so an adversary who can
+//! reach the configuration window cannot inject or read policies.
+//!
+//! Policies serialize to the paper's 32-bytes-per-rule format, are sealed
+//! with AES-GCM under the config key both sides derived during trust
+//! establishment, and are only applied after successful authentication.
+
+use super::action::SecurityAction;
+use super::rule::{FieldMask, L1Decision, L1Rule, L2Rule, MatchFields};
+use ccai_pcie::{Bdf, TlpType};
+use ccai_crypto::{AesGcm, Key};
+use std::fmt;
+
+/// Serialized size of one policy rule (§7.2: "32 bytes per policy").
+pub const POLICY_RULE_LEN: usize = 32;
+
+/// Errors from policy encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// Authentication of the encrypted blob failed.
+    AuthFailed,
+    /// The decrypted payload is malformed.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::AuthFailed => write!(f, "policy blob failed authentication"),
+            PolicyError::Malformed(what) => write!(f, "malformed policy blob: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+fn tlp_type_code(t: Option<TlpType>) -> u8 {
+    match t {
+        None => 0,
+        Some(TlpType::MemRead) => 1,
+        Some(TlpType::MemWrite) => 2,
+        Some(TlpType::IoRead) => 3,
+        Some(TlpType::IoWrite) => 4,
+        Some(TlpType::CfgRead) => 5,
+        Some(TlpType::CfgWrite) => 6,
+        Some(TlpType::Completion) => 7,
+        Some(TlpType::CompletionData) => 8,
+        Some(TlpType::Message) => 9,
+    }
+}
+
+fn tlp_type_from_code(code: u8) -> Result<Option<TlpType>, PolicyError> {
+    Ok(match code {
+        0 => None,
+        1 => Some(TlpType::MemRead),
+        2 => Some(TlpType::MemWrite),
+        3 => Some(TlpType::IoRead),
+        4 => Some(TlpType::IoWrite),
+        5 => Some(TlpType::CfgRead),
+        6 => Some(TlpType::CfgWrite),
+        7 => Some(TlpType::Completion),
+        8 => Some(TlpType::CompletionData),
+        9 => Some(TlpType::Message),
+        _ => return Err(PolicyError::Malformed("packet type code")),
+    })
+}
+
+fn encode_rule(
+    table: u8,
+    mask: FieldMask,
+    fields: &MatchFields,
+    action_code: u8,
+) -> [u8; POLICY_RULE_LEN] {
+    let mut out = [0u8; POLICY_RULE_LEN];
+    out[0] = table;
+    out[1] = (mask.pkt_type as u8)
+        | (mask.requester as u8) << 1
+        | (mask.completer as u8) << 2
+        | (mask.address as u8) << 3
+        | (mask.msg_code as u8) << 4;
+    out[2] = tlp_type_code(fields.pkt_type);
+    out[3] = action_code;
+    out[4..6].copy_from_slice(&fields.requester.map_or(0, Bdf::to_u16).to_be_bytes());
+    out[6..8].copy_from_slice(&fields.completer.map_or(0, Bdf::to_u16).to_be_bytes());
+    let range = fields.address.clone().unwrap_or(0..0);
+    out[8..16].copy_from_slice(&range.start.to_be_bytes());
+    out[16..24].copy_from_slice(&range.end.to_be_bytes());
+    out[24] = fields.msg_code.unwrap_or(0);
+    out
+}
+
+struct DecodedRule {
+    table: u8,
+    mask: FieldMask,
+    fields: MatchFields,
+    action_code: u8,
+}
+
+fn decode_rule(bytes: &[u8]) -> Result<DecodedRule, PolicyError> {
+    if bytes.len() != POLICY_RULE_LEN {
+        return Err(PolicyError::Malformed("rule length"));
+    }
+    let mask = FieldMask {
+        pkt_type: bytes[1] & 1 != 0,
+        requester: bytes[1] & 2 != 0,
+        completer: bytes[1] & 4 != 0,
+        address: bytes[1] & 8 != 0,
+        msg_code: bytes[1] & 16 != 0,
+    };
+    let start = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let end = u64::from_be_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let fields = MatchFields {
+        pkt_type: tlp_type_from_code(bytes[2])?,
+        requester: mask
+            .requester
+            .then(|| Bdf::from_u16(u16::from_be_bytes([bytes[4], bytes[5]]))),
+        completer: mask
+            .completer
+            .then(|| Bdf::from_u16(u16::from_be_bytes([bytes[6], bytes[7]]))),
+        address: mask.address.then_some(start..end),
+        msg_code: mask.msg_code.then_some(bytes[24]),
+    };
+    Ok(DecodedRule { table: bytes[0], mask, fields, action_code: bytes[3] })
+}
+
+/// A sealed policy blob ready for the configuration space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyBlob {
+    /// Nonce used for sealing.
+    pub nonce: [u8; 12],
+    /// Ciphertext ‖ tag.
+    pub sealed: Vec<u8>,
+}
+
+impl PolicyBlob {
+    /// Serializes and seals a full rule set.
+    pub fn seal(
+        l1: &[L1Rule],
+        l2: &[L2Rule],
+        config_key: &Key,
+        nonce: [u8; 12],
+    ) -> PolicyBlob {
+        let mut plain = Vec::with_capacity((l1.len() + l2.len()) * POLICY_RULE_LEN + 8);
+        plain.extend_from_slice(&(l1.len() as u32).to_be_bytes());
+        plain.extend_from_slice(&(l2.len() as u32).to_be_bytes());
+        for rule in l1 {
+            let code = match rule.decision {
+                L1Decision::ToL2 => 0,
+                L1Decision::ExecuteA1 => SecurityAction::Disallow.to_code(),
+            };
+            plain.extend_from_slice(&encode_rule(1, rule.mask, &rule.fields, code));
+        }
+        for rule in l2 {
+            plain.extend_from_slice(&encode_rule(
+                2,
+                rule.mask,
+                &rule.fields,
+                rule.action.to_code(),
+            ));
+        }
+        let cipher = AesGcm::new(config_key);
+        PolicyBlob { nonce, sealed: cipher.seal(&nonce, &plain, b"ccai-policy") }
+    }
+
+    /// Authenticates and decodes the blob back into rule tables.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::AuthFailed`] on a wrong key or tampered blob;
+    /// [`PolicyError::Malformed`] on a corrupt (but authentic) payload.
+    pub fn unseal(&self, config_key: &Key) -> Result<(Vec<L1Rule>, Vec<L2Rule>), PolicyError> {
+        let cipher = AesGcm::new(config_key);
+        let plain = cipher
+            .open(&self.nonce, &self.sealed, b"ccai-policy")
+            .map_err(|_| PolicyError::AuthFailed)?;
+        if plain.len() < 8 {
+            return Err(PolicyError::Malformed("header"));
+        }
+        let l1_count = u32::from_be_bytes(plain[0..4].try_into().expect("4 bytes")) as usize;
+        let l2_count = u32::from_be_bytes(plain[4..8].try_into().expect("4 bytes")) as usize;
+        let expected = 8 + (l1_count + l2_count) * POLICY_RULE_LEN;
+        if plain.len() != expected {
+            return Err(PolicyError::Malformed("length"));
+        }
+        let mut l1 = Vec::with_capacity(l1_count);
+        let mut l2 = Vec::with_capacity(l2_count);
+        for i in 0..l1_count + l2_count {
+            let offset = 8 + i * POLICY_RULE_LEN;
+            let decoded = decode_rule(&plain[offset..offset + POLICY_RULE_LEN])?;
+            match decoded.table {
+                1 => l1.push(L1Rule {
+                    mask: decoded.mask,
+                    fields: decoded.fields,
+                    decision: if decoded.action_code == 0 {
+                        L1Decision::ToL2
+                    } else {
+                        L1Decision::ExecuteA1
+                    },
+                }),
+                2 => l2.push(L2Rule {
+                    mask: decoded.mask,
+                    fields: decoded.fields,
+                    action: SecurityAction::from_code(decoded.action_code)
+                        .ok_or(PolicyError::Malformed("action code"))?,
+                }),
+                _ => return Err(PolicyError::Malformed("table id")),
+            }
+        }
+        Ok((l1, l2))
+    }
+
+    /// Raw bytes as laid into the configuration space
+    /// (`nonce ‖ sealed`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.sealed.len());
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&self.sealed);
+        out
+    }
+
+    /// Parses the configuration-space layout.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::Malformed`] if shorter than a nonce + tag.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PolicyBlob, PolicyError> {
+        if bytes.len() < 12 + 16 {
+            return Err(PolicyError::Malformed("blob too short"));
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&bytes[..12]);
+        Ok(PolicyBlob { nonce, sealed: bytes[12..].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Key {
+        Key::Aes128([0x5C; 16])
+    }
+
+    fn sample_rules() -> (Vec<L1Rule>, Vec<L2Rule>) {
+        let tvm = Bdf::new(0, 2, 0);
+        let l1 = vec![
+            L1Rule::admit(TlpType::MemWrite, tvm),
+            L1Rule::admit(TlpType::MemRead, tvm),
+            L1Rule::default_deny(),
+        ];
+        let l2 = vec![
+            L2Rule::for_range(TlpType::MemWrite, tvm, 0x1000..0x5000, SecurityAction::CryptProtect),
+            L2Rule::for_type(TlpType::MemRead, tvm, SecurityAction::PassThrough),
+        ];
+        (l1, l2)
+    }
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let (l1, l2) = sample_rules();
+        let blob = PolicyBlob::seal(&l1, &l2, &key(), [3; 12]);
+        let (l1_back, l2_back) = blob.unseal(&key()).unwrap();
+        assert_eq!(l1_back, l1);
+        assert_eq!(l2_back, l2);
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (l1, l2) = sample_rules();
+        let blob = PolicyBlob::seal(&l1, &l2, &key(), [3; 12]);
+        let wrong = Key::Aes128([0x5D; 16]);
+        assert_eq!(blob.unseal(&wrong), Err(PolicyError::AuthFailed));
+    }
+
+    #[test]
+    fn tampered_blob_rejected() {
+        let (l1, l2) = sample_rules();
+        let mut blob = PolicyBlob::seal(&l1, &l2, &key(), [3; 12]);
+        // Attack of §4.1: inject a malicious configuration.
+        let mid = blob.sealed.len() / 2;
+        blob.sealed[mid] ^= 0x40;
+        assert_eq!(blob.unseal(&key()), Err(PolicyError::AuthFailed));
+    }
+
+    #[test]
+    fn rule_size_matches_paper() {
+        // "32 bytes per policy" (§7.2).
+        let (l1, l2) = sample_rules();
+        let blob = PolicyBlob::seal(&l1, &l2, &key(), [0; 12]);
+        let plain_len = blob.sealed.len() - 16; // minus GCM tag
+        assert_eq!(plain_len, 8 + (l1.len() + l2.len()) * POLICY_RULE_LEN);
+    }
+
+    #[test]
+    fn config_space_bytes_round_trip() {
+        let (l1, l2) = sample_rules();
+        let blob = PolicyBlob::seal(&l1, &l2, &key(), [9; 12]);
+        let bytes = blob.to_bytes();
+        let back = PolicyBlob::from_bytes(&bytes).unwrap();
+        assert_eq!(back, blob);
+        assert!(back.unseal(&key()).is_ok());
+    }
+
+    #[test]
+    fn short_blob_rejected() {
+        assert!(matches!(
+            PolicyBlob::from_bytes(&[0u8; 10]),
+            Err(PolicyError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn message_code_rules_round_trip() {
+        let dev = Bdf::new(0x17, 0, 0);
+        let l2 = vec![L2Rule::for_message_code(dev, 0x7E, SecurityAction::WriteProtect)];
+        let blob = PolicyBlob::seal(&[], &l2, &key(), [4; 12]);
+        let (_, l2_back) = blob.unseal(&key()).unwrap();
+        assert_eq!(l2_back, l2);
+    }
+
+    #[test]
+    fn empty_tables_round_trip() {
+        let blob = PolicyBlob::seal(&[], &[], &key(), [0; 12]);
+        let (l1, l2) = blob.unseal(&key()).unwrap();
+        assert!(l1.is_empty() && l2.is_empty());
+    }
+}

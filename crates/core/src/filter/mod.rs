@@ -1,0 +1,19 @@
+//! The Packet Filter (§4, §4.1).
+//!
+//! Two tables work in sequence (Fig. 5): the **L1 table** performs masked
+//! matching over packet attributes and either forwards to L2 or executes
+//! A1 (disallow); the **L2 table** assigns one of the remaining security
+//! actions (A2/A3/A4) from the combination of packet type, interacting
+//! parties and address-space sensitivity. Policies are installed through
+//! an encrypted configuration space (§4.1 "Dynamic and secure
+//! configuration").
+
+mod action;
+mod config;
+mod rule;
+mod tables;
+
+pub use action::SecurityAction;
+pub use config::{PolicyBlob, PolicyError};
+pub use rule::{FieldMask, L1Decision, L1Rule, L2Rule, MatchFields};
+pub use tables::{FilterStats, PacketFilter};

@@ -1,0 +1,204 @@
+//! The AES-GCM-SHA engine (§7.2).
+//!
+//! The FPGA prototype implements this as "an AES-GCM-SHA hardware engine
+//! for de/encryption and integrity checks"; here it is the functional
+//! core around `ccai-crypto`, instrumented with the byte/op counters the
+//! performance model prices.
+//!
+//! Ciphertext is emitted *detached*: the ciphertext has the plaintext's
+//! length (CTR keystream) and the 16-byte tag is returned separately for
+//! the Authentication Tag Manager to ship out-of-band.
+
+use ccai_crypto::{AesGcm, Key};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Engine activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Plaintext bytes encrypted.
+    pub bytes_encrypted: u64,
+    /// Ciphertext bytes decrypted (successfully).
+    pub bytes_decrypted: u64,
+    /// Encryption operations.
+    pub seal_ops: u64,
+    /// Decryption operations attempted.
+    pub open_ops: u64,
+    /// Decryptions that failed authentication.
+    pub auth_failures: u64,
+}
+
+/// The crypto engine with a small key-schedule cache.
+pub struct CryptoEngine {
+    ciphers: HashMap<Vec<u8>, AesGcm>,
+    stats: EngineStats,
+}
+
+impl fmt::Debug for CryptoEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CryptoEngine").field("stats", &self.stats).finish()
+    }
+}
+
+impl Default for CryptoEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CryptoEngine {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        CryptoEngine { ciphers: HashMap::new(), stats: EngineStats::default() }
+    }
+
+    fn cipher(&mut self, key: &Key) -> &AesGcm {
+        self.ciphers
+            .entry(key.as_bytes().to_vec())
+            .or_insert_with(|| AesGcm::new(key))
+    }
+
+    /// Encrypts a chunk; returns `(ciphertext, tag)` with
+    /// `ciphertext.len() == plaintext.len()`.
+    pub fn seal_detached(
+        &mut self,
+        key: &Key,
+        nonce: &[u8; 12],
+        plaintext: &[u8],
+        aad: &[u8],
+    ) -> (Vec<u8>, [u8; 16]) {
+        self.stats.seal_ops += 1;
+        self.stats.bytes_encrypted += plaintext.len() as u64;
+        let mut sealed = self.cipher(key).seal(nonce, plaintext, aad);
+        let split = sealed.len() - 16;
+        let mut tag = [0u8; 16];
+        tag.copy_from_slice(&sealed[split..]);
+        sealed.truncate(split);
+        (sealed, tag)
+    }
+
+    /// Decrypts a chunk against its detached tag.
+    ///
+    /// # Errors
+    ///
+    /// `Err(())` if the tag fails to verify (tampered data, wrong key,
+    /// wrong nonce or wrong AAD). No plaintext is released.
+    #[allow(clippy::result_unit_err)]
+    pub fn open_detached(
+        &mut self,
+        key: &Key,
+        nonce: &[u8; 12],
+        ciphertext: &[u8],
+        tag: &[u8; 16],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, ()> {
+        self.stats.open_ops += 1;
+        let mut sealed = Vec::with_capacity(ciphertext.len() + 16);
+        sealed.extend_from_slice(ciphertext);
+        sealed.extend_from_slice(tag);
+        match self.cipher(key).open(nonce, &sealed, aad) {
+            Ok(plain) => {
+                self.stats.bytes_decrypted += plain.len() as u64;
+                Ok(plain)
+            }
+            Err(_) => {
+                self.stats.auth_failures += 1;
+                Err(())
+            }
+        }
+    }
+
+    /// Computes a standalone integrity tag over plaintext data (the A3
+    /// "integrity check (plain)" primitive).
+    pub fn plain_tag(&mut self, key: &Key, nonce: &[u8; 12], data: &[u8]) -> [u8; 16] {
+        self.cipher(key).tag_only(nonce, data)
+    }
+
+    /// Verifies a standalone integrity tag.
+    pub fn verify_plain_tag(
+        &mut self,
+        key: &Key,
+        nonce: &[u8; 12],
+        data: &[u8],
+        tag: &[u8; 16],
+    ) -> bool {
+        let ok = self.cipher(key).verify_tag_only(nonce, data, tag);
+        if !ok {
+            self.stats.auth_failures += 1;
+        }
+        ok
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Key {
+        Key::Aes128([0x21; 16])
+    }
+
+    #[test]
+    fn detached_round_trip_preserves_length() {
+        let mut engine = CryptoEngine::new();
+        let plaintext = vec![0x44u8; 4096];
+        let (ct, tag) = engine.seal_detached(&key(), &[1; 12], &plaintext, b"aad");
+        assert_eq!(ct.len(), plaintext.len(), "CTR ciphertext is size-preserving");
+        assert_ne!(ct, plaintext);
+        let back = engine.open_detached(&key(), &[1; 12], &ct, &tag, b"aad").unwrap();
+        assert_eq!(back, plaintext);
+    }
+
+    #[test]
+    fn tamper_and_wrong_context_fail() {
+        let mut engine = CryptoEngine::new();
+        let (ct, tag) = engine.seal_detached(&key(), &[1; 12], b"data", b"aad");
+        let mut bad_ct = ct.clone();
+        bad_ct[0] ^= 1;
+        assert!(engine.open_detached(&key(), &[1; 12], &bad_ct, &tag, b"aad").is_err());
+        assert!(engine.open_detached(&key(), &[2; 12], &ct, &tag, b"aad").is_err());
+        assert!(engine.open_detached(&key(), &[1; 12], &ct, &tag, b"dad").is_err());
+        let mut bad_tag = tag;
+        bad_tag[15] ^= 1;
+        assert!(engine.open_detached(&key(), &[1; 12], &ct, &bad_tag, b"aad").is_err());
+        assert_eq!(engine.stats().auth_failures, 4);
+    }
+
+    #[test]
+    fn counters_track_bytes() {
+        let mut engine = CryptoEngine::new();
+        let (ct, tag) = engine.seal_detached(&key(), &[1; 12], &[0; 1000], b"");
+        engine.open_detached(&key(), &[1; 12], &ct, &tag, b"").unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.bytes_encrypted, 1000);
+        assert_eq!(stats.bytes_decrypted, 1000);
+        assert_eq!(stats.seal_ops, 1);
+        assert_eq!(stats.open_ops, 1);
+    }
+
+    #[test]
+    fn plain_tags() {
+        let mut engine = CryptoEngine::new();
+        let tag = engine.plain_tag(&key(), &[3; 12], b"mmio write");
+        assert!(engine.verify_plain_tag(&key(), &[3; 12], b"mmio write", &tag));
+        assert!(!engine.verify_plain_tag(&key(), &[3; 12], b"mmio writf", &tag));
+    }
+
+    #[test]
+    fn key_cache_is_transparent() {
+        let mut engine = CryptoEngine::new();
+        let k1 = Key::Aes128([1; 16]);
+        let k2 = Key::Aes128([2; 16]);
+        let (ct1, tag1) = engine.seal_detached(&k1, &[0; 12], b"x", b"");
+        let (ct2, _) = engine.seal_detached(&k2, &[0; 12], b"x", b"");
+        assert_ne!(ct1, ct2);
+        assert!(engine.open_detached(&k1, &[0; 12], &ct1, &tag1, b"").is_ok());
+        assert!(engine.open_detached(&k2, &[0; 12], &ct1, &tag1, b"").is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! The De/Encryption Parameters Manager (§4.2 "Control panels").
+//!
+//! "This panel aims to manage cryptographic requirements for different
+//! tasks. … it analyzes the packet headers and records the essential
+//! de/encryption parameters, helping to process packet payloads."
+//!
+//! Concretely: the Adaptor registers each protected DMA window as a
+//! *stream* (id + direction + host address range + starting sequence
+//! number). When a packet touches a registered range, the manager derives
+//! the chunk's sequence number from its offset, the nonce from
+//! `(stream, seq)`, and the AEAD associated data binding both — so the
+//! Adaptor and the PCIe-SC agree on every cryptographic parameter without
+//! per-packet negotiation. A seen-set provides replay protection
+//! ("ccAI also addresses packet replay attacks by leveraging initial
+//! vectors", §8.2).
+
+use ccai_trust::keymgmt::StreamId;
+use ccai_trust::{KeyManagerError, WorkloadKeyManager};
+use ccai_crypto::Key;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Range;
+
+/// Chunk granularity for stream encryption: one DMA TLP payload.
+pub const CHUNK_SIZE: u64 = 4096;
+
+/// Direction of a protected stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamDirection {
+    /// TVM → xPU (the device reads ciphertext from the bounce buffer).
+    HostToDevice,
+    /// xPU → TVM (the SC encrypts device writes toward the landing
+    /// buffer).
+    DeviceToHost,
+}
+
+/// A resolved reference to one encrypted chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// The owning stream.
+    pub stream: StreamId,
+    /// The chunk's sequence number (drives the nonce).
+    pub seq: u64,
+}
+
+impl ChunkRef {
+    /// The 96-bit AES-GCM nonce for this chunk: `stream ‖ seq`.
+    pub fn nonce(&self) -> [u8; 12] {
+        let mut nonce = [0u8; 12];
+        nonce[..4].copy_from_slice(&self.stream.0.to_be_bytes());
+        nonce[4..].copy_from_slice(&self.seq.to_be_bytes());
+        nonce
+    }
+
+    /// The AEAD associated data binding stream and sequence.
+    pub fn aad(&self) -> [u8; 12] {
+        self.nonce()
+    }
+}
+
+#[derive(Debug)]
+struct StreamEntry {
+    id: StreamId,
+    direction: StreamDirection,
+    host_range: Range<u64>,
+    base_seq: u64,
+    seen: HashSet<u64>,
+}
+
+/// The parameters manager: stream registry + key schedule + anti-replay.
+pub struct ParamsManager {
+    keys: WorkloadKeyManager,
+    streams: Vec<StreamEntry>,
+    replays_blocked: u64,
+}
+
+impl fmt::Debug for ParamsManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParamsManager")
+            .field("streams", &self.streams.len())
+            .field("replays_blocked", &self.replays_blocked)
+            .finish()
+    }
+}
+
+impl ParamsManager {
+    /// Creates a manager around this side's key schedule.
+    pub fn new(keys: WorkloadKeyManager) -> Self {
+        ParamsManager { keys, streams: Vec::new(), replays_blocked: 0 }
+    }
+
+    /// Registers (or re-registers) a protected stream window. Both the
+    /// Adaptor and the PCIe-SC call this with identical arguments.
+    ///
+    /// Re-registering an existing id replaces its window and resets
+    /// nothing else (keys and replay state persist).
+    pub fn register_stream(
+        &mut self,
+        id: StreamId,
+        direction: StreamDirection,
+        host_range: Range<u64>,
+        base_seq: u64,
+    ) {
+        if self.keys.stream_key(id).is_err() {
+            self.keys.provision_stream(id, u64::MAX - 1);
+        }
+        // Evict any *other* stream whose window overlaps the new one:
+        // staging windows are recycled across transfers, and the newest
+        // registration must win address resolution.
+        self.streams.retain(|e| {
+            e.id == id
+                || e.host_range.end <= host_range.start
+                || e.host_range.start >= host_range.end
+        });
+        if let Some(entry) = self.streams.iter_mut().find(|e| e.id == id) {
+            entry.direction = direction;
+            entry.host_range = host_range;
+            entry.base_seq = base_seq;
+        } else {
+            self.streams.push(StreamEntry {
+                id,
+                direction,
+                host_range,
+                base_seq,
+                seen: HashSet::new(),
+            });
+        }
+    }
+
+    /// Resolves a host address to its chunk, if it falls in a stream of
+    /// the given direction.
+    pub fn resolve(&self, addr: u64, direction: StreamDirection) -> Option<ChunkRef> {
+        self.streams
+            .iter()
+            .find(|e| e.direction == direction && e.host_range.contains(&addr))
+            .map(|e| ChunkRef {
+                stream: e.id,
+                seq: e.base_seq + (addr - e.host_range.start) / CHUNK_SIZE,
+            })
+    }
+
+    /// True if any stream covers `addr` (either direction).
+    pub fn covers(&self, addr: u64) -> bool {
+        self.streams.iter().any(|e| e.host_range.contains(&addr))
+    }
+
+    /// The key for a stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KeyManagerError::UnknownStream`].
+    pub fn key(&self, id: StreamId) -> Result<&Key, KeyManagerError> {
+        self.keys.stream_key(id)
+    }
+
+    /// Marks a chunk as processed; returns `false` (and counts a blocked
+    /// replay) if it was already seen.
+    pub fn mark_processed(&mut self, chunk: ChunkRef) -> bool {
+        let Some(entry) = self.streams.iter_mut().find(|e| e.id == chunk.stream) else {
+            return false;
+        };
+        if entry.seen.insert(chunk.seq) {
+            true
+        } else {
+            self.replays_blocked += 1;
+            false
+        }
+    }
+
+    /// Forgets replay state for a stream (new transfer window re-uses the
+    /// range with fresh sequence numbers via `base_seq`).
+    pub fn reset_stream_window(&mut self, id: StreamId, base_seq: u64) {
+        if let Some(entry) = self.streams.iter_mut().find(|e| e.id == id) {
+            entry.base_seq = base_seq;
+        }
+    }
+
+    /// Replays blocked so far.
+    pub fn replays_blocked(&self) -> u64 {
+        self.replays_blocked
+    }
+
+    /// Destroys all key material (task termination).
+    pub fn destroy(&mut self) {
+        self.keys.destroy();
+        self.streams.clear();
+    }
+
+    /// Access to the key schedule (rotation).
+    pub fn keys_mut(&mut self) -> &mut WorkloadKeyManager {
+        &mut self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> ParamsManager {
+        ParamsManager::new(WorkloadKeyManager::new([7; 32]))
+    }
+
+    #[test]
+    fn resolve_maps_offsets_to_sequences() {
+        let mut m = manager();
+        m.register_stream(StreamId(1), StreamDirection::HostToDevice, 0x10000..0x20000, 100);
+        let c0 = m.resolve(0x10000, StreamDirection::HostToDevice).unwrap();
+        let c1 = m.resolve(0x11000, StreamDirection::HostToDevice).unwrap();
+        let c1b = m.resolve(0x11FFF, StreamDirection::HostToDevice).unwrap();
+        assert_eq!(c0.seq, 100);
+        assert_eq!(c1.seq, 101);
+        assert_eq!(c1b.seq, 101, "same chunk");
+        assert_eq!(c0.stream, StreamId(1));
+    }
+
+    #[test]
+    fn direction_filters_resolution() {
+        let mut m = manager();
+        m.register_stream(StreamId(1), StreamDirection::HostToDevice, 0x10000..0x20000, 0);
+        assert!(m.resolve(0x10000, StreamDirection::DeviceToHost).is_none());
+        assert!(m.resolve(0x10000, StreamDirection::HostToDevice).is_some());
+    }
+
+    #[test]
+    fn unregistered_addresses_unresolved() {
+        let m = manager();
+        assert!(m.resolve(0x10000, StreamDirection::HostToDevice).is_none());
+        assert!(!m.covers(0x10000));
+    }
+
+    #[test]
+    fn nonces_are_unique_per_chunk_and_stream() {
+        let a = ChunkRef { stream: StreamId(1), seq: 5 };
+        let b = ChunkRef { stream: StreamId(1), seq: 6 };
+        let c = ChunkRef { stream: StreamId(2), seq: 5 };
+        assert_ne!(a.nonce(), b.nonce());
+        assert_ne!(a.nonce(), c.nonce());
+        assert_eq!(a.nonce(), a.aad());
+    }
+
+    #[test]
+    fn both_sides_agree_on_keys() {
+        let mut sc = ParamsManager::new(WorkloadKeyManager::new([9; 32]));
+        let mut adaptor = ParamsManager::new(WorkloadKeyManager::new([9; 32]));
+        for m in [&mut sc, &mut adaptor] {
+            m.register_stream(StreamId(3), StreamDirection::DeviceToHost, 0..0x1000, 0);
+        }
+        assert_eq!(sc.key(StreamId(3)).unwrap(), adaptor.key(StreamId(3)).unwrap());
+    }
+
+    #[test]
+    fn replay_detection() {
+        let mut m = manager();
+        m.register_stream(StreamId(1), StreamDirection::HostToDevice, 0..0x10000, 0);
+        let chunk = m.resolve(0x1000, StreamDirection::HostToDevice).unwrap();
+        assert!(m.mark_processed(chunk));
+        assert!(!m.mark_processed(chunk), "replayed chunk must be rejected");
+        assert_eq!(m.replays_blocked(), 1);
+    }
+
+    #[test]
+    fn window_reset_changes_sequences() {
+        let mut m = manager();
+        m.register_stream(StreamId(1), StreamDirection::HostToDevice, 0..0x10000, 0);
+        let before = m.resolve(0x1000, StreamDirection::HostToDevice).unwrap();
+        m.reset_stream_window(StreamId(1), 1000);
+        let after = m.resolve(0x1000, StreamDirection::HostToDevice).unwrap();
+        assert_eq!(before.seq, 1);
+        assert_eq!(after.seq, 1001);
+    }
+
+    #[test]
+    fn reregistration_moves_window() {
+        let mut m = manager();
+        m.register_stream(StreamId(1), StreamDirection::HostToDevice, 0..0x1000, 0);
+        m.register_stream(StreamId(1), StreamDirection::HostToDevice, 0x8000..0x9000, 50);
+        assert!(m.resolve(0x100, StreamDirection::HostToDevice).is_none());
+        let c = m.resolve(0x8000, StreamDirection::HostToDevice).unwrap();
+        assert_eq!(c.seq, 50);
+    }
+
+    #[test]
+    fn destroy_clears_everything() {
+        let mut m = manager();
+        m.register_stream(StreamId(1), StreamDirection::HostToDevice, 0..0x1000, 0);
+        m.destroy();
+        assert!(m.key(StreamId(1)).is_err());
+        assert!(!m.covers(0x100));
+    }
+}

@@ -1,0 +1,62 @@
+//! # ccAI — the paper's primary contribution
+//!
+//! A compatible and confidential system for xPU-based AI computing
+//! (MICRO '25). ccAI interposes a **PCIe Security Controller (PCIe-SC)**
+//! between the PCIe bus and a legacy xPU and pairs it with a TVM-side
+//! kernel module, the **Adaptor**. All protection happens at the PCIe
+//! packet level, so one mechanism covers every xPU type, and neither
+//! applications nor vendor driver stacks change.
+//!
+//! This crate assembles the substrates (`ccai-pcie`, `ccai-xpu`,
+//! `ccai-tvm`, `ccai-crypto`, `ccai-trust`) into the full system:
+//!
+//! * [`filter`] — the Packet Filter: the four security actions of
+//!   Table 1, masked L1 prefiltering, L2 classification, and the
+//!   encrypted dynamic policy configuration of §4.1;
+//! * [`handler`] — the Packet Handlers of §4.2: the De/Encryption
+//!   Parameters Manager, the Authentication Tag Manager, the
+//!   AES-GCM-SHA engine, and the xPU environment guard;
+//! * [`sc`] — the PCIe-SC itself, an
+//!   [`Interposer`](ccai_pcie::Interposer) over the xPU's port plus its
+//!   own MMIO control region;
+//! * [`adaptor`] — the Adaptor kernel module: an encrypting
+//!   [`DmaStager`](ccai_tvm::DmaStager), `pkt_filter_manage`, MMIO
+//!   mirroring for write-protected packets, and the §5 I/O batching
+//!   optimizations;
+//! * [`system`] — one-call construction of a confidential platform
+//!   (vanilla / ccAI / non-optimized ccAI) and end-to-end workload
+//!   execution;
+//! * [`perf`] — the calibrated performance model pricing the functional
+//!   path's operation counts into virtual time;
+//! * [`compat`] — the Table 2 compatibility matrix and Table 3 TCB data.
+//!
+//! # Example
+//!
+//! ```
+//! use ccai_core::system::{ConfidentialSystem, SystemMode};
+//! use ccai_xpu::XpuSpec;
+//!
+//! let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+//! let result = system
+//!     .run_workload(b"model weights", b"user prompt")
+//!     .expect("confidential inference succeeds");
+//! assert_eq!(result, ccai_xpu::CommandProcessor::surrogate_inference(
+//!     b"model weights", b"user prompt"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptor;
+pub mod compat;
+pub mod filter;
+pub mod handler;
+pub mod perf;
+pub mod sc;
+pub mod system;
+
+pub use adaptor::Adaptor;
+pub use filter::{L1Rule, L2Rule, PacketFilter, SecurityAction};
+pub use perf::{OptimizationConfig, PerfModel};
+pub use sc::PcieSc;
+pub use system::{ConfidentialSystem, SystemMode, WorkloadError};

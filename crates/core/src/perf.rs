@@ -1,0 +1,383 @@
+//! The calibrated performance model.
+//!
+//! The functional path (Adaptor + PCIe-SC) produces *operation counts*:
+//! MMIO round trips, bytes encrypted/decrypted, extra tag TLPs, doorbell
+//! writes. This module prices those counts into virtual time, which is
+//! how every figure of §8 is regenerated. The same pricing applies to
+//! analytically computed counts for workloads too large to push through
+//! the functional fabric (GB-scale model weights).
+//!
+//! Cost constants are calibrated to public magnitudes: ~1.2 µs per
+//! guest MMIO round trip (VM exit + PCIe round trip), ~4 GiB/s per core
+//! for AES-NI-GCM versus ~0.4 GiB/s for bitsliced software AES, and the
+//! PCIe-SC engine running at line rate with a small per-packet pipeline
+//! latency that overlaps with transfer except for the first packet.
+
+use crate::handler::CHUNK_SIZE;
+use crate::handler::TAG_RECORD_LEN;
+use ccai_sim::{Bandwidth, SimDuration};
+use ccai_xpu::XpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Guest MMIO round-trip latency (VM exit, root-complex traversal, return).
+pub const MMIO_ROUND_TRIP: SimDuration = SimDuration::from_nanos(1_200);
+
+/// Posted MMIO write cost from a guest (no completion wait, but the VM
+/// exit is still paid).
+pub const MMIO_POSTED_WRITE: SimDuration = SimDuration::from_nanos(700);
+
+/// AES-NI (VAES/AVX-512 multi-buffer) GCM throughput per core. Four
+/// lanes comfortably exceed a Gen4 ×16 link, which is what lets the
+/// Adaptor hide bulk-stream crypto behind the wire (§5).
+pub const AES_NI_RATE: f64 = 6.5e9;
+
+/// Software AES-GCM throughput per core.
+pub const SW_AES_RATE: f64 = 0.4e9;
+
+/// Synchronous D2H decryption throughput: result decryption sits on the
+/// request's critical path and runs on one core (GCM verify + copy-out).
+pub const D2H_DECRYPT_RATE: f64 = 1.2e9;
+
+/// PCIe-SC engine pipeline latency per transfer (overlapped thereafter).
+pub const SC_PIPELINE_LATENCY: SimDuration = SimDuration::from_nanos(600);
+
+/// Non-optimized per-chunk stall: without metadata batching every chunk
+/// requires a synchronous SC→Adaptor metadata exchange (interrupt
+/// delivery, vCPU wake-up, and MMIO round trips) before the next chunk
+/// proceeds. Calibrated against Fig. 11's ~9.5× end-to-end gap.
+pub const NOOPT_CHUNK_STALL: SimDuration = SimDuration::from_micros(480);
+
+/// Tag records per batched tag TLP (4 KiB max payload / 28 B records).
+pub const TAGS_PER_TLP: u64 = 128;
+
+/// The §5 optimization switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptimizationConfig {
+    /// §5 "Optimization on I/O read": the SC pushes DMA metadata in
+    /// batches to a TVM-resident buffer instead of the Adaptor polling
+    /// one MMIO read per chunk.
+    pub metadata_batching: bool,
+    /// §5 "Optimization on I/O write": one doorbell per transfer and
+    /// batched tag packets instead of per-chunk notifications.
+    pub batched_notify: bool,
+    /// §5 "Optimization on security operations" (1): hardware AES-NI
+    /// instead of software AES in the Adaptor.
+    pub aes_ni: bool,
+    /// §5 "Optimization on security operations" (2): number of CPU cores
+    /// encrypting in parallel.
+    pub crypto_lanes: u32,
+}
+
+impl OptimizationConfig {
+    /// Everything on — the evaluated ccAI configuration.
+    pub fn all_on() -> Self {
+        OptimizationConfig {
+            metadata_batching: true,
+            batched_notify: true,
+            aes_ni: true,
+            crypto_lanes: 4,
+        }
+    }
+
+    /// Everything off — the Fig. 11 "No Opt" baseline.
+    pub fn none() -> Self {
+        OptimizationConfig {
+            metadata_batching: false,
+            batched_notify: false,
+            aes_ni: false,
+            crypto_lanes: 1,
+        }
+    }
+
+    /// The Adaptor's effective encryption bandwidth.
+    pub fn crypto_bandwidth(&self) -> Bandwidth {
+        let per_lane = if self.aes_ni { AES_NI_RATE } else { SW_AES_RATE };
+        Bandwidth::from_bytes_per_sec(per_lane * self.crypto_lanes.max(1) as f64)
+    }
+}
+
+impl Default for OptimizationConfig {
+    fn default() -> Self {
+        Self::all_on()
+    }
+}
+
+/// Analytic description of one protected transfer burst.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransferProfile {
+    /// Host→device payload bytes.
+    pub h2d_bytes: u64,
+    /// Device→host *result* bytes the caller blocks on (decrypted
+    /// synchronously).
+    pub d2h_bytes: u64,
+    /// Device→host *streamed* bytes (evicted state, background spills):
+    /// decryption pipelines with the wire like H2D encryption does.
+    pub bulk_d2h_bytes: u64,
+    /// Driver MMIO register writes in the burst (doorbells, descriptors).
+    pub driver_mmio_writes: u64,
+    /// Driver MMIO register reads (status polls).
+    pub driver_mmio_reads: u64,
+}
+
+impl TransferProfile {
+    /// Number of protected chunks across all classes.
+    pub fn chunks(&self) -> u64 {
+        self.h2d_bytes.div_ceil(CHUNK_SIZE)
+            + self.d2h_bytes.div_ceil(CHUNK_SIZE)
+            + self.bulk_d2h_bytes.div_ceil(CHUNK_SIZE)
+    }
+
+    /// Total protected bytes.
+    pub fn bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes + self.bulk_d2h_bytes
+    }
+}
+
+/// Cost breakdown of a priced transfer (virtual time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Wire time for the payload itself (paid by vanilla too).
+    pub base_transfer: SimDuration,
+    /// Driver MMIO costs (paid by vanilla too).
+    pub base_mmio: SimDuration,
+    /// Adaptor encryption/decryption time.
+    pub crypto: SimDuration,
+    /// Extra wire time for tag packets.
+    pub tag_traffic: SimDuration,
+    /// Extra MMIO interactions with the PCIe-SC.
+    pub sc_interaction: SimDuration,
+    /// SC pipeline latency.
+    pub sc_pipeline: SimDuration,
+}
+
+impl CostBreakdown {
+    /// Time a vanilla (unprotected) system spends on this transfer.
+    pub fn vanilla_total(&self) -> SimDuration {
+        self.base_transfer + self.base_mmio
+    }
+
+    /// Time the ccAI system spends.
+    pub fn ccai_total(&self) -> SimDuration {
+        self.vanilla_total()
+            + self.crypto
+            + self.tag_traffic
+            + self.sc_interaction
+            + self.sc_pipeline
+    }
+
+    /// Overhead added by ccAI.
+    pub fn overhead(&self) -> SimDuration {
+        self.ccai_total() - self.vanilla_total()
+    }
+}
+
+/// Prices transfers for one device + optimization configuration.
+#[derive(Debug, Clone)]
+pub struct PerfModel {
+    spec: XpuSpec,
+    opts: OptimizationConfig,
+}
+
+impl PerfModel {
+    /// Creates a model for `spec` under `opts`.
+    pub fn new(spec: XpuSpec, opts: OptimizationConfig) -> PerfModel {
+        PerfModel { spec, opts }
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &XpuSpec {
+        &self.spec
+    }
+
+    /// The optimization configuration.
+    pub fn opts(&self) -> OptimizationConfig {
+        self.opts
+    }
+
+    /// Prices one transfer burst.
+    pub fn price(&self, profile: &TransferProfile) -> CostBreakdown {
+        let link = self.spec.link();
+        let chunks = profile.chunks();
+
+        let base_transfer = link.dma_time(profile.h2d_bytes)
+            + link.dma_time(profile.d2h_bytes)
+            + link.dma_time(profile.bulk_d2h_bytes);
+        let base_mmio = MMIO_POSTED_WRITE * profile.driver_mmio_writes
+            + MMIO_ROUND_TRIP * profile.driver_mmio_reads;
+
+        if chunks == 0 {
+            return CostBreakdown {
+                base_transfer,
+                base_mmio,
+                ..CostBreakdown::default()
+            };
+        }
+
+        // Adaptor crypto. H2D encryption pipelines with the outgoing DMA
+        // (the Adaptor encrypts chunk n+1 while chunk n is on the wire),
+        // so only the portion slower than the wire is exposed. D2H result
+        // decryption is synchronous on the critical path (single core) —
+        // the caller cannot use the result before it verifies. The
+        // unoptimized mode processes chunks synchronously, so nothing
+        // pipelines.
+        let pipelined = |bytes: u64| {
+            let wire = link.dma_time(bytes);
+            let total = self.opts.crypto_bandwidth().transfer_time(bytes);
+            if self.opts.batched_notify {
+                total.saturating_sub(wire)
+            } else {
+                total
+            }
+        };
+        let d2h_rate = if self.opts.aes_ni { D2H_DECRYPT_RATE } else { SW_AES_RATE };
+        let d2h_crypto =
+            Bandwidth::from_bytes_per_sec(d2h_rate).transfer_time(profile.d2h_bytes);
+        let crypto =
+            pipelined(profile.h2d_bytes) + pipelined(profile.bulk_d2h_bytes) + d2h_crypto;
+
+        // Tag packets ride the same link: 28 bytes per chunk, packed when
+        // batching is on (plus TLP overhead per tag TLP).
+        let tag_tlps = if self.opts.batched_notify {
+            chunks.div_ceil(TAGS_PER_TLP)
+        } else {
+            chunks
+        };
+        let tag_bytes = chunks * TAG_RECORD_LEN as u64 + tag_tlps * 20;
+        let tag_traffic = link.raw_bandwidth().transfer_time(tag_bytes);
+
+        // TVM↔SC interactions.
+        let metadata_cost = if self.opts.metadata_batching {
+            // One SC-side DMA write of the batch; the Adaptor reads local
+            // memory (free). Cost ≈ one small wire transfer.
+            link.raw_bandwidth().transfer_time(64)
+        } else {
+            // A synchronous metadata exchange stalls every chunk.
+            NOOPT_CHUNK_STALL * chunks
+        };
+        let notify_cost = if self.opts.batched_notify {
+            MMIO_POSTED_WRITE
+        } else {
+            MMIO_POSTED_WRITE * chunks
+        };
+        let sc_interaction = metadata_cost + notify_cost;
+
+        CostBreakdown {
+            base_transfer,
+            base_mmio,
+            crypto,
+            tag_traffic,
+            sc_interaction,
+            sc_pipeline: SC_PIPELINE_LATENCY,
+        }
+    }
+
+    /// Convenience: the ccAI overhead fraction for a transfer relative to
+    /// a base execution time `base` (e.g. the compute-dominated E2E).
+    pub fn overhead_fraction(&self, profile: &TransferProfile, base: SimDuration) -> f64 {
+        let cost = self.price(profile);
+        let vanilla = base + cost.vanilla_total();
+        let ccai = base + cost.ccai_total();
+        (ccai.as_secs_f64() - vanilla.as_secs_f64()) / vanilla.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_1mb() -> TransferProfile {
+        TransferProfile {
+            h2d_bytes: 1 << 20,
+            d2h_bytes: 0,
+            bulk_d2h_bytes: 0,
+            driver_mmio_writes: 4,
+            driver_mmio_reads: 1,
+        }
+    }
+
+    #[test]
+    fn optimized_cheaper_than_unoptimized() {
+        let spec = XpuSpec::a100();
+        let opt = PerfModel::new(spec.clone(), OptimizationConfig::all_on());
+        let noopt = PerfModel::new(spec, OptimizationConfig::none());
+        let p = profile_1mb();
+        let t_opt = opt.price(&p).ccai_total();
+        let t_noopt = noopt.price(&p).ccai_total();
+        assert!(
+            t_noopt.as_secs_f64() > 2.0 * t_opt.as_secs_f64(),
+            "no-opt {t_noopt} should dwarf optimized {t_opt}"
+        );
+    }
+
+    #[test]
+    fn unoptimized_io_dominates() {
+        // The §5 claim: redundant I/O reads/writes dominate the
+        // unoptimized overhead — not the crypto.
+        let spec = XpuSpec::a100();
+        let noopt = PerfModel::new(spec, OptimizationConfig::none());
+        let cost = noopt.price(&profile_1mb());
+        assert!(cost.sc_interaction > cost.crypto);
+    }
+
+    #[test]
+    fn optimized_overhead_is_small_fraction_of_transfer() {
+        let model = PerfModel::new(XpuSpec::a100(), OptimizationConfig::all_on());
+        let cost = model.price(&profile_1mb());
+        let overhead = cost.overhead().as_secs_f64();
+        let base = cost.base_transfer.as_secs_f64();
+        // H2D crypto pipelines with the wire: only the residual shows.
+        assert!(
+            overhead < 0.80 * base.max(1e-9) + 20e-6,
+            "overhead {overhead} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn empty_profile_costs_nothing_extra() {
+        let model = PerfModel::new(XpuSpec::t4(), OptimizationConfig::all_on());
+        let cost = model.price(&TransferProfile::default());
+        assert_eq!(cost.overhead(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn aes_ni_speeds_up_crypto() {
+        let with_ni = OptimizationConfig { aes_ni: true, crypto_lanes: 1, ..OptimizationConfig::all_on() };
+        let without = OptimizationConfig { aes_ni: false, crypto_lanes: 1, ..OptimizationConfig::all_on() };
+        let a = PerfModel::new(XpuSpec::a100(), with_ni).price(&profile_1mb()).crypto;
+        let b = PerfModel::new(XpuSpec::a100(), without).price(&profile_1mb()).crypto;
+        assert!(b.as_secs_f64() / a.as_secs_f64() > 5.0);
+    }
+
+    #[test]
+    fn crypto_lanes_scale() {
+        // With pipelining, more lanes shrink the exposed residual: the
+        // 4-lane configuration hides H2D crypto behind the wire entirely
+        // while a single lane leaves a residual.
+        let one = OptimizationConfig { crypto_lanes: 1, ..OptimizationConfig::all_on() };
+        let four = OptimizationConfig { crypto_lanes: 4, ..OptimizationConfig::all_on() };
+        let a = PerfModel::new(XpuSpec::a100(), one).price(&profile_1mb()).crypto;
+        let b = PerfModel::new(XpuSpec::a100(), four).price(&profile_1mb()).crypto;
+        assert!(a > b, "single lane exposes more crypto time: {a} vs {b}");
+    }
+
+    #[test]
+    fn slower_link_raises_base_not_overhead_ratio() {
+        // Fig. 12a: limited PCIe bandwidth slows vanilla and ccAI alike.
+        use ccai_pcie::{LinkConfig, LinkSpeed};
+        let fast = PerfModel::new(XpuSpec::a100(), OptimizationConfig::all_on());
+        let slow_spec = XpuSpec::a100().with_link(LinkConfig::new(LinkSpeed::Gen3, 8));
+        let slow = PerfModel::new(slow_spec, OptimizationConfig::all_on());
+        let p = profile_1mb();
+        assert!(slow.price(&p).base_transfer > fast.price(&p).base_transfer);
+    }
+
+    #[test]
+    fn overhead_fraction_shrinks_with_compute() {
+        let model = PerfModel::new(XpuSpec::a100(), OptimizationConfig::all_on());
+        let p = profile_1mb();
+        let short = model.overhead_fraction(&p, SimDuration::from_millis(10));
+        let long = model.overhead_fraction(&p, SimDuration::from_secs(10));
+        assert!(short > long);
+        assert!(long > 0.0);
+    }
+}

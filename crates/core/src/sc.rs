@@ -1,0 +1,1059 @@
+//! The PCIe Security Controller (PCIe-SC).
+//!
+//! The PCIe-SC "sits between the xPU and the PCIe bus … monitors and
+//! secures all PCIe packet exchanges between the TVM and the xPU,
+//! providing consistent protection independent of the xPU type" (§1).
+//! It is implemented as a fabric [`Interposer`]: every TLP crossing the
+//! xPU's port traverses [`PcieSc::on_downstream`] /
+//! [`PcieSc::on_upstream`], where the Packet Filter classifies it and the
+//! Packet Handlers execute its action.
+//!
+//! The SC also exposes its own MMIO control window (the "Upstream Bar
+//! space" of §7.2) through which the Adaptor installs encrypted policy,
+//! registers protected streams, queues authentication tags, and
+//! configures the metadata/tag landing buffers.
+
+use crate::filter::{PacketFilter, PolicyBlob, SecurityAction};
+use crate::handler::{
+    ChunkRef, CryptoEngine, EnvGuard, MmioPolicy, ParamsManager, StreamDirection, TagManager,
+    TagRecord,
+};
+use ccai_pcie::{Bdf, CplStatus, Interposer, InterposeOutcome, Tlp, TlpType};
+use ccai_crypto::{hkdf, Key};
+use ccai_trust::keymgmt::StreamId;
+use ccai_trust::WorkloadKeyManager;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The reserved stream id carrying A3 MMIO integrity tags.
+pub const MMIO_STREAM: StreamId = StreamId(0xFFFF_0001);
+
+/// Control-window register offsets (relative to the SC region base).
+pub mod regs {
+    /// Policy staging area (encrypted blob bytes).
+    pub const POLICY_STAGING: u64 = 0x0000;
+    /// Size of the staging area.
+    pub const POLICY_STAGING_LEN: u64 = 0x1000;
+    /// Staged blob length (u64 write).
+    pub const POLICY_LEN: u64 = 0x1000;
+    /// Policy-apply doorbell (write 1).
+    pub const POLICY_APPLY: u64 = 0x1008;
+    /// Status register (read): see [`super::status_bits`].
+    pub const STATUS: u64 = 0x1010;
+    /// Blocked-packet counter (read).
+    pub const BLOCKED_COUNT: u64 = 0x1018;
+    /// Host address of the tag landing buffer (u64 write).
+    pub const TAG_LANDING_ADDR: u64 = 0x1020;
+    /// Host address of the metadata batch buffer (u64 write).
+    pub const METADATA_BUF_ADDR: u64 = 0x1028;
+    /// Per-chunk metadata query register (read; the non-optimized path).
+    pub const METADATA_QUERY: u64 = 0x1030;
+    /// Stream-map record write target.
+    pub const STREAM_MAP: u64 = 0x1040;
+    /// Environment-policy record write target.
+    pub const ENV_POLICY: u64 = 0x1080;
+    /// Tag-queue write target (batched [`super::TagRecord`]s).
+    pub const TAG_QUEUE: u64 = 0x1100;
+    /// Transfer-notify doorbell (write: number of chunks announced).
+    pub const NOTIFY: u64 = 0x1140;
+    /// Task-end doorbell (write 1): destroy keys, demand env cleanup.
+    pub const TASK_END: u64 = 0x1148;
+    /// Total control-window span.
+    pub const WINDOW_LEN: u64 = 0x2000;
+}
+
+/// STATUS register bits.
+pub mod status_bits {
+    /// Last policy application succeeded.
+    pub const POLICY_OK: u64 = 1 << 0;
+    /// Last policy application failed authentication/decoding.
+    pub const POLICY_ERR: u64 = 1 << 1;
+    /// Environment cleanup is pending (task ended, reset not yet seen).
+    pub const ENV_CLEAN_PENDING: u64 = 1 << 2;
+}
+
+/// Stream-map record: stream(4) ‖ dir(1) ‖ base(8) ‖ len(8) ‖ base_seq(8).
+pub const STREAM_MAP_RECORD_LEN: usize = 29;
+
+/// Env-policy record: kind(1) ‖ addr(8) ‖ value_or_end(8).
+pub const ENV_POLICY_RECORD_LEN: usize = 17;
+
+/// Security incidents the SC records (the observable side of A1 drops and
+/// failed A2/A3 verification).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScAlert {
+    /// A packet was disallowed by the filter.
+    PacketBlocked {
+        /// Printable packet summary.
+        summary: String,
+    },
+    /// A2 decryption failed (missing tag, bad tag, or replay).
+    CryptFailure {
+        /// The affected stream.
+        stream: u32,
+        /// The affected sequence number.
+        seq: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An A3 write failed integrity or environment verification.
+    WriteProtectFailure {
+        /// Target address.
+        addr: u64,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A control access came from an unauthorized requester.
+    ControlAccessDenied {
+        /// The offending requester.
+        requester: String,
+    },
+}
+
+/// Operation counters priced by the performance model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScCounters {
+    /// TLPs processed in either direction.
+    pub packets_seen: u64,
+    /// TLPs blocked (A1 or failed verification).
+    pub packets_blocked: u64,
+    /// A2 chunks decrypted (H2D).
+    pub chunks_decrypted: u64,
+    /// A2 chunks encrypted (D2H).
+    pub chunks_encrypted: u64,
+    /// Control-window accesses handled.
+    pub control_accesses: u64,
+    /// Tag records received.
+    pub tags_received: u64,
+    /// Metadata batches pushed to the TVM buffer.
+    pub metadata_batches: u64,
+    /// Per-chunk metadata queries answered (non-optimized path).
+    pub metadata_queries: u64,
+}
+
+/// Configuration fixed at SC construction.
+#[derive(Debug, Clone)]
+pub struct ScConfig {
+    /// The SC's own BDF (it authors tag-landing/metadata DMA writes).
+    pub sc_bdf: Bdf,
+    /// Base address of the SC control window on the bus.
+    pub region_base: u64,
+    /// The authorized TVM requester.
+    pub tvm_bdf: Bdf,
+    /// The protected xPU's requester id.
+    pub xpu_bdf: Bdf,
+    /// Whether A3 MMIO writes require mirrored integrity tags.
+    pub mmio_integrity: bool,
+    /// Whether to push metadata batches to the TVM buffer (the §5
+    /// I/O-read optimization); off = the Adaptor polls
+    /// [`regs::METADATA_QUERY`] per chunk.
+    pub metadata_batching: bool,
+}
+
+/// Per-tenant security context: one per (TVM, xPU-or-VF) binding, keyed
+/// by PCIe identifiers (§9 "PCIe-SC for multiple xPUs and users").
+struct TenantCtx {
+    tvm_bdf: Bdf,
+    xpu_bdf: Bdf,
+    master: [u8; 32],
+    epoch: u32,
+    params: ParamsManager,
+    tags: TagManager,
+    tag_landing: Option<u64>,
+    tag_landing_cursor: u64,
+    metadata_buf: Option<u64>,
+    mmio_seq: u64,
+}
+
+impl TenantCtx {
+    fn new(tvm_bdf: Bdf, xpu_bdf: Bdf, master: [u8; 32]) -> TenantCtx {
+        let mut params = ParamsManager::new(WorkloadKeyManager::new(epoch_master(&master, 0)));
+        // The MMIO integrity stream exists from boot.
+        params.register_stream(MMIO_STREAM, StreamDirection::HostToDevice, 0..0, 0);
+        TenantCtx {
+            tvm_bdf,
+            xpu_bdf,
+            master,
+            epoch: 0,
+            params,
+            tags: TagManager::new(),
+            tag_landing: None,
+            tag_landing_cursor: 0,
+            metadata_buf: None,
+            mmio_seq: 0,
+        }
+    }
+
+    /// Destroys this task's keys and advances to the next epoch's
+    /// schedule (per-task keys, §6).
+    fn rekey_epoch(&mut self) {
+        self.params.destroy();
+        self.epoch += 1;
+        self.params =
+            ParamsManager::new(WorkloadKeyManager::new(epoch_master(&self.master, self.epoch)));
+        self.params
+            .register_stream(MMIO_STREAM, StreamDirection::HostToDevice, 0..0, 0);
+        self.tags.clear();
+    }
+}
+
+/// The PCIe Security Controller.
+pub struct PcieSc {
+    config: ScConfig,
+    filter: PacketFilter,
+    tenants: Vec<TenantCtx>,
+    engine: CryptoEngine,
+    env_guard: EnvGuard,
+    config_key: Key,
+    status: u64,
+    policy_staging: Vec<u8>,
+    policy_len: u64,
+    /// Outstanding device-issued reads: (requester, tag) → (addr, len).
+    outstanding_reads: HashMap<(u16, u8), (u64, u32)>,
+    counters: ScCounters,
+    reset_observed: bool,
+    alerts: Vec<ScAlert>,
+    /// Queued DMA writes the SC itself wants to issue upstream (tag
+    /// records, metadata batches); drained into upstream outcomes.
+    pending_host_writes: Vec<Tlp>,
+    expected_reset_addr: Option<u64>,
+}
+
+impl fmt::Debug for PcieSc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PcieSc")
+            .field("region_base", &format_args!("{:#x}", self.config.region_base))
+            .field("counters", &self.counters)
+            .field("alerts", &self.alerts.len())
+            .finish()
+    }
+}
+
+impl PcieSc {
+    /// Builds an SC from the post-attestation master secret. The config
+    /// key (for encrypted policy blobs) and all stream keys derive from
+    /// `master`, so an Adaptor seeded with the same secret agrees on
+    /// every parameter.
+    pub fn new(config: ScConfig, master: [u8; 32]) -> PcieSc {
+        let config_key =
+            Key::from_bytes(&hkdf(b"ccai-config-key", &master, b"policy", 16)).expect("16B key");
+        let primary = TenantCtx::new(config.tvm_bdf, config.xpu_bdf, master);
+        PcieSc {
+            config,
+            filter: PacketFilter::new(),
+            tenants: vec![primary],
+            engine: CryptoEngine::new(),
+            env_guard: EnvGuard::new(),
+            config_key,
+            status: 0,
+            policy_staging: vec![0; regs::POLICY_STAGING_LEN as usize],
+            policy_len: 0,
+            outstanding_reads: HashMap::new(),
+            counters: ScCounters::default(),
+            reset_observed: false,
+            alerts: Vec::new(),
+            pending_host_writes: Vec::new(),
+            expected_reset_addr: None,
+        }
+    }
+
+    /// Binds an additional tenant — a (TVM, xPU-or-virtual-function) pair
+    /// with its own attested master secret (§9 multi-user support). The
+    /// SC keys every security parameter on these PCIe identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TVM or xPU identifier is already bound.
+    pub fn add_tenant(&mut self, tvm_bdf: Bdf, xpu_bdf: Bdf, master: [u8; 32]) {
+        assert!(
+            !self.tenants.iter().any(|t| t.tvm_bdf == tvm_bdf || t.xpu_bdf == xpu_bdf),
+            "tenant identifiers already bound"
+        );
+        self.tenants.push(TenantCtx::new(tvm_bdf, xpu_bdf, master));
+    }
+
+    /// Number of bound tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    fn tenant_by_tvm(&self, bdf: Bdf) -> Option<usize> {
+        self.tenants.iter().position(|t| t.tvm_bdf == bdf)
+    }
+
+    fn tenant_by_xpu(&self, bdf: Bdf) -> Option<usize> {
+        self.tenants.iter().position(|t| t.xpu_bdf == bdf)
+    }
+
+    /// The SC's configuration.
+    pub fn config(&self) -> &ScConfig {
+        &self.config
+    }
+
+    /// Operation counters.
+    pub fn counters(&self) -> ScCounters {
+        self.counters
+    }
+
+    /// Filter statistics.
+    pub fn filter_stats(&self) -> crate::filter::FilterStats {
+        self.filter.stats()
+    }
+
+    /// Crypto engine statistics.
+    pub fn engine_stats(&self) -> crate::handler::EngineStats {
+        self.engine.stats()
+    }
+
+    /// Recorded security alerts.
+    pub fn alerts(&self) -> &[ScAlert] {
+        &self.alerts
+    }
+
+    /// Replays blocked by the anti-replay windows (all tenants).
+    pub fn replays_blocked(&self) -> u64 {
+        self.tenants.iter().map(|t| t.params.replays_blocked()).sum()
+    }
+
+    fn in_control_window(&self, addr: u64) -> bool {
+        (self.config.region_base..self.config.region_base + regs::WINDOW_LEN).contains(&addr)
+    }
+
+    // ---- control window ----
+
+    fn handle_control(&mut self, tlp: Tlp) -> InterposeOutcome {
+        let header = *tlp.header();
+        let Some(tenant) = self.tenant_by_tvm(header.requester()) else {
+            self.alerts.push(ScAlert::ControlAccessDenied {
+                requester: header.requester().to_string(),
+            });
+            self.counters.packets_blocked += 1;
+            return if header.tlp_type().is_read() {
+                InterposeOutcome::answer(Tlp::completion(
+                    self.config.sc_bdf,
+                    header.requester(),
+                    header.tag(),
+                    CplStatus::UnsupportedRequest,
+                ))
+            } else {
+                InterposeOutcome::drop_packet()
+            };
+        };
+        self.counters.control_accesses += 1;
+        let offset = header.address().expect("memory TLP") - self.config.region_base;
+        match header.tlp_type() {
+            TlpType::MemWrite => {
+                self.control_write(tenant, offset, tlp.payload());
+                InterposeOutcome::drop_packet() // absorbed, posted
+            }
+            TlpType::MemRead => {
+                let value = self.control_read(tenant, offset);
+                let len = (header.payload_len() as usize).min(8);
+                InterposeOutcome::answer(Tlp::completion_with_data(
+                    self.config.sc_bdf,
+                    header.requester(),
+                    header.tag(),
+                    value.to_le_bytes()[..len].to_vec(),
+                ))
+            }
+            _ => InterposeOutcome::drop_packet(),
+        }
+    }
+
+    fn control_write(&mut self, tenant: usize, offset: u64, payload: &[u8]) {
+        // Platform-level configuration (packet policy, environment
+        // policy) is reserved to the primary tenant; per-tenant registers
+        // act on the caller's own context.
+        let primary = tenant == 0;
+        match offset {
+            o if o < regs::POLICY_STAGING_LEN && primary => {
+                let end = (o as usize + payload.len()).min(self.policy_staging.len());
+                let n = end - o as usize;
+                self.policy_staging[o as usize..end].copy_from_slice(&payload[..n]);
+            }
+            regs::POLICY_LEN if primary => {
+                self.policy_len = read_u64(payload);
+            }
+            regs::POLICY_APPLY if primary => self.apply_policy(),
+            regs::ENV_POLICY if primary => self.register_env_policy(payload),
+            regs::TAG_LANDING_ADDR => {
+                let ctx = &mut self.tenants[tenant];
+                ctx.tag_landing = Some(read_u64(payload));
+                ctx.tag_landing_cursor = 0;
+            }
+            regs::METADATA_BUF_ADDR => {
+                self.tenants[tenant].metadata_buf = Some(read_u64(payload));
+            }
+            regs::STREAM_MAP => self.register_stream_record(tenant, payload),
+            regs::TAG_QUEUE => match TagRecord::parse_batch(payload) {
+                Some(records) => {
+                    self.counters.tags_received += records.len() as u64;
+                    self.tenants[tenant].tags.push_batch(records);
+                }
+                None => self.alerts.push(ScAlert::CryptFailure {
+                    stream: 0,
+                    seq: 0,
+                    reason: "malformed tag batch".to_string(),
+                }),
+            },
+            regs::NOTIFY => {
+                // Transfer announcement. With metadata batching the SC
+                // pushes one batch describing the upcoming chunks into the
+                // TVM's metadata buffer.
+                let chunks = read_u64(payload);
+                if self.config.metadata_batching {
+                    let ctx = &self.tenants[tenant];
+                    if let Some(buf) = ctx.metadata_buf {
+                        let mut batch = Vec::with_capacity(16);
+                        batch.extend_from_slice(&chunks.to_be_bytes());
+                        batch.extend_from_slice(&ctx.tag_landing_cursor.to_be_bytes());
+                        self.pending_host_writes.push(Tlp::memory_write(
+                            self.config.sc_bdf,
+                            buf,
+                            batch,
+                        ));
+                        self.counters.metadata_batches += 1;
+                    }
+                }
+            }
+            regs::TASK_END => {
+                self.tenants[tenant].rekey_epoch();
+                self.env_guard.request_reset();
+                if self.reset_observed {
+                    // The environment-cleaning reset already went through.
+                    self.reset_observed = false;
+                } else {
+                    self.status |= status_bits::ENV_CLEAN_PENDING;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn control_read(&mut self, tenant: usize, offset: u64) -> u64 {
+        match offset {
+            regs::STATUS => self.status,
+            regs::BLOCKED_COUNT => self.counters.packets_blocked,
+            regs::METADATA_QUERY => {
+                // Non-optimized path: the Adaptor polls this per chunk.
+                self.counters.metadata_queries += 1;
+                self.tenants[tenant].tag_landing_cursor
+            }
+            _ => 0,
+        }
+    }
+
+    fn apply_policy(&mut self) {
+        let len = (self.policy_len as usize).min(self.policy_staging.len());
+        let result = PolicyBlob::from_bytes(&self.policy_staging[..len])
+            .and_then(|blob| blob.unseal(&self.config_key));
+        match result {
+            Ok((l1, l2)) => {
+                self.filter.replace_tables(l1, l2);
+                self.status = (self.status | status_bits::POLICY_OK) & !status_bits::POLICY_ERR;
+            }
+            Err(_) => {
+                self.status = (self.status | status_bits::POLICY_ERR) & !status_bits::POLICY_OK;
+            }
+        }
+    }
+
+    fn register_stream_record(&mut self, tenant: usize, payload: &[u8]) {
+        if payload.len() != STREAM_MAP_RECORD_LEN {
+            return;
+        }
+        let stream = StreamId(u32::from_be_bytes(payload[..4].try_into().expect("4B")));
+        let direction = match payload[4] {
+            0 => StreamDirection::HostToDevice,
+            _ => StreamDirection::DeviceToHost,
+        };
+        let base = u64::from_be_bytes(payload[5..13].try_into().expect("8B"));
+        let len = u64::from_be_bytes(payload[13..21].try_into().expect("8B"));
+        let base_seq = u64::from_be_bytes(payload[21..29].try_into().expect("8B"));
+        self.tenants[tenant]
+            .params
+            .register_stream(stream, direction, base..base + len, base_seq);
+    }
+
+    fn register_env_policy(&mut self, payload: &[u8]) {
+        if payload.len() != ENV_POLICY_RECORD_LEN {
+            return;
+        }
+        let addr = u64::from_be_bytes(payload[1..9].try_into().expect("8B"));
+        let value_or_end = u64::from_be_bytes(payload[9..17].try_into().expect("8B"));
+        match payload[0] {
+            0 => self
+                .env_guard
+                .push_policy(MmioPolicy::AllowedWindow { range: addr..value_or_end }),
+            1 => self
+                .env_guard
+                .push_policy(MmioPolicy::ExpectedValue { addr, expected: value_or_end }),
+            2 => {
+                // Reset-register registration: seeing a write here clears
+                // the env-clean-pending latch.
+                self.expected_reset_addr = Some(addr);
+                self.env_guard
+                    .push_policy(MmioPolicy::AllowedWindow { range: addr..addr + 8 });
+            }
+            _ => {}
+        }
+    }
+
+    // ---- A2: decrypt H2D completions ----
+
+    fn decrypt_completion(&mut self, tenant: usize, tlp: Tlp, chunk: ChunkRef) -> InterposeOutcome {
+        if !self.tenants[tenant].params.mark_processed(chunk) {
+            self.alert_crypt(chunk, "replayed chunk");
+            return InterposeOutcome::drop_packet();
+        }
+        let Some(tag) = self.tenants[tenant].tags.take(chunk.stream, chunk.seq) else {
+            self.alert_crypt(chunk, "missing authentication tag");
+            return InterposeOutcome::drop_packet();
+        };
+        let Ok(key) = self.tenants[tenant].params.key(chunk.stream).cloned() else {
+            self.alert_crypt(chunk, "no key for stream");
+            return InterposeOutcome::drop_packet();
+        };
+        match self.engine.open_detached(&key, &chunk.nonce(), tlp.payload(), &tag, &chunk.aad())
+        {
+            Ok(plain) => {
+                self.counters.chunks_decrypted += 1;
+                InterposeOutcome::pass(tlp.with_payload(plain))
+            }
+            Err(()) => {
+                self.alert_crypt(chunk, "authentication failed");
+                InterposeOutcome::drop_packet()
+            }
+        }
+    }
+
+    fn alert_crypt(&mut self, chunk: ChunkRef, reason: &str) {
+        self.counters.packets_blocked += 1;
+        self.alerts.push(ScAlert::CryptFailure {
+            stream: chunk.stream.0,
+            seq: chunk.seq,
+            reason: reason.to_string(),
+        });
+    }
+
+    // ---- A2: encrypt D2H writes ----
+
+    fn encrypt_device_write(&mut self, tenant: usize, tlp: Tlp, chunk: ChunkRef) -> InterposeOutcome {
+        let Ok(key) = self.tenants[tenant].params.key(chunk.stream).cloned() else {
+            self.alert_crypt(chunk, "no key for stream");
+            return InterposeOutcome::drop_packet();
+        };
+        let (ct, tag) =
+            self.engine
+                .seal_detached(&key, &chunk.nonce(), tlp.payload(), &chunk.aad());
+        self.counters.chunks_encrypted += 1;
+        let mut outcome = InterposeOutcome::pass(tlp.with_payload(ct));
+        let ctx = &mut self.tenants[tenant];
+        if let Some(landing) = ctx.tag_landing {
+            let record = TagRecord { stream: chunk.stream, seq: chunk.seq, tag };
+            let addr = landing + ctx.tag_landing_cursor * crate::handler::TAG_RECORD_LEN as u64;
+            ctx.tag_landing_cursor += 1;
+            outcome.forward.push(Tlp::memory_write(
+                self.config.sc_bdf,
+                addr,
+                record.to_bytes().to_vec(),
+            ));
+        }
+        outcome
+    }
+
+    // ---- A3: verify write-protected MMIO ----
+
+    fn verify_protected_write(&mut self, tlp: Tlp) -> InterposeOutcome {
+        let header = *tlp.header();
+        let addr = header.address().expect("memory TLP");
+
+        // MMIO integrity is keyed per tenant: the write's requester names
+        // the TVM whose Adaptor mirrored the tag.
+        let Some(tenant) = self.tenant_by_tvm(header.requester()) else {
+            self.block_a3(addr, "write-protected MMIO from unbound requester");
+            return InterposeOutcome::drop_packet();
+        };
+        if self.config.mmio_integrity {
+            let ctx = &mut self.tenants[tenant];
+            let seq = ctx.mmio_seq;
+            ctx.mmio_seq += 1;
+            let chunk = ChunkRef { stream: MMIO_STREAM, seq };
+            let Some(tag) = ctx.tags.take(MMIO_STREAM, seq) else {
+                self.block_a3(addr, "missing MMIO integrity tag");
+                return InterposeOutcome::drop_packet();
+            };
+            let Ok(key) = self.tenants[tenant].params.key(MMIO_STREAM).cloned() else {
+                self.block_a3(addr, "no MMIO stream key");
+                return InterposeOutcome::drop_packet();
+            };
+            let mut signed = addr.to_be_bytes().to_vec();
+            signed.extend_from_slice(tlp.payload());
+            if !self.engine.verify_plain_tag(&key, &chunk.nonce(), &signed, &tag) {
+                self.block_a3(addr, "MMIO integrity tag mismatch");
+                return InterposeOutcome::drop_packet();
+            }
+        }
+
+        let value = read_u64(tlp.payload());
+        if let Err(violation) = self.env_guard.verify_write(addr, value) {
+            self.block_a3(addr, &violation.reason);
+            return InterposeOutcome::drop_packet();
+        }
+
+        if Some(addr) == self.expected_reset_addr {
+            // Environment reset observed: clear the pending latch.
+            self.reset_observed = true;
+            self.status &= !status_bits::ENV_CLEAN_PENDING;
+        }
+        InterposeOutcome::pass(tlp)
+    }
+
+    fn block_a3(&mut self, addr: u64, reason: &str) {
+        self.counters.packets_blocked += 1;
+        self.alerts.push(ScAlert::WriteProtectFailure {
+            addr,
+            reason: reason.to_string(),
+        });
+    }
+
+    fn block_a1(&mut self, tlp: &Tlp) -> InterposeOutcome {
+        self.counters.packets_blocked += 1;
+        self.alerts.push(ScAlert::PacketBlocked { summary: tlp.to_string() });
+        if tlp.header().tlp_type().is_read() {
+            InterposeOutcome::answer(Tlp::completion(
+                self.config.sc_bdf,
+                tlp.header().requester(),
+                tlp.header().tag(),
+                CplStatus::UnsupportedRequest,
+            ))
+        } else {
+            InterposeOutcome::drop_packet()
+        }
+    }
+}
+
+/// Derives the per-task-epoch master secret.
+pub fn epoch_master(master: &[u8; 32], epoch: u32) -> [u8; 32] {
+    let okm = hkdf(b"ccai-task-epoch", master, &epoch.to_be_bytes(), 32);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&okm);
+    out
+}
+
+fn read_u64(payload: &[u8]) -> u64 {
+    let mut bytes = [0u8; 8];
+    let n = payload.len().min(8);
+    bytes[..n].copy_from_slice(&payload[..n]);
+    u64::from_le_bytes(bytes)
+}
+
+impl Interposer for PcieSc {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn on_downstream(&mut self, tlp: Tlp) -> InterposeOutcome {
+        self.counters.packets_seen += 1;
+        let header = *tlp.header();
+
+        // The SC's own control window.
+        if let Some(addr) = header.address() {
+            if self.in_control_window(addr) {
+                return self.handle_control(tlp);
+            }
+        }
+
+        // Completions returning for device-issued DMA reads: match the
+        // outstanding request to learn the host address (completions do
+        // not carry one), then decrypt if it was a protected stream.
+        if header.tlp_type() == TlpType::CompletionData {
+            let ticket = (header.requester().to_u16(), header.tag());
+            if let Some((addr, _len)) = self.outstanding_reads.remove(&ticket) {
+                if let Some(tenant) = self.tenant_by_xpu(header.requester()) {
+                    if let Some(chunk) = self.tenants[tenant]
+                        .params
+                        .resolve(addr, StreamDirection::HostToDevice)
+                    {
+                        return self.decrypt_completion(tenant, tlp, chunk);
+                    }
+                }
+                return InterposeOutcome::pass(tlp); // plain DMA
+            }
+        }
+        if header.tlp_type() == TlpType::Completion {
+            return InterposeOutcome::pass(tlp);
+        }
+
+        match self.filter.classify(&header) {
+            SecurityAction::Disallow => self.block_a1(&tlp),
+            SecurityAction::CryptProtect => {
+                // Downstream A2 (aperture writes into sensitive device
+                // regions) is not part of the confidential flow; treat as
+                // a policy violation.
+                self.block_a1(&tlp)
+            }
+            SecurityAction::WriteProtect => self.verify_protected_write(tlp),
+            SecurityAction::PassThrough => InterposeOutcome::pass(tlp),
+        }
+    }
+
+    fn on_upstream(&mut self, tlp: Tlp) -> InterposeOutcome {
+        self.counters.packets_seen += 1;
+        let header = *tlp.header();
+
+        // Track device-issued reads so their completions can be matched.
+        if header.tlp_type() == TlpType::MemRead
+            && self.tenant_by_xpu(header.requester()).is_some()
+        {
+            if let Some(addr) = header.address() {
+                self.outstanding_reads.insert(
+                    (header.requester().to_u16(), header.tag()),
+                    (addr, header.payload_len()),
+                );
+            }
+        }
+
+        let mut outcome = match self.filter.classify(&header) {
+            SecurityAction::Disallow => self.block_a1(&tlp),
+            SecurityAction::CryptProtect => {
+                if header.tlp_type() == TlpType::MemWrite {
+                    let addr = header.address().expect("memory TLP");
+                    let resolved = self.tenant_by_xpu(header.requester()).and_then(|tenant| {
+                        self.tenants[tenant]
+                            .params
+                            .resolve(addr, StreamDirection::DeviceToHost)
+                            .map(|chunk| (tenant, chunk))
+                    });
+                    match resolved {
+                        Some((tenant, chunk)) => self.encrypt_device_write(tenant, tlp, chunk),
+                        None => self.block_a1(&tlp),
+                    }
+                } else {
+                    InterposeOutcome::pass(tlp)
+                }
+            }
+            SecurityAction::WriteProtect => self.verify_protected_write(tlp),
+            SecurityAction::PassThrough => InterposeOutcome::pass(tlp),
+        };
+        // Piggy-back any SC-originated host writes (metadata batches).
+        outcome.forward.append(&mut self.pending_host_writes);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{L1Rule, L2Rule};
+
+    fn tvm() -> Bdf {
+        Bdf::new(0, 2, 0)
+    }
+
+    fn xpu() -> Bdf {
+        Bdf::new(0x17, 0, 0)
+    }
+
+    fn sc_config() -> ScConfig {
+        ScConfig {
+            sc_bdf: Bdf::new(0x16, 0, 0),
+            region_base: 0x7F00_0000,
+            tvm_bdf: tvm(),
+            xpu_bdf: xpu(),
+            mmio_integrity: false,
+            metadata_batching: true,
+        }
+    }
+
+    fn sc_with_policy() -> PcieSc {
+        let mut sc = PcieSc::new(sc_config(), [0x42; 32]);
+        // Install a policy directly (the control-window path is covered
+        // by the adaptor integration tests).
+        let l1 = vec![
+            L1Rule::admit(TlpType::MemWrite, tvm()),
+            L1Rule::admit(TlpType::MemRead, tvm()),
+            L1Rule::admit(TlpType::MemRead, xpu()),
+            L1Rule::admit(TlpType::MemWrite, xpu()),
+            L1Rule::admit(TlpType::Message, xpu()),
+        ];
+        let l2 = vec![
+            L2Rule::for_range(
+                TlpType::MemWrite,
+                tvm(),
+                0x8000_0000..0x8010_0000,
+                SecurityAction::WriteProtect,
+            ),
+            L2Rule::for_range(
+                TlpType::MemRead,
+                tvm(),
+                0x8000_0000..0x9000_0000,
+                SecurityAction::PassThrough,
+            ),
+            L2Rule::for_type(TlpType::MemRead, xpu(), SecurityAction::PassThrough),
+            L2Rule::for_range(
+                TlpType::MemWrite,
+                xpu(),
+                0x2_0000..0x4_0000,
+                SecurityAction::CryptProtect,
+            ),
+            L2Rule::for_type(TlpType::Message, xpu(), SecurityAction::PassThrough),
+        ];
+        sc.filter.replace_tables(l1, l2);
+        sc.env_guard
+            .push_policy(MmioPolicy::AllowedWindow { range: 0x8000_0000..0x8010_0000 });
+        sc
+    }
+
+    #[test]
+    fn rogue_requester_blocked() {
+        let mut sc = sc_with_policy();
+        let rogue = Tlp::memory_write(Bdf::new(9, 9, 0), 0x8000_0000, vec![1]);
+        let outcome = sc.on_downstream(rogue);
+        assert!(outcome.forward.is_empty());
+        assert_eq!(sc.counters().packets_blocked, 1);
+        assert!(matches!(sc.alerts()[0], ScAlert::PacketBlocked { .. }));
+    }
+
+    #[test]
+    fn rogue_read_gets_ur_completion() {
+        let mut sc = sc_with_policy();
+        let rogue = Tlp::memory_read(Bdf::new(9, 9, 0), 0x8000_0000, 8, 3);
+        let outcome = sc.on_downstream(rogue);
+        assert_eq!(outcome.reply.len(), 1);
+        assert_eq!(
+            outcome.reply[0].header().cpl_status(),
+            Some(CplStatus::UnsupportedRequest)
+        );
+    }
+
+    #[test]
+    fn authorized_mmio_passes_a3() {
+        let mut sc = sc_with_policy();
+        let write = Tlp::memory_write(tvm(), 0x8000_0040, vec![1, 0, 0, 0, 0, 0, 0, 0]);
+        let outcome = sc.on_downstream(write);
+        assert_eq!(outcome.forward.len(), 1);
+        assert_eq!(sc.filter_stats().write_protected, 1);
+    }
+
+    #[test]
+    fn control_window_from_rogue_denied() {
+        let mut sc = sc_with_policy();
+        let write = Tlp::memory_write(
+            Bdf::new(9, 9, 0),
+            0x7F00_0000 + regs::TAG_LANDING_ADDR,
+            vec![0; 8],
+        );
+        let outcome = sc.on_downstream(write);
+        assert!(outcome.forward.is_empty());
+        assert!(matches!(sc.alerts()[0], ScAlert::ControlAccessDenied { .. }));
+        assert!(sc.tenants[0].tag_landing.is_none());
+    }
+
+    #[test]
+    fn control_window_registers_and_reads() {
+        let mut sc = sc_with_policy();
+        let base = 0x7F00_0000u64;
+        // Register tag landing.
+        sc.on_downstream(Tlp::memory_write(
+            tvm(),
+            base + regs::TAG_LANDING_ADDR,
+            0x12_3456u64.to_le_bytes().to_vec(),
+        ));
+        assert_eq!(sc.tenants[0].tag_landing, Some(0x12_3456));
+        // Read the status register.
+        let outcome = sc.on_downstream(Tlp::memory_read(tvm(), base + regs::STATUS, 8, 1));
+        assert_eq!(outcome.reply.len(), 1);
+    }
+
+    #[test]
+    fn policy_blob_installation_via_control_window() {
+        let config = sc_config();
+        let base = config.region_base;
+        let mut sc = PcieSc::new(config, [0x42; 32]);
+        // Build a blob under the same master-derived config key.
+        let config_key =
+            Key::from_bytes(&hkdf(b"ccai-config-key", &[0x42; 32], b"policy", 16)).unwrap();
+        let l1 = vec![L1Rule::admit(TlpType::Message, xpu())];
+        let l2 = vec![L2Rule::for_type(TlpType::Message, xpu(), SecurityAction::PassThrough)];
+        let blob = PolicyBlob::seal(&l1, &l2, &config_key, [5; 12]).to_bytes();
+
+        for (i, chunk) in blob.chunks(1024).enumerate() {
+            sc.on_downstream(Tlp::memory_write(
+                tvm(),
+                base + (i * 1024) as u64,
+                chunk.to_vec(),
+            ));
+        }
+        sc.on_downstream(Tlp::memory_write(
+            tvm(),
+            base + regs::POLICY_LEN,
+            (blob.len() as u64).to_le_bytes().to_vec(),
+        ));
+        sc.on_downstream(Tlp::memory_write(
+            tvm(),
+            base + regs::POLICY_APPLY,
+            vec![1, 0, 0, 0, 0, 0, 0, 0],
+        ));
+        assert_eq!(sc.status & status_bits::POLICY_OK, status_bits::POLICY_OK);
+        // The new policy admits xPU messages.
+        let outcome = sc.on_upstream(Tlp::message(xpu(), 0x20));
+        assert_eq!(outcome.forward.len(), 1);
+    }
+
+    #[test]
+    fn corrupted_policy_blob_flagged() {
+        let config = sc_config();
+        let base = config.region_base;
+        let mut sc = PcieSc::new(config, [0x42; 32]);
+        sc.on_downstream(Tlp::memory_write(tvm(), base, vec![0xFF; 64]));
+        sc.on_downstream(Tlp::memory_write(
+            tvm(),
+            base + regs::POLICY_LEN,
+            64u64.to_le_bytes().to_vec(),
+        ));
+        sc.on_downstream(Tlp::memory_write(tvm(), base + regs::POLICY_APPLY, vec![1]));
+        assert_eq!(sc.status & status_bits::POLICY_ERR, status_bits::POLICY_ERR);
+    }
+
+    #[test]
+    fn h2d_completion_decryption_round_trip() {
+        let mut sc = sc_with_policy();
+        // Register an H2D stream covering host range 0x1_0000..0x2_0000.
+        sc.tenants[0].params.register_stream(
+            StreamId(1),
+            StreamDirection::HostToDevice,
+            0x1_0000..0x2_0000,
+            0,
+        );
+        // Adaptor-side encryption of one chunk.
+        let key = sc.tenants[0].params.key(StreamId(1)).unwrap().clone();
+        let chunk = ChunkRef { stream: StreamId(1), seq: 0 };
+        let mut adaptor_engine = CryptoEngine::new();
+        let plaintext = vec![0x5A; 4096];
+        let (ct, tag) =
+            adaptor_engine.seal_detached(&key, &chunk.nonce(), &plaintext, &chunk.aad());
+        sc.tenants[0].tags.push(TagRecord { stream: StreamId(1), seq: 0, tag });
+
+        // Device issues the read...
+        let read = Tlp::memory_read(xpu(), 0x1_0000, 4096, 9);
+        let outcome = sc.on_upstream(read);
+        assert_eq!(outcome.forward.len(), 1, "read request forwarded");
+
+        // ...and the RC answers with ciphertext.
+        let cpl = Tlp::completion_with_data(Bdf::new(0, 0, 0), xpu(), 9, ct);
+        let outcome = sc.on_downstream(cpl);
+        assert_eq!(outcome.forward.len(), 1);
+        assert_eq!(outcome.forward[0].payload(), plaintext, "device sees plaintext");
+        assert_eq!(sc.counters().chunks_decrypted, 1);
+    }
+
+    #[test]
+    fn h2d_missing_tag_blocks() {
+        let mut sc = sc_with_policy();
+        sc.tenants[0].params.register_stream(
+            StreamId(1),
+            StreamDirection::HostToDevice,
+            0x1_0000..0x2_0000,
+            0,
+        );
+        let read = Tlp::memory_read(xpu(), 0x1_0000, 64, 1);
+        sc.on_upstream(read);
+        let cpl = Tlp::completion_with_data(Bdf::new(0, 0, 0), xpu(), 1, vec![0; 64]);
+        let outcome = sc.on_downstream(cpl);
+        assert!(outcome.forward.is_empty());
+        assert!(matches!(
+            sc.alerts().last().unwrap(),
+            ScAlert::CryptFailure { reason, .. } if reason.contains("missing")
+        ));
+    }
+
+    #[test]
+    fn d2h_write_encrypted_with_tag_record() {
+        let mut sc = sc_with_policy();
+        sc.tenants[0].params.register_stream(
+            StreamId(2),
+            StreamDirection::DeviceToHost,
+            0x2_0000..0x4_0000,
+            0,
+        );
+        sc.tenants[0].tag_landing = Some(0x9_0000);
+        let secret = vec![0xA1; 256];
+        let write = Tlp::memory_write(xpu(), 0x2_0000, secret.clone());
+        let outcome = sc.on_upstream(write);
+        assert_eq!(outcome.forward.len(), 2, "ciphertext + tag record");
+        assert_ne!(outcome.forward[0].payload(), secret, "payload encrypted");
+        assert_eq!(outcome.forward[0].payload().len(), secret.len());
+        assert_eq!(outcome.forward[1].header().address(), Some(0x9_0000));
+        assert_eq!(outcome.forward[1].payload().len(), crate::handler::TAG_RECORD_LEN);
+        assert_eq!(sc.counters().chunks_encrypted, 1);
+    }
+
+    #[test]
+    fn replayed_completion_blocked() {
+        let mut sc = sc_with_policy();
+        sc.tenants[0].params.register_stream(
+            StreamId(1),
+            StreamDirection::HostToDevice,
+            0x1_0000..0x2_0000,
+            0,
+        );
+        let key = sc.tenants[0].params.key(StreamId(1)).unwrap().clone();
+        let chunk = ChunkRef { stream: StreamId(1), seq: 0 };
+        let mut engine = CryptoEngine::new();
+        let (ct, tag) = engine.seal_detached(&key, &chunk.nonce(), &[1; 64], &chunk.aad());
+        sc.tenants[0].tags.push(TagRecord { stream: StreamId(1), seq: 0, tag });
+        sc.tenants[0].tags.push(TagRecord { stream: StreamId(1), seq: 0, tag });
+
+        for round in 0..2 {
+            let read = Tlp::memory_read(xpu(), 0x1_0000, 64, round);
+            sc.on_upstream(read);
+            let cpl =
+                Tlp::completion_with_data(Bdf::new(0, 0, 0), xpu(), round, ct.clone());
+            let outcome = sc.on_downstream(cpl);
+            if round == 0 {
+                assert_eq!(outcome.forward.len(), 1);
+            } else {
+                assert!(outcome.forward.is_empty(), "replay must be blocked");
+            }
+        }
+        assert_eq!(sc.replays_blocked(), 1);
+    }
+
+    #[test]
+    fn env_guard_blocks_bad_register_value() {
+        let mut sc = sc_with_policy();
+        sc.env_guard.push_policy(MmioPolicy::ExpectedValue {
+            addr: 0x8000_0100,
+            expected: 0xAB,
+        });
+        let good = Tlp::memory_write(tvm(), 0x8000_0100, 0xABu64.to_le_bytes().to_vec());
+        assert_eq!(sc.on_downstream(good).forward.len(), 1);
+        let bad = Tlp::memory_write(tvm(), 0x8000_0100, 0xCDu64.to_le_bytes().to_vec());
+        assert!(sc.on_downstream(bad).forward.is_empty());
+        assert!(matches!(
+            sc.alerts().last().unwrap(),
+            ScAlert::WriteProtectFailure { .. }
+        ));
+    }
+
+    #[test]
+    fn task_end_destroys_keys_and_latches_cleanup() {
+        let mut sc = sc_with_policy();
+        let base = 0x7F00_0000u64;
+        sc.tenants[0].params.register_stream(
+            StreamId(1),
+            StreamDirection::HostToDevice,
+            0x1_0000..0x2_0000,
+            0,
+        );
+        sc.on_downstream(Tlp::memory_write(tvm(), base + regs::TASK_END, vec![1]));
+        assert!(sc.tenants[0].params.key(StreamId(1)).is_err(), "keys destroyed");
+        assert_ne!(sc.status & status_bits::ENV_CLEAN_PENDING, 0);
+    }
+}

@@ -1,0 +1,395 @@
+//! FIPS-197 AES block cipher (128- and 256-bit keys).
+//!
+//! A straightforward table-free implementation: the S-box is computed once
+//! at first use, rounds operate on the 4×4 column-major state. GCM only
+//! needs the forward cipher, but the inverse cipher is provided as well for
+//! completeness and for the equal-inverse tests.
+
+use serde::{Deserialize, Serialize};
+
+/// AES block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+/// An AES key of either supported width.
+///
+/// The paper's prototype uses AES-128 (§7.1); 256-bit keys are provided for
+/// deployments that prefer the larger margin.
+#[derive(Clone, Serialize, Deserialize)]
+pub enum Key {
+    /// 128-bit key (10 rounds).
+    Aes128([u8; 16]),
+    /// 256-bit key (14 rounds).
+    Aes256([u8; 32]),
+}
+
+impl Key {
+    /// Key length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Key::Aes128(_) => 16,
+            Key::Aes256(_) => 32,
+        }
+    }
+
+    /// Always false; keys are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Raw key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Key::Aes128(k) => k,
+            Key::Aes256(k) => k,
+        }
+    }
+
+    /// Builds a key from a byte slice of length 16 or 32.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Key> {
+        match bytes.len() {
+            16 => {
+                let mut k = [0u8; 16];
+                k.copy_from_slice(bytes);
+                Some(Key::Aes128(k))
+            }
+            32 => {
+                let mut k = [0u8; 32];
+                k.copy_from_slice(bytes);
+                Some(Key::Aes256(k))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        match self {
+            Key::Aes128(_) => write!(f, "Key::Aes128(<redacted>)"),
+            Key::Aes256(_) => write!(f, "Key::Aes256(<redacted>)"),
+        }
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        crate::ct::ct_eq(self.as_bytes(), other.as_bytes())
+    }
+}
+impl Eq for Key {}
+
+/// S-box and inverse S-box, computed from the field inverse + affine map.
+#[allow(clippy::needless_range_loop)] // index arithmetic mirrors FIPS-197
+fn sboxes() -> ([u8; 256], [u8; 256]) {
+    // Multiplicative inverse in GF(2^8) via 3 as generator.
+    let mut pow = [0u8; 256];
+    let mut log = [0u8; 256];
+    let mut x: u8 = 1;
+    for i in 0..255 {
+        pow[i] = x;
+        log[x as usize] = i as u8;
+        // multiply x by 3 (generator) in GF(2^8)
+        x = x ^ xtime(x);
+    }
+    pow[255] = pow[0];
+    let inv = |a: u8| -> u8 {
+        if a == 0 {
+            0
+        } else {
+            pow[(255 - log[a as usize] as usize) % 255]
+        }
+    };
+    let mut sbox = [0u8; 256];
+    let mut inv_sbox = [0u8; 256];
+    for a in 0..256usize {
+        let b = inv(a as u8);
+        let s = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+        sbox[a] = s;
+        inv_sbox[s as usize] = a as u8;
+    }
+    (sbox, inv_sbox)
+}
+
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (((a >> 7) & 1) * 0x1b)
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES cipher instance.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aes")
+            .field("rounds", &(self.round_keys.len() - 1))
+            .finish()
+    }
+}
+
+impl Aes {
+    /// Expands `key` into round keys.
+    pub fn new(key: &Key) -> Aes {
+        let (sbox, inv_sbox) = sboxes();
+        let kb = key.as_bytes();
+        let nk = kb.len() / 4; // 4 or 8
+        let rounds = nk + 6; // 10 or 14
+        let total_words = 4 * (rounds + 1);
+
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([kb[4 * i], kb[4 * i + 1], kb[4 * i + 2], kb[4 * i + 3]]);
+        }
+        let mut rcon: u8 = 1;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+
+        let round_keys = (0..=rounds)
+            .map(|r| {
+                let mut rk = [0u8; 16];
+                for c in 0..4 {
+                    rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                }
+                rk
+            })
+            .collect();
+
+        Aes { round_keys, sbox, inv_sbox }
+    }
+
+    /// Number of rounds (10 for AES-128, 14 for AES-256).
+    pub fn rounds(&self) -> usize {
+        self.round_keys.len() - 1
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let rounds = self.rounds();
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..rounds {
+            self.sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        self.sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[rounds]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let rounds = self.rounds();
+        add_round_key(block, &self.round_keys[rounds]);
+        for r in (1..rounds).rev() {
+            inv_shift_rows(block);
+            self.inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        self.inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    fn sub_bytes(&self, b: &mut [u8; 16]) {
+        for x in b.iter_mut() {
+            *x = self.sbox[*x as usize];
+        }
+    }
+
+    fn inv_sub_bytes(&self, b: &mut [u8; 16]) {
+        for x in b.iter_mut() {
+            *x = self.inv_sbox[*x as usize];
+        }
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+/// State layout is column-major: byte `state[4c + r]` is row r, column c.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[4 * c + 1] =
+            gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[4 * c + 2] =
+            gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[4 * c + 3] =
+            gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS-197 Appendix C.1
+        let key = Key::from_bytes(&hex("000102030405060708090a0b0c0d0e0f")).unwrap();
+        let aes = Aes::new(&key);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&hex("00112233445566778899aabbccddeeff"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        // FIPS-197 Appendix C.3
+        let key = Key::from_bytes(&hex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        ))
+        .unwrap();
+        let aes = Aes::new(&key);
+        assert_eq!(aes.rounds(), 14);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&hex("00112233445566778899aabbccddeeff"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn sp800_38a_ecb_vector() {
+        // NIST SP 800-38A F.1.1 ECB-AES128 block #1
+        let key = Key::from_bytes(&hex("2b7e151628aed2a6abf7158809cf4f3c")).unwrap();
+        let aes = Aes::new(&key);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&hex("6bc1bee22e409f96e93d7e117393172a"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3ad77bb40d7a3660a89ecaf32466ef97"));
+    }
+
+    #[test]
+    fn round_trip_random_blocks() {
+        let key = Key::Aes128([0xA5; 16]);
+        let aes = Aes::new(&key);
+        for seed in 0u8..32 {
+            let mut block = [seed; 16];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = b.wrapping_mul(31).wrapping_add(i as u8);
+            }
+            let original = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, original);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn key_from_bytes_validates_length() {
+        assert!(Key::from_bytes(&[0u8; 16]).is_some());
+        assert!(Key::from_bytes(&[0u8; 32]).is_some());
+        assert!(Key::from_bytes(&[0u8; 24]).is_none()); // AES-192 unsupported
+        assert!(Key::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn debug_never_leaks_key_material() {
+        let key = Key::Aes128([0xEE; 16]);
+        let dbg = format!("{key:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains("238")); // 0xEE
+        assert!(!dbg.to_lowercase().contains("ee"), "{dbg}");
+    }
+
+    #[test]
+    fn sbox_matches_known_entries() {
+        let (sbox, inv_sbox) = sboxes();
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7c);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(inv_sbox[0x63], 0x00);
+        for i in 0..256 {
+            assert_eq!(inv_sbox[sbox[i] as usize] as usize, i);
+        }
+    }
+}

@@ -1,0 +1,715 @@
+//! Arbitrary-precision unsigned integers with Montgomery modular
+//! arithmetic.
+//!
+//! Just enough bignum for the trust-establishment protocols: comparison,
+//! add/sub/mul, binary division, and odd-modulus Montgomery exponentiation
+//! (CIOS), plus Miller–Rabin primality testing used to derive deterministic
+//! simulation groups.
+//!
+//! Limbs are 64-bit, little-endian, and always normalized (no high zero
+//! limbs except for the canonical zero, which has no limbs).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl BigUint {
+    /// The value 0 (no limbs).
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Parses a big-endian hex string (whitespace ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters.
+    pub fn from_hex(s: &str) -> Self {
+        let clean: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        let mut bytes = Vec::with_capacity(clean.len() / 2 + 1);
+        let padded = if clean.len() % 2 == 1 {
+            format!("0{clean}")
+        } else {
+            clean
+        };
+        for i in (0..padded.len()).step_by(2) {
+            bytes.push(
+                u8::from_str_radix(&padded[i..i + 2], 16).expect("invalid hex digit"),
+            );
+        }
+        Self::from_bytes_be(&bytes)
+    }
+
+    /// Big-endian hex encoding without leading zeros ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+
+    /// Constructs from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Big-endian byte encoding without leading zero bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            let bytes = limb.to_be_bytes();
+            if i == 0 {
+                let skip = bytes.iter().take_while(|&&b| b == 0).count();
+                out.extend_from_slice(&bytes[skip..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (LSB = bit 0).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 64)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// Addition.
+    #[allow(clippy::needless_range_loop)] // limb index pairs two arrays
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow (`other > self`).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by one bit.
+    pub fn shl1(&self) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            out.push((l << 1) | carry);
+            carry = l >> 63;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by one bit.
+    pub fn shr1(&self) -> BigUint {
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut carry = 0u64;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            out[i] = (l >> 1) | (carry << 63);
+            carry = l & 1;
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Binary long division: returns `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        let bits = self.bit_len();
+        let mut quotient_limbs = vec![0u64; self.limbs.len()];
+        let mut rem = BigUint::zero();
+        for i in (0..bits).rev() {
+            rem = rem.shl1();
+            if self.bit(i) {
+                rem = rem.add(&BigUint::one());
+            }
+            if &rem >= divisor {
+                rem = rem.sub(divisor);
+                quotient_limbs[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let mut q = BigUint { limbs: quotient_limbs };
+        q.normalize();
+        (q, rem)
+    }
+
+    /// `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular exponentiation `self^exp mod modulus` via Montgomery
+    /// multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even or < 3 (Montgomery requires odd moduli).
+    pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        let ctx = Montgomery::new(modulus.clone());
+        ctx.pow(self, exp)
+    }
+
+    /// Deterministic Miller–Rabin primality test.
+    ///
+    /// Uses the first 16 prime bases — deterministic for all 64-bit inputs
+    /// and overwhelmingly accurate for larger ones (error < 4^-16).
+    pub fn is_probable_prime(&self) -> bool {
+        const SMALL_PRIMES: [u64; 16] =
+            [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+        if self.bit_len() <= 6 {
+            let v = self.limbs.first().copied().unwrap_or(0);
+            return SMALL_PRIMES.contains(&v) || (v > 53 && {
+                // tiny fallback for values 54..63
+                (2..v).all(|d| v % d != 0)
+            });
+        }
+        // Quick small-factor sieve.
+        for &p in &SMALL_PRIMES {
+            let (_, r) = self.div_rem(&BigUint::from(p));
+            if r.is_zero() {
+                return false;
+            }
+        }
+        if !self.is_odd() {
+            return false;
+        }
+        // self - 1 = d * 2^s
+        let n_minus_1 = self.sub(&BigUint::one());
+        let mut d = n_minus_1.clone();
+        let mut s = 0u32;
+        while !d.is_odd() {
+            d = d.shr1();
+            s += 1;
+        }
+        let ctx = Montgomery::new(self.clone());
+        'witness: for &a in &SMALL_PRIMES {
+            let a = BigUint::from(a);
+            if &a >= self {
+                continue;
+            }
+            let mut x = ctx.pow(&a, &d);
+            if x == BigUint::one() || x == n_minus_1 {
+                continue;
+            }
+            for _ in 0..s.saturating_sub(1) {
+                x = ctx.mul_mod(&x, &x);
+                if x == n_minus_1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+/// Montgomery arithmetic context for an odd modulus.
+#[derive(Clone)]
+pub struct Montgomery {
+    n: BigUint,
+    n0_inv: u64, // -n^{-1} mod 2^64
+    r2: Vec<u64>, // R^2 mod n, padded to k limbs
+    k: usize,
+}
+
+impl fmt::Debug for Montgomery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Montgomery")
+            .field("modulus_bits", &self.n.bit_len())
+            .finish()
+    }
+}
+
+impl Montgomery {
+    /// Creates a context for `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is even or less than 3.
+    pub fn new(modulus: BigUint) -> Self {
+        assert!(modulus.is_odd(), "Montgomery modulus must be odd");
+        assert!(modulus > BigUint::from(2u64), "Montgomery modulus must be >= 3");
+        let k = modulus.limbs.len();
+        // n0_inv = -n^{-1} mod 2^64, via Newton iteration.
+        let n0 = modulus.limbs[0];
+        let mut inv = n0; // correct mod 2^3 for odd n0? start with n0 works: n0*n0 ≡ 1 mod 8
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        // R^2 mod n by 2·64·k doublings of 1 mod n.
+        let mut r2 = BigUint::one();
+        for _ in 0..(2 * 64 * k) {
+            r2 = r2.shl1();
+            if r2 >= modulus {
+                r2 = r2.sub(&modulus);
+            }
+        }
+        let mut r2_limbs = r2.limbs;
+        r2_limbs.resize(k, 0);
+
+        Montgomery { n: modulus, n0_inv, r2: r2_limbs, k }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// CIOS Montgomery multiplication of k-limb operands.
+    #[allow(clippy::needless_range_loop)] // CIOS indexing per the algorithm
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        let n = &self.n.limbs;
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = t[j] as u128 + (a[i] as u128) * (b[j] as u128) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+            // m = t[0] * n0_inv mod 2^64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            // t += m * n; then shift right one limb
+            let s = t[0] as u128 + (m as u128) * (n[0] as u128);
+            let mut carry = s >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + (m as u128) * (n[j] as u128) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + ((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // Conditional subtract of n.
+        let mut result: Vec<u64> = t[..k].to_vec();
+        let overflow = t[k] != 0;
+        let ge_n = overflow || {
+            let mut ge = true; // compare result with n (both k limbs)
+            for j in (0..k).rev() {
+                match result[j].cmp(&n[j]) {
+                    Ordering::Greater => break,
+                    Ordering::Less => {
+                        ge = false;
+                        break;
+                    }
+                    Ordering::Equal => continue,
+                }
+            }
+            ge
+        };
+        if ge_n {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d1, b1) = result[j].overflowing_sub(n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                result[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        }
+        result
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn to_limbs(&self, a: &BigUint) -> Vec<u64> {
+        let reduced = if a >= &self.n { a.rem(&self.n) } else { a.clone() };
+        let mut limbs = reduced.limbs;
+        limbs.resize(self.k, 0);
+        limbs
+    }
+
+    /// Modular multiplication `a * b mod n` (handles conversion in/out of
+    /// Montgomery form).
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.mont_mul(&self.to_limbs(a), &self.r2);
+        let bm = self.mont_mul(&self.to_limbs(b), &self.r2);
+        let prod_m = self.mont_mul(&am, &bm);
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        let prod = self.mont_mul(&prod_m, &one);
+        let mut out = BigUint { limbs: prod };
+        out.normalize();
+        out
+    }
+
+    /// Modular exponentiation `base^exp mod n`.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let mut one_limbs = vec![0u64; self.k];
+        one_limbs[0] = 1;
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.n);
+        }
+        let base_m = self.mont_mul(&self.to_limbs(base), &self.r2);
+        // acc = 1 in Montgomery form = R mod n = mont_mul(1, R^2)
+        let mut acc = self.mont_mul(&one_limbs, &self.r2);
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        let out_limbs = self.mont_mul(&acc, &one_limbs);
+        let mut out = BigUint { limbs: out_limbs };
+        out.normalize();
+        out
+    }
+
+    /// Modular addition `a + b mod n`.
+    pub fn add_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let a = if a >= &self.n { a.rem(&self.n) } else { a.clone() };
+        let b = if b >= &self.n { b.rem(&self.n) } else { b.clone() };
+        let mut s = a.add(&b);
+        if s >= self.n {
+            s = s.sub(&self.n);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            let n = BigUint::from_hex(s);
+            assert_eq!(n.to_hex(), s.trim_start_matches('0').to_lowercase().to_string().pipe_if_empty("0"));
+        }
+    }
+
+    trait PipeIfEmpty {
+        fn pipe_if_empty(self, default: &str) -> String;
+    }
+    impl PipeIfEmpty for String {
+        fn pipe_if_empty(self, default: &str) -> String {
+            if self.is_empty() {
+                default.to_string()
+            } else {
+                self
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let n = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(n.to_bytes_be(), vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 5]).to_bytes_be(), vec![5]);
+        assert!(BigUint::from_bytes_be(&[]).is_zero());
+    }
+
+    #[test]
+    fn comparison() {
+        let a = BigUint::from_hex("ffffffffffffffff"); // 2^64-1
+        let b = BigUint::from_hex("10000000000000000"); // 2^64
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a, a.clone());
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = BigUint::from_hex("ffffffffffffffffffffffffffffffff");
+        let b = BigUint::from_hex("123456789abcdef");
+        let s = a.add(&b);
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigUint::from_hex("ffffffffffffffff");
+        let one = BigUint::one();
+        assert_eq!(a.add(&one).to_hex(), "10000000000000000");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::one().sub(&BigUint::from(2u64));
+    }
+
+    #[test]
+    fn mul_known_values() {
+        let a = BigUint::from_hex("ffffffffffffffff");
+        let sq = a.mul(&a);
+        assert_eq!(sq.to_hex(), "fffffffffffffffe0000000000000001");
+        assert!(BigUint::zero().mul(&a).is_zero());
+        assert_eq!(BigUint::one().mul(&a), a);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_hex("8000000000000000");
+        assert_eq!(a.shl1().to_hex(), "10000000000000000");
+        assert_eq!(a.shl1().shr1(), a);
+        assert_eq!(BigUint::one().shr1(), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_basics() {
+        let a = BigUint::from_hex("deadbeefcafebabe0123456789abcdef");
+        let d = BigUint::from_hex("fedcba987654321");
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r < d);
+        // divide by larger
+        let (q2, r2) = d.div_rem(&a);
+        assert!(q2.is_zero());
+        assert_eq!(r2, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_small_values() {
+        // 3^4 mod 7 = 81 mod 7 = 4
+        let r = BigUint::from(3u64).modpow(&BigUint::from(4u64), &BigUint::from(7u64));
+        assert_eq!(r, BigUint::from(4u64));
+        // Fermat: 2^(p-1) mod p = 1 for p = 101
+        let p = BigUint::from(101u64);
+        let r = BigUint::from(2u64).modpow(&BigUint::from(100u64), &p);
+        assert_eq!(r, BigUint::one());
+        // x^0 = 1
+        let r = BigUint::from(5u64).modpow(&BigUint::zero(), &p);
+        assert_eq!(r, BigUint::one());
+    }
+
+    #[test]
+    fn modpow_multi_limb() {
+        // Fermat test with a known 128-bit prime: 2^127 - 1 (Mersenne).
+        let p = BigUint::from_hex("7fffffffffffffffffffffffffffffff");
+        let e = p.sub(&BigUint::one());
+        let r = BigUint::from(3u64).modpow(&e, &p);
+        assert_eq!(r, BigUint::one());
+    }
+
+    #[test]
+    fn mul_mod_matches_div_rem() {
+        let n = BigUint::from_hex("c000000000000000000000000000000000000000000000000000000000000045");
+        let ctx = Montgomery::new(n.clone());
+        let a = BigUint::from_hex("123456789abcdef0fedcba9876543210aaaaaaaaaaaaaaaa5555555555555555");
+        let b = BigUint::from_hex("99999999999999991111111111111111eeeeeeeeeeeeeeee7777777777777777");
+        let expected = a.mul(&b).rem(&n);
+        assert_eq!(ctx.mul_mod(&a, &b), expected);
+    }
+
+    #[test]
+    fn add_mod_wraps() {
+        let n = BigUint::from(13u64);
+        let ctx = Montgomery::new(n);
+        assert_eq!(ctx.add_mod(&BigUint::from(7u64), &BigUint::from(9u64)), BigUint::from(3u64));
+        assert_eq!(ctx.add_mod(&BigUint::from(20u64), &BigUint::from(20u64)), BigUint::from(1u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn montgomery_rejects_even_modulus() {
+        let _ = Montgomery::new(BigUint::from(100u64));
+    }
+
+    #[test]
+    fn miller_rabin_known_values() {
+        for p in [2u64, 3, 5, 53, 101, 65537, 4294967311] {
+            assert!(BigUint::from(p).is_probable_prime(), "{p} should be prime");
+        }
+        for c in [1u64, 4, 100, 65536, 4294967297 /* F5 = 641*6700417 */] {
+            assert!(!BigUint::from(c).is_probable_prime(), "{c} should be composite");
+        }
+        // Carmichael number 561 = 3·11·17 must be rejected.
+        assert!(!BigUint::from(561u64).is_probable_prime());
+        // Mersenne prime 2^127-1.
+        assert!(BigUint::from_hex("7fffffffffffffffffffffffffffffff").is_probable_prime());
+        // 2^128+1 is composite.
+        assert!(!BigUint::from_hex("100000000000000000000000000000001").is_probable_prime());
+    }
+}

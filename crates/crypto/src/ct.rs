@@ -1,0 +1,82 @@
+//! Constant-time comparison helpers.
+//!
+//! Tag and key comparisons must not leak timing information. These helpers
+//! accumulate a difference mask over the full length rather than returning
+//! early.
+
+/// Constant-time equality over byte slices.
+///
+/// Slices of different length compare unequal (the length check itself is
+/// not secret). For equal lengths the comparison touches every byte.
+///
+/// # Example
+///
+/// ```
+/// assert!(ccai_crypto::ct::ct_eq(b"tag", b"tag"));
+/// assert!(!ccai_crypto::ct::ct_eq(b"tag", b"tab"));
+/// assert!(!ccai_crypto::ct::ct_eq(b"tag", b"tagg"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Constant-time conditional select of bytes: returns `a` if `choice` is
+/// true, `b` otherwise, without branching on `choice` per byte.
+///
+/// # Panics
+///
+/// Panics if slices differ in length.
+pub fn ct_select(choice: bool, a: &[u8], b: &[u8]) -> Vec<u8> {
+    assert_eq!(a.len(), b.len(), "ct_select requires equal lengths");
+    let mask = (choice as u8).wrapping_neg(); // 0xFF or 0x00
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x & mask) | (y & !mask))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[1, 2], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn eq_detects_single_bit_flip_anywhere() {
+        let a = vec![0xAAu8; 64];
+        for i in 0..64 {
+            for bit in 0..8 {
+                let mut b = a.clone();
+                b[i] ^= 1 << bit;
+                assert!(!ct_eq(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn select_picks_correctly() {
+        let a = [1u8, 2, 3];
+        let b = [9u8, 8, 7];
+        assert_eq!(ct_select(true, &a, &b), vec![1, 2, 3]);
+        assert_eq!(ct_select(false, &a, &b), vec![9, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn select_rejects_mismatched_lengths() {
+        let _ = ct_select(true, &[1], &[1, 2]);
+    }
+}

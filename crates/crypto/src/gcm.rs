@@ -1,0 +1,339 @@
+//! NIST SP 800-38D Galois/Counter Mode over AES.
+//!
+//! GCM provides the A2 security action of the Packet Handler (Table 1):
+//! confidentiality *and* integrity for sensitive PCIe packet payloads. The
+//! prototype parameters (§7.2) are mirrored here: 96-bit nonce concatenated
+//! with a 32-bit counter, and a 128-bit authentication tag.
+
+use crate::aes::{Aes, Key};
+use crate::ct::ct_eq;
+use std::fmt;
+
+/// Authentication tag length in bytes (128-bit tags, as in the prototype).
+pub const TAG_LEN: usize = 16;
+
+/// Nonce length in bytes (96-bit nonces; the remaining 32 bits of the IV
+/// are the GCM block counter).
+pub const NONCE_LEN: usize = 12;
+
+/// Error returned when authenticated decryption fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenError;
+
+impl fmt::Display for OpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "authentication tag mismatch")
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// Multiplication in GF(2^128) with the GCM reduction polynomial.
+///
+/// Operands and result use GCM's bit-reflected big-endian convention.
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z: u128 = 0;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+/// GHASH universal hash keyed by `h`.
+#[derive(Clone)]
+struct GHash {
+    h: u128,
+    acc: u128,
+}
+
+impl GHash {
+    fn new(h: u128) -> Self {
+        GHash { h, acc: 0 }
+    }
+
+    /// Absorbs `data`, zero-padding the final partial block.
+    fn update(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.acc = gf_mul(self.acc ^ u128::from_be_bytes(block), self.h);
+        }
+    }
+
+    /// Absorbs the 64-bit lengths block and produces the hash.
+    fn finalize(mut self, aad_len: usize, ct_len: usize) -> u128 {
+        let lengths =
+            ((aad_len as u128 * 8) << 64) | (ct_len as u128 * 8);
+        self.acc = gf_mul(self.acc ^ lengths, self.h);
+        self.acc
+    }
+}
+
+/// AES-GCM authenticated encryption.
+///
+/// # Example
+///
+/// ```
+/// use ccai_crypto::{AesGcm, Key};
+///
+/// let gcm = AesGcm::new(&Key::Aes128([1; 16]));
+/// let ct = gcm.seal(&[2; 12], b"secret", b"aad");
+/// assert_eq!(gcm.open(&[2; 12], &ct, b"aad").unwrap(), b"secret");
+/// assert!(gcm.open(&[2; 12], &ct, b"bad aad").is_err());
+/// ```
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    h: u128,
+}
+
+impl fmt::Debug for AesGcm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AesGcm").field("aes", &self.aes).finish()
+    }
+}
+
+impl AesGcm {
+    /// Creates a GCM instance from an AES key.
+    pub fn new(key: &Key) -> AesGcm {
+        let aes = Aes::new(key);
+        let mut h_block = [0u8; 16];
+        aes.encrypt_block(&mut h_block);
+        AesGcm { aes, h: u128::from_be_bytes(h_block) }
+    }
+
+    fn counter_block(nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..12].copy_from_slice(nonce);
+        block[12..].copy_from_slice(&counter.to_be_bytes());
+        block
+    }
+
+    fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+        let mut counter = 2u32; // counter 1 is reserved for the tag
+        for chunk in data.chunks_mut(16) {
+            let mut keystream = Self::counter_block(nonce, counter);
+            self.aes.encrypt_block(&mut keystream);
+            for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
+                *d ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], ciphertext: &[u8], aad: &[u8]) -> [u8; TAG_LEN] {
+        let mut ghash = GHash::new(self.h);
+        ghash.update(aad);
+        ghash.update(ciphertext);
+        let s = ghash.finalize(aad.len(), ciphertext.len());
+        let mut e0 = Self::counter_block(nonce, 1);
+        self.aes.encrypt_block(&mut e0);
+        (s ^ u128::from_be_bytes(e0)).to_be_bytes()
+    }
+
+    /// Encrypts `plaintext`, binding `aad`; returns `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        self.ctr_xor(nonce, &mut out);
+        let tag = self.tag(nonce, &out, aad);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `ciphertext || tag` produced by [`AesGcm::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenError`] if the input is shorter than a tag or if the
+    /// authentication tag does not verify (wrong key, nonce, AAD, or a
+    /// tampered ciphertext). No plaintext is released on failure.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        sealed: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, OpenError> {
+        if sealed.len() < TAG_LEN {
+            return Err(OpenError);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.tag(nonce, ciphertext, aad);
+        if !ct_eq(&expected, tag) {
+            return Err(OpenError);
+        }
+        let mut out = ciphertext.to_vec();
+        self.ctr_xor(nonce, &mut out);
+        Ok(out)
+    }
+
+    /// Computes only the authentication tag over `data` (used for the A3
+    /// "integrity check (plain)" action where the payload stays cleartext).
+    pub fn tag_only(&self, nonce: &[u8; NONCE_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+        self.tag(nonce, &[], data)
+    }
+
+    /// Verifies a tag produced by [`AesGcm::tag_only`].
+    pub fn verify_tag_only(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        data: &[u8],
+        tag: &[u8; TAG_LEN],
+    ) -> bool {
+        ct_eq(&self.tag_only(nonce, data), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn nonce(bytes: &[u8]) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        n.copy_from_slice(bytes);
+        n
+    }
+
+    /// McGrew–Viega GCM spec test case 1: empty plaintext, zero key.
+    #[test]
+    fn gcm_test_case_1() {
+        let gcm = AesGcm::new(&Key::Aes128([0; 16]));
+        let sealed = gcm.seal(&[0u8; 12], b"", b"");
+        assert_eq!(sealed, hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    /// GCM spec test case 2: single zero block.
+    #[test]
+    fn gcm_test_case_2() {
+        let gcm = AesGcm::new(&Key::Aes128([0; 16]));
+        let sealed = gcm.seal(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(
+            sealed,
+            hex("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")
+        );
+    }
+
+    /// Cross-implementation vector: the McGrew–Viega TC4 key/IV/AAD with a
+    /// 56-byte plaintext (partial final block), independently computed with
+    /// the `cryptography` (OpenSSL-backed) reference implementation.
+    #[test]
+    fn gcm_cross_impl_partial_block_with_aad() {
+        let key = Key::from_bytes(&hex("feffe9928665731c6d6a8f9467308308")).unwrap();
+        let gcm = AesGcm::new(&key);
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aee8b16d4fa4c",
+        );
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let sealed = gcm.seal(&nonce(&hex("cafebabefacedbaddecaf888")), &pt, &aad);
+        let (ct, tag) = sealed.split_at(sealed.len() - 16);
+        assert_eq!(
+            ct.to_vec(),
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30847d6d3b08c"
+            )
+        );
+        assert_eq!(tag.to_vec(), hex("a446f3f1b5da810b5ae7653a4520861d"));
+        assert_eq!(gcm.open(&nonce(&hex("cafebabefacedbaddecaf888")), &sealed, &aad).unwrap(), pt);
+    }
+
+    /// Cross-implementation AES-256-GCM vector (OpenSSL-backed reference).
+    #[test]
+    fn gcm_cross_impl_aes256() {
+        let mut key_bytes = [0u8; 32];
+        for (i, b) in key_bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let gcm = AesGcm::new(&Key::Aes256(key_bytes));
+        let sealed = gcm.seal(
+            &nonce(&hex("101112131415161718191a1b")),
+            b"ccAI cross-implementation vector",
+            b"hdr",
+        );
+        assert_eq!(
+            sealed,
+            hex(
+                "1e9dd95f69aa48dcb906257462090536ba35207a7ab63ede89d994023d203ba9\
+                 6bc2bb79522c0ae2f9fb22031c300a90"
+            )
+        );
+    }
+
+    #[test]
+    fn round_trip_various_sizes() {
+        let gcm = AesGcm::new(&Key::Aes256([0x33; 32]));
+        let n = [9u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 100, 4096] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let sealed = gcm.seal(&n, &pt, b"hdr");
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(gcm.open(&n, &sealed, b"hdr").unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tamper_detection_every_byte() {
+        let gcm = AesGcm::new(&Key::Aes128([0x11; 16]));
+        let n = [3u8; 12];
+        let sealed = gcm.seal(&n, b"sensitive model weights", b"");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x80;
+            assert!(gcm.open(&n, &bad, b"").is_err(), "tamper at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn wrong_nonce_or_key_fails() {
+        let gcm = AesGcm::new(&Key::Aes128([0x11; 16]));
+        let sealed = gcm.seal(&[1u8; 12], b"payload", b"");
+        assert!(gcm.open(&[2u8; 12], &sealed, b"").is_err());
+        let other = AesGcm::new(&Key::Aes128([0x12; 16]));
+        assert!(other.open(&[1u8; 12], &sealed, b"").is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let gcm = AesGcm::new(&Key::Aes128([0; 16]));
+        assert_eq!(gcm.open(&[0u8; 12], &[0u8; 15], b""), Err(OpenError));
+    }
+
+    #[test]
+    fn tag_only_integrity() {
+        let gcm = AesGcm::new(&Key::Aes128([0x77; 16]));
+        let n = [5u8; 12];
+        let tag = gcm.tag_only(&n, b"mmio command");
+        assert!(gcm.verify_tag_only(&n, b"mmio command", &tag));
+        assert!(!gcm.verify_tag_only(&n, b"mmio commane", &tag));
+        assert!(!gcm.verify_tag_only(&[6u8; 12], b"mmio command", &tag));
+    }
+
+    #[test]
+    fn gf_mul_identity_and_commutativity() {
+        // Multiplication by the polynomial "1" (MSB-first: 0x80...00).
+        let one: u128 = 1 << 127;
+        for x in [0x1234_5678u128, u128::MAX, 1u128 << 127, 3u128] {
+            assert_eq!(gf_mul(x, one), x);
+            assert_eq!(gf_mul(one, x), x);
+        }
+        let a = 0xdeadbeef_12345678_90abcdef_55aa55aau128;
+        let b = 0x0f0e0d0c_0b0a0908_07060504_03020100u128;
+        assert_eq!(gf_mul(a, b), gf_mul(b, a));
+    }
+}

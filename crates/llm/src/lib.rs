@@ -1,0 +1,50 @@
+//! LLM workload models for the ccAI evaluation (§8).
+//!
+//! The paper evaluates ccAI by running LLM inference (OPT-1.3b through
+//! Babel-83b) on five xPUs and measuring E2E latency, tokens/second and
+//! time-to-first-token, with and without protection. This crate models
+//! those workloads:
+//!
+//! * [`catalog`] — the nine evaluated models with their public parameters
+//!   (size, quantization, hidden width, vocabulary, layer count) and the
+//!   calibrated serving-efficiency factors;
+//! * [`workload`] — an inference request (input/output tokens, batch)
+//!   decomposed into prefill and decode phases with their transfer
+//!   profiles;
+//! * [`kv_cache`] — KV-cache sizing and the Fig. 12b swapping model;
+//! * [`metrics`] — E2E / TPS / TTFT measurements and overhead helpers;
+//! * [`harness`] — runs a workload against a device + protection mode
+//!   using the `ccai-core` performance model, producing the numbers every
+//!   §8 figure plots;
+//! * [`prompts`] — the deterministic ShareGPT-like prompt-length
+//!   generator used by the KV-cache stress test.
+//!
+//! # Example
+//!
+//! ```
+//! use ccai_llm::{harness, catalog::LlmSpec, workload::InferenceWorkload};
+//! use ccai_xpu::XpuSpec;
+//!
+//! let workload = InferenceWorkload::chat(LlmSpec::llama2_7b(), 512, 1);
+//! let vanilla = harness::run(&workload, &XpuSpec::a100(), harness::Mode::Vanilla);
+//! let ccai = harness::run(&workload, &XpuSpec::a100(), harness::Mode::ccai());
+//! let overhead = ccai.e2e_overhead_vs(&vanilla);
+//! assert!(overhead > 0.0 && overhead < 0.06, "overhead {overhead}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod harness;
+pub mod kv_cache;
+pub mod metrics;
+pub mod prompts;
+pub mod workload;
+
+pub use catalog::LlmSpec;
+pub use harness::{run, Mode};
+pub use kv_cache::KvCache;
+pub use metrics::Metrics;
+pub use prompts::PromptGenerator;
+pub use workload::InferenceWorkload;

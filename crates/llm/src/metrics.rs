@@ -1,0 +1,97 @@
+//! The three evaluation metrics of §8.3.
+//!
+//! Following NVIDIA's LLM benchmarking guidelines (as the paper does):
+//! end-to-end latency, tokens per second, and time to first token.
+
+use ccai_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One measured run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// End-to-end latency: total time to answer the request.
+    pub e2e: SimDuration,
+    /// Time to first token (prefill completion).
+    pub ttft: SimDuration,
+    /// Total tokens generated across the batch.
+    pub total_tokens: u64,
+}
+
+impl Metrics {
+    /// Output tokens per second.
+    pub fn tps(&self) -> f64 {
+        self.total_tokens as f64 / self.e2e.as_secs_f64()
+    }
+
+    /// Fractional E2E latency overhead of `self` relative to `baseline`
+    /// (positive = slower).
+    pub fn e2e_overhead_vs(&self, baseline: &Metrics) -> f64 {
+        (self.e2e.as_secs_f64() - baseline.e2e.as_secs_f64())
+            / baseline.e2e.as_secs_f64()
+    }
+
+    /// Fractional TTFT overhead relative to `baseline`.
+    pub fn ttft_overhead_vs(&self, baseline: &Metrics) -> f64 {
+        (self.ttft.as_secs_f64() - baseline.ttft.as_secs_f64())
+            / baseline.ttft.as_secs_f64()
+    }
+
+    /// Fractional TPS *loss* relative to `baseline` (positive = fewer
+    /// tokens/s).
+    pub fn tps_loss_vs(&self, baseline: &Metrics) -> f64 {
+        (baseline.tps() - self.tps()) / baseline.tps()
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "E2E={} TTFT={} TPS={:.1}",
+            self.e2e,
+            self.ttft,
+            self.tps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(e2e_ms: u64, ttft_ms: u64, tokens: u64) -> Metrics {
+        Metrics {
+            e2e: SimDuration::from_millis(e2e_ms),
+            ttft: SimDuration::from_millis(ttft_ms),
+            total_tokens: tokens,
+        }
+    }
+
+    #[test]
+    fn tps_is_tokens_over_e2e() {
+        let m = metrics(2_000, 100, 500);
+        assert!((m.tps() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overheads_are_signed_fractions() {
+        let base = metrics(1_000, 100, 100);
+        let slower = metrics(1_050, 110, 100);
+        assert!((slower.e2e_overhead_vs(&base) - 0.05).abs() < 1e-12);
+        assert!((slower.ttft_overhead_vs(&base) - 0.10).abs() < 1e-12);
+        assert!(slower.tps_loss_vs(&base) > 0.0);
+        // Symmetric check: faster run has negative overhead.
+        assert!(base.e2e_overhead_vs(&slower) < 0.0);
+    }
+
+    #[test]
+    fn tps_loss_mirrors_e2e_overhead_for_fixed_tokens() {
+        // With identical token counts, TPS loss = overhead/(1+overhead).
+        let base = metrics(10_000, 100, 1000);
+        let ccai = metrics(10_500, 100, 1000);
+        let overhead = ccai.e2e_overhead_vs(&base);
+        let loss = ccai.tps_loss_vs(&base);
+        assert!((loss - overhead / (1.0 + overhead)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Inference workloads: prefill + decode decomposition.
+//!
+//! §8.3 fixes the model and varies two inputs: **tokens** (the length of
+//! the generation, which drives the decode-step count) and **batch**
+//! (questions asked at once). A workload expands into phase timings and
+//! the per-phase transfer profiles the security model prices.
+
+use crate::catalog::LlmSpec;
+use ccai_core::perf::TransferProfile;
+use ccai_sim::SimDuration;
+use ccai_xpu::XpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Fixed framework launch overhead before the first prefill kernel.
+pub const LAUNCH_OVERHEAD: SimDuration = SimDuration::from_millis(80);
+
+/// Batch size at which decode kernels stop being fully latency-bound and
+/// step time begins to grow (the Fig. 8b knee).
+pub const BATCH_KNEE: f64 = 24.0;
+
+/// Exponent of step-time growth beyond the knee (sub-linear: bigger
+/// batches amortize weight sweeps).
+pub const BATCH_EXPONENT: f64 = 0.75;
+
+/// Driver kernel launches per decode step per layer (MMIO doorbells).
+pub const LAUNCHES_PER_LAYER: u64 = 3;
+
+/// One inference request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceWorkload {
+    /// The model served.
+    pub model: LlmSpec,
+    /// Input prompt length in tokens.
+    pub input_tokens: u32,
+    /// Output tokens generated (decode steps).
+    pub output_tokens: u32,
+    /// Concurrent questions.
+    pub batch: u32,
+}
+
+impl InferenceWorkload {
+    /// A chat workload in the paper's configuration style: the token
+    /// parameter drives generation length, with a short prompt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` or `batch` is zero.
+    pub fn chat(model: LlmSpec, tokens: u32, batch: u32) -> InferenceWorkload {
+        assert!(tokens > 0, "need at least one token");
+        assert!(batch > 0, "need at least one sequence");
+        InferenceWorkload {
+            model,
+            input_tokens: (tokens / 4).max(16),
+            output_tokens: tokens,
+            batch,
+        }
+    }
+
+    /// Fully explicit construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    pub fn new(
+        model: LlmSpec,
+        input_tokens: u32,
+        output_tokens: u32,
+        batch: u32,
+    ) -> InferenceWorkload {
+        assert!(input_tokens > 0 && output_tokens > 0 && batch > 0);
+        InferenceWorkload { model, input_tokens, output_tokens, batch }
+    }
+
+    /// Decode step time on `device` for this batch size.
+    ///
+    /// Decode is memory-bandwidth-bound — each token sweeps the weights
+    /// once — so the single-sequence step is `weights / (bw × eff)`;
+    /// batches below [`BATCH_KNEE`] ride along for free, larger ones grow
+    /// sub-linearly.
+    pub fn step_time(&self, device: &XpuSpec) -> SimDuration {
+        let sweep = self.model.weights_bytes() as f64
+            / (device.memory_bandwidth().bytes_per_sec() * self.model.decode_efficiency());
+        let batch_factor = (self.batch as f64 / BATCH_KNEE).max(1.0).powf(BATCH_EXPONENT);
+        SimDuration::from_secs_f64(sweep * batch_factor)
+    }
+
+    /// Prefill time on `device`: launch overhead plus compute
+    /// proportional to prompt length and parameter count.
+    pub fn prefill_time(&self, device: &XpuSpec) -> SimDuration {
+        // ~2·P FLOPs per token at modest prefill efficiency, normalized to
+        // the device's tensor throughput.
+        let flops = 2.0 * self.model.params_b() * 1e9 * self.input_tokens as f64
+            * self.batch as f64;
+        let rate = device.compute_rate().bytes_per_sec() * 0.12;
+        LAUNCH_OVERHEAD + SimDuration::from_secs_f64(flops / rate)
+    }
+
+    /// The prefill phase's transfer profile (prompt upload).
+    pub fn prefill_profile(&self) -> TransferProfile {
+        TransferProfile {
+            h2d_bytes: self.input_tokens as u64 * self.model.hidden() * 2 * self.batch as u64,
+            d2h_bytes: 0,
+            bulk_d2h_bytes: 0,
+            driver_mmio_writes: self.model.layers() * LAUNCHES_PER_LAYER,
+            driver_mmio_reads: 2,
+        }
+    }
+
+    /// One decode step's transfer profile (working set up, logits +
+    /// bookkeeping down).
+    pub fn step_profile(&self) -> TransferProfile {
+        TransferProfile {
+            h2d_bytes: self.model.step_h2d_bytes(),
+            d2h_bytes: self.model.logits_bytes(self.batch) + self.model.step_extra_d2h_bytes(),
+            bulk_d2h_bytes: 0,
+            driver_mmio_writes: self.model.layers() * LAUNCHES_PER_LAYER,
+            driver_mmio_reads: 2,
+        }
+    }
+
+    /// Total generated tokens (`output_tokens × batch`).
+    pub fn total_tokens(&self) -> u64 {
+        self.output_tokens as u64 * self.batch as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100() -> XpuSpec {
+        XpuSpec::a100()
+    }
+
+    #[test]
+    fn llama7b_step_time_matches_calibration() {
+        // ~28 ms per token on A100 at batch 1 (≈35 tok/s serving).
+        let w = InferenceWorkload::chat(LlmSpec::llama2_7b(), 128, 1);
+        let step = w.step_time(&a100()).as_secs_f64();
+        assert!((0.025..0.032).contains(&step), "step {step}");
+    }
+
+    #[test]
+    fn step_time_flat_below_knee_then_grows() {
+        let base = InferenceWorkload::chat(LlmSpec::llama2_7b(), 128, 1);
+        let at_12 = InferenceWorkload::chat(LlmSpec::llama2_7b(), 128, 12);
+        let at_96 = InferenceWorkload::chat(LlmSpec::llama2_7b(), 128, 96);
+        let t1 = base.step_time(&a100());
+        assert_eq!(t1, at_12.step_time(&a100()), "free batching below the knee");
+        let t96 = at_96.step_time(&a100());
+        let ratio = t96.as_secs_f64() / t1.as_secs_f64();
+        assert!(ratio > 1.5 && ratio < 4.0, "sub-linear growth, got {ratio}");
+    }
+
+    #[test]
+    fn heavier_models_step_slower() {
+        let light = InferenceWorkload::chat(LlmSpec::opt_1_3b(), 128, 1);
+        let heavy = InferenceWorkload::chat(LlmSpec::deepseek_r1_32b(), 128, 1);
+        assert!(heavy.step_time(&a100()) > light.step_time(&a100()) * 5);
+    }
+
+    #[test]
+    fn slower_devices_step_slower() {
+        let w = InferenceWorkload::chat(LlmSpec::opt_1_3b(), 128, 1);
+        assert!(w.step_time(&XpuSpec::t4()) > w.step_time(&a100()) * 3);
+    }
+
+    #[test]
+    fn prefill_grows_with_prompt() {
+        let short = InferenceWorkload::new(LlmSpec::llama2_7b(), 64, 1, 1);
+        let long = InferenceWorkload::new(LlmSpec::llama2_7b(), 2048, 1, 1);
+        let t_short = short.prefill_time(&a100());
+        let t_long = long.prefill_time(&a100());
+        assert!(t_long > t_short);
+        // Calibration: ~0.1 s at 64 tokens, ~0.9 s at 2048 (Fig. 8e).
+        assert!((0.08..0.15).contains(&t_short.as_secs_f64()), "{t_short}");
+        assert!((0.6..1.2).contains(&t_long.as_secs_f64()), "{t_long}");
+    }
+
+    #[test]
+    fn profiles_scale_sensibly() {
+        let small = InferenceWorkload::chat(LlmSpec::llama2_7b(), 128, 1);
+        let big = InferenceWorkload::chat(LlmSpec::llama2_7b(), 128, 96);
+        assert!(big.step_profile().d2h_bytes > 50 * small.step_profile().d2h_bytes);
+        assert_eq!(
+            small.step_profile().driver_mmio_writes,
+            32 * LAUNCHES_PER_LAYER
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "token")]
+    fn zero_tokens_rejected() {
+        let _ = InferenceWorkload::chat(LlmSpec::llama2_7b(), 0, 1);
+    }
+}

@@ -1,0 +1,608 @@
+//! Root complex + switch fabric with interposer slots and bus taps.
+//!
+//! The fabric is the meeting point of ccAI's architecture (Fig. 3):
+//!
+//! * the **host** (TVM / untrusted software) submits TLPs downstream;
+//! * each **port** holds one endpoint ([`crate::PcieDevice`]);
+//! * a port may carry an [`Interposer`] — a component that sees every TLP
+//!   in both directions and may pass, transform, answer, or drop it. The
+//!   PCIe-SC is implemented as an interposer in `ccai-core`;
+//! * passive **taps** observe (but cannot modify) all traffic on the
+//!   shared bus segment — this is where the §2.2 snooping adversary sits.
+//!   Note taps see traffic *between* host and interposer, i.e. the
+//!   physically exposed PCIe link; the interposer→device segment is the
+//!   internal PCIe connection inside the sealed chassis (§6 Sealing).
+
+use crate::device::{HostMemory, PcieDevice};
+use crate::tlp::{CplStatus, Tlp, TlpType};
+use crate::Bdf;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a fabric port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u8);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// What an interposer decided to do with a TLP.
+#[derive(Debug, Default)]
+pub struct InterposeOutcome {
+    /// TLPs to forward onward in the original direction.
+    pub forward: Vec<Tlp>,
+    /// TLPs to send back in the opposite direction (e.g. completions the
+    /// interposer itself generates for its own MMIO registers).
+    pub reply: Vec<Tlp>,
+}
+
+impl InterposeOutcome {
+    /// Passes the packet through untouched.
+    pub fn pass(tlp: Tlp) -> Self {
+        InterposeOutcome { forward: vec![tlp], reply: Vec::new() }
+    }
+
+    /// Drops the packet silently.
+    pub fn drop_packet() -> Self {
+        InterposeOutcome::default()
+    }
+
+    /// Answers the packet directly without forwarding.
+    pub fn answer(reply: Tlp) -> Self {
+        InterposeOutcome { forward: Vec::new(), reply: vec![reply] }
+    }
+}
+
+/// A component interposed between the bus and one port's endpoint.
+pub trait Interposer: fmt::Debug {
+    /// A TLP travelling downstream (bus → device).
+    fn on_downstream(&mut self, tlp: Tlp) -> InterposeOutcome;
+
+    /// A TLP travelling upstream (device → bus).
+    fn on_upstream(&mut self, tlp: Tlp) -> InterposeOutcome;
+
+    /// Downcasting support so owners can inspect concrete interposer
+    /// state (counters, alerts) while it lives in the fabric.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A passive observer of the exposed bus segment.
+pub trait BusTap: fmt::Debug {
+    /// Observes a TLP. `downstream` is true for host→device traffic.
+    fn observe(&mut self, tlp: &Tlp, downstream: bool);
+}
+
+/// An *active* attacker on the exposed bus segment: may modify or drop
+/// packets in flight (§2.2 tampering/deletion attacks). Applied after the
+/// taps, before the interposer.
+pub trait WireAttack: fmt::Debug {
+    /// Returns the (possibly mangled) packet, or `None` to delete it.
+    fn mangle(&mut self, tlp: Tlp, downstream: bool) -> Option<Tlp>;
+}
+
+struct Port {
+    device: Box<dyn PcieDevice>,
+    interposer: Option<Box<dyn Interposer>>,
+}
+
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Port")
+            .field("device", &self.device)
+            .field("interposed", &self.interposer.is_some())
+            .finish()
+    }
+}
+
+/// The PCIe fabric: root complex, switch, ports, interposers and taps.
+///
+/// Routing is by address range for memory requests (BAR windows registered
+/// with [`Fabric::map_range`]) and by BDF for completions and config
+/// requests.
+#[derive(Debug, Default)]
+pub struct Fabric {
+    ports: HashMap<PortId, Port>,
+    address_map: Vec<(std::ops::Range<u64>, PortId)>,
+    bdf_map: HashMap<Bdf, PortId>,
+    taps: Vec<Box<dyn BusTap>>,
+    wire_attack: Option<Box<dyn WireAttack>>,
+    /// Interrupt/other messages delivered to the host.
+    host_inbox: Vec<Tlp>,
+}
+
+impl Fabric {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Fabric::default()
+    }
+
+    /// Attaches a device to `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already occupied or the device's BDF is
+    /// already attached.
+    pub fn attach(&mut self, port: PortId, device: Box<dyn PcieDevice>) {
+        assert!(!self.ports.contains_key(&port), "{port} already occupied");
+        let bdf = device.bdf();
+        assert!(
+            !self.bdf_map.contains_key(&bdf),
+            "device {bdf} already attached"
+        );
+        self.bdf_map.insert(bdf, port);
+        self.ports.insert(port, Port { device, interposer: None });
+    }
+
+    /// Installs an interposer in front of `port`'s endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is empty or already interposed.
+    pub fn interpose(&mut self, port: PortId, interposer: Box<dyn Interposer>) {
+        let entry = self.ports.get_mut(&port).expect("port not attached");
+        assert!(entry.interposer.is_none(), "{port} already interposed");
+        entry.interposer = Some(interposer);
+    }
+
+    /// Removes and returns the interposer at `port`, if any.
+    pub fn remove_interposer(&mut self, port: PortId) -> Option<Box<dyn Interposer>> {
+        self.ports.get_mut(&port).and_then(|p| p.interposer.take())
+    }
+
+    /// Borrows the interposer at `port`, if any.
+    pub fn interposer(&self, port: PortId) -> Option<&dyn Interposer> {
+        self.ports.get(&port).and_then(|p| p.interposer.as_deref())
+    }
+
+    /// Mutably borrows the interposer at `port`, if any.
+    pub fn interposer_mut(&mut self, port: PortId) -> Option<&mut (dyn Interposer + 'static)> {
+        match self.ports.get_mut(&port) {
+            Some(p) => match &mut p.interposer {
+                Some(ip) => Some(ip.as_mut()),
+                None => None,
+            },
+            None => None,
+        }
+    }
+
+    /// Adds a passive bus tap.
+    pub fn add_tap(&mut self, tap: Box<dyn BusTap>) {
+        self.taps.push(tap);
+    }
+
+    /// Removes all taps, returning them (so tests can inspect captures).
+    pub fn take_taps(&mut self) -> Vec<Box<dyn BusTap>> {
+        std::mem::take(&mut self.taps)
+    }
+
+    /// Installs an active wire attacker on the exposed segment.
+    pub fn set_wire_attack(&mut self, attack: Box<dyn WireAttack>) {
+        self.wire_attack = Some(attack);
+    }
+
+    /// Removes the wire attacker.
+    pub fn clear_wire_attack(&mut self) -> Option<Box<dyn WireAttack>> {
+        self.wire_attack.take()
+    }
+
+    fn wire(&mut self, tlp: Tlp, downstream: bool) -> Option<Tlp> {
+        self.tap_all(&tlp, downstream);
+        match &mut self.wire_attack {
+            Some(attack) => attack.mangle(tlp, downstream),
+            None => Some(tlp),
+        }
+    }
+
+    /// Maps an additional BDF (e.g. a virtual function of a multi-tenant
+    /// device, §9) to a port for ID-routed traffic (config cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BDF is already mapped.
+    pub fn map_bdf(&mut self, bdf: Bdf, port: PortId) {
+        assert!(!self.bdf_map.contains_key(&bdf), "BDF {bdf} already mapped");
+        self.bdf_map.insert(bdf, port);
+    }
+
+    /// Maps a host address range to a port (a BAR window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or overlaps an existing window.
+    pub fn map_range(&mut self, range: std::ops::Range<u64>, port: PortId) {
+        assert!(range.start < range.end, "empty address range");
+        for (existing, _) in &self.address_map {
+            assert!(
+                range.end <= existing.start || range.start >= existing.end,
+                "address range overlap"
+            );
+        }
+        self.address_map.push((range, port));
+    }
+
+    /// Borrows the device at `port` for inspection.
+    pub fn device(&self, port: PortId) -> Option<&dyn PcieDevice> {
+        self.ports.get(&port).map(|p| p.device.as_ref())
+    }
+
+    /// Mutably borrows the device at `port`.
+    pub fn device_mut(&mut self, port: PortId) -> Option<&mut (dyn PcieDevice + '_)> {
+        match self.ports.get_mut(&port) {
+            Some(p) => Some(p.device.as_mut()),
+            None => None,
+        }
+    }
+
+    /// Messages (e.g. interrupts) that reached the host since the last
+    /// call.
+    pub fn drain_host_inbox(&mut self) -> Vec<Tlp> {
+        std::mem::take(&mut self.host_inbox)
+    }
+
+    fn route(&self, tlp: &Tlp) -> Option<PortId> {
+        let header = tlp.header();
+        match header.tlp_type() {
+            TlpType::MemRead | TlpType::MemWrite | TlpType::IoRead | TlpType::IoWrite => {
+                let addr = header.address().expect("memory/io TLP has address");
+                self.address_map
+                    .iter()
+                    .find(|(range, _)| range.contains(&addr))
+                    .map(|(_, port)| *port)
+            }
+            TlpType::CfgRead | TlpType::CfgWrite => {
+                header.completer().and_then(|bdf| self.bdf_map.get(&bdf).copied())
+            }
+            TlpType::Completion | TlpType::CompletionData => {
+                self.bdf_map.get(&header.requester()).copied()
+            }
+            TlpType::Message => None, // broadcast/host-routed
+        }
+    }
+
+    fn tap_all(&mut self, tlp: &Tlp, downstream: bool) {
+        for tap in &mut self.taps {
+            tap.observe(tlp, downstream);
+        }
+    }
+
+    /// Submits a host-originated request and returns the responses that
+    /// made it back to the host (completions, or nothing for posted
+    /// writes and filtered packets).
+    pub fn host_request(&mut self, tlp: Tlp) -> Vec<Tlp> {
+        let Some(tlp) = self.wire(tlp, true) else {
+            return Vec::new(); // deleted on the wire
+        };
+        let Some(port_id) = self.route(&tlp) else {
+            // Unroutable: master abort — synthesize UR completion for
+            // non-posted requests.
+            return unsupported_request_reply(&tlp);
+        };
+        let mut to_host = Vec::new();
+
+        // Downstream through the interposer.
+        let port = self.ports.get_mut(&port_id).expect("routed port exists");
+        let (to_device, replies) = match &mut port.interposer {
+            Some(ip) => {
+                let outcome = ip.on_downstream(tlp);
+                (outcome.forward, outcome.reply)
+            }
+            None => (vec![tlp_identity(tlp)], Vec::new()),
+        };
+        for reply in replies {
+            if let Some(reply) = self.wire(reply, false) {
+                to_host.push(reply);
+            }
+        }
+
+        // Deliver to the device; its completions climb back up through the
+        // interposer.
+        let mut forwarded_up = Vec::new();
+        {
+            let port = self.ports.get_mut(&port_id).expect("routed port exists");
+            let mut upstream = Vec::new();
+            for tlp in to_device {
+                upstream.extend(port.device.handle(tlp));
+            }
+            for tlp in upstream {
+                match &mut port.interposer {
+                    Some(ip) => {
+                        let outcome = ip.on_upstream(tlp);
+                        // Replies in the upstream direction head back to
+                        // the device.
+                        for back in outcome.reply {
+                            port.device.handle(back);
+                        }
+                        forwarded_up.extend(outcome.forward);
+                    }
+                    None => forwarded_up.push(tlp),
+                }
+            }
+        }
+        for tlp in forwarded_up {
+            if let Some(tlp) = self.wire(tlp, false) {
+                to_host.push(tlp);
+            }
+        }
+        to_host
+    }
+
+    /// Pumps device-initiated traffic: drains every device's outbound
+    /// queue, routes DMA to `host_memory`, loops completions back, and
+    /// collects messages into the host inbox. Returns the number of TLPs
+    /// moved.
+    pub fn pump(&mut self, host_memory: &mut dyn HostMemory) -> usize {
+        let mut moved = 0;
+        let port_ids: Vec<PortId> = {
+            let mut ids: Vec<PortId> = self.ports.keys().copied().collect();
+            ids.sort();
+            ids
+        };
+        for port_id in port_ids {
+            loop {
+                let port = self.ports.get_mut(&port_id).expect("port exists");
+                let outbound = port.device.poll_outbound();
+                if outbound.is_empty() {
+                    break;
+                }
+                let mut to_bus_all = Vec::new();
+                for tlp in outbound {
+                    moved += 1;
+                    // Upstream through the interposer.
+                    let (to_bus, to_device) = match &mut port.interposer {
+                        Some(ip) => {
+                            let outcome = ip.on_upstream(tlp);
+                            (outcome.forward, outcome.reply)
+                        }
+                        None => (vec![tlp], Vec::new()),
+                    };
+                    for back in to_device {
+                        port.device.handle(back);
+                    }
+                    to_bus_all.extend(to_bus);
+                }
+                for tlp in to_bus_all {
+                    if let Some(tlp) = self.wire(tlp, false) {
+                        self.deliver_upstream(port_id, tlp, host_memory);
+                    }
+                }
+            }
+        }
+        moved
+    }
+
+    /// Handles one device-initiated TLP that reached the bus.
+    fn deliver_upstream(
+        &mut self,
+        origin: PortId,
+        tlp: Tlp,
+        host_memory: &mut dyn HostMemory,
+    ) {
+        let header = *tlp.header();
+        match header.tlp_type() {
+            TlpType::MemWrite => {
+                let addr = header.address().expect("memory TLP");
+                host_memory.dma_write(header.requester(), addr, tlp.payload());
+            }
+            TlpType::MemRead => {
+                let addr = header.address().expect("memory TLP");
+                let len = header.payload_len() as usize;
+                let reply = match host_memory.dma_read(header.requester(), addr, len) {
+                    Some(data) => Tlp::completion_with_data(
+                        Bdf::new(0, 0, 0), // root complex
+                        header.requester(),
+                        header.tag(),
+                        data,
+                    ),
+                    None => Tlp::completion(
+                        Bdf::new(0, 0, 0),
+                        header.requester(),
+                        header.tag(),
+                        CplStatus::UnsupportedRequest,
+                    ),
+                };
+                let Some(reply) = self.wire(reply, true) else {
+                    return; // deleted on the wire
+                };
+                // Back down through the interposer to the device.
+                let port = self.ports.get_mut(&origin).expect("port exists");
+                let forwarded = match &mut port.interposer {
+                    Some(ip) => {
+                        let outcome = ip.on_downstream(reply);
+                        for up in outcome.reply {
+                            // replies go back upstream; rare, ignore routing
+                            self.host_inbox.push(up);
+                        }
+                        outcome.forward
+                    }
+                    None => vec![reply],
+                };
+                let port = self.ports.get_mut(&origin).expect("port exists");
+                for tlp in forwarded {
+                    port.device.deliver_completion(tlp);
+                }
+            }
+            TlpType::Message => {
+                self.host_inbox.push(tlp);
+            }
+            _ => {
+                // Peer-to-peer and other flows are not modelled.
+                self.host_inbox.push(tlp);
+            }
+        }
+    }
+}
+
+fn tlp_identity(tlp: Tlp) -> Tlp {
+    tlp
+}
+
+fn unsupported_request_reply(tlp: &Tlp) -> Vec<Tlp> {
+    let header = tlp.header();
+    if header.tlp_type().is_read() {
+        vec![Tlp::completion(
+            Bdf::new(0, 0, 0),
+            header.requester(),
+            header.tag(),
+            CplStatus::UnsupportedRequest,
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{ScratchEndpoint, VecHostMemory};
+
+    fn host() -> Bdf {
+        Bdf::new(0, 0, 0)
+    }
+
+    fn build_fabric() -> Fabric {
+        let mut fabric = Fabric::new();
+        let dev = ScratchEndpoint::new(Bdf::new(1, 0, 0), 0x10_0000, 0x1000);
+        fabric.attach(PortId(0), Box::new(dev));
+        fabric.map_range(0x10_0000..0x10_1000, PortId(0));
+        fabric
+    }
+
+    #[test]
+    fn mmio_write_then_read_round_trip() {
+        let mut fabric = build_fabric();
+        let none = fabric.host_request(Tlp::memory_write(host(), 0x10_0040, vec![7, 8, 9]));
+        assert!(none.is_empty());
+        let replies = fabric.host_request(Tlp::memory_read(host(), 0x10_0040, 3, 1));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].payload(), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn unrouted_read_gets_unsupported_request() {
+        let mut fabric = build_fabric();
+        let replies = fabric.host_request(Tlp::memory_read(host(), 0xdead_0000, 4, 2));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].header().cpl_status(), Some(CplStatus::UnsupportedRequest));
+    }
+
+    #[test]
+    fn unrouted_posted_write_is_dropped() {
+        let mut fabric = build_fabric();
+        let replies = fabric.host_request(Tlp::memory_write(host(), 0xdead_0000, vec![1]));
+        assert!(replies.is_empty());
+    }
+
+    #[test]
+    fn config_routes_by_bdf() {
+        let mut fabric = build_fabric();
+        let replies =
+            fabric.host_request(Tlp::config_read(host(), Bdf::new(1, 0, 0), 0x00, 0));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].payload()[..2], 0x1234u16.to_le_bytes());
+    }
+
+    #[derive(Debug)]
+    struct CountingTap {
+        seen: std::rc::Rc<std::cell::RefCell<usize>>,
+    }
+    impl BusTap for CountingTap {
+        fn observe(&mut self, _tlp: &Tlp, _down: bool) {
+            *self.seen.borrow_mut() += 1;
+        }
+    }
+
+    #[test]
+    fn taps_see_both_directions() {
+        let mut fabric = build_fabric();
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(0));
+        fabric.add_tap(Box::new(CountingTap { seen: seen.clone() }));
+        fabric.host_request(Tlp::memory_read(host(), 0x10_0000, 4, 0));
+        assert_eq!(*seen.borrow(), 2, "request + completion");
+    }
+
+    /// An interposer that blocks writes to the low half of the BAR and
+    /// XORs read completions.
+    #[derive(Debug)]
+    struct TestGate;
+    impl Interposer for TestGate {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+        fn on_downstream(&mut self, tlp: Tlp) -> InterposeOutcome {
+            if tlp.header().tlp_type() == TlpType::MemWrite
+                && tlp.header().address().unwrap_or(0) < 0x10_0800
+            {
+                InterposeOutcome::drop_packet()
+            } else {
+                InterposeOutcome::pass(tlp)
+            }
+        }
+        fn on_upstream(&mut self, tlp: Tlp) -> InterposeOutcome {
+            if tlp.header().tlp_type() == TlpType::CompletionData {
+                let flipped: Vec<u8> = tlp.payload().iter().map(|b| b ^ 0xFF).collect();
+                InterposeOutcome::pass(tlp.with_payload(flipped))
+            } else {
+                InterposeOutcome::pass(tlp)
+            }
+        }
+    }
+
+    #[test]
+    fn interposer_filters_and_transforms() {
+        let mut fabric = build_fabric();
+        fabric.interpose(PortId(0), Box::new(TestGate));
+
+        // Blocked write leaves RAM untouched.
+        fabric.host_request(Tlp::memory_write(host(), 0x10_0000, vec![1, 2, 3]));
+        // Allowed write in the high half.
+        fabric.host_request(Tlp::memory_write(host(), 0x10_0800, vec![0x0F]));
+
+        let replies = fabric.host_request(Tlp::memory_read(host(), 0x10_0800, 1, 0));
+        assert_eq!(replies[0].payload(), &[0xF0], "completion transformed");
+
+        let replies = fabric.host_request(Tlp::memory_read(host(), 0x10_0000, 3, 0));
+        assert_eq!(replies[0].payload(), &[0xFF, 0xFF, 0xFF], "zeros flipped");
+    }
+
+    #[test]
+    fn pump_with_queued_outbound() {
+        let mut fabric = Fabric::new();
+        let mut dev = ScratchEndpoint::new(Bdf::new(1, 0, 0), 0x10_0000, 0x1000);
+        dev.queue_outbound(Tlp::memory_write(Bdf::new(1, 0, 0), 0x40, vec![5, 6, 7]));
+        dev.queue_outbound(Tlp::message(Bdf::new(1, 0, 0), 0x21));
+        fabric.attach(PortId(0), Box::new(dev));
+        fabric.map_range(0x10_0000..0x10_1000, PortId(0));
+
+        let mut mem = VecHostMemory::new(0x100);
+        let moved = fabric.pump(&mut mem);
+        assert_eq!(moved, 2);
+        assert_eq!(&mem.as_slice()[0x40..0x43], &[5, 6, 7]);
+        let inbox = fabric.drain_host_inbox();
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].header().message_code(), Some(0x21));
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_attach_rejected() {
+        let mut fabric = build_fabric();
+        let dev = ScratchEndpoint::new(Bdf::new(2, 0, 0), 0x20_0000, 0x1000);
+        fabric.attach(PortId(0), Box::new(dev));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_ranges_rejected() {
+        let mut fabric = build_fabric();
+        fabric.map_range(0x10_0800..0x10_0900, PortId(0));
+    }
+}

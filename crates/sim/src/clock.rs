@@ -1,0 +1,139 @@
+//! A cost-accumulating virtual clock.
+//!
+//! Most ccAI performance models are sequential: a workload executes phases
+//! one after another (encrypt → DMA → compute → DMA back → decrypt) and some
+//! phases overlap. [`Clock`] supports both: [`Clock::advance`] charges serial
+//! time, while [`Clock::advance_parallel`] charges the maximum of several
+//! concurrent lanes (e.g. multi-core encryption).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A virtual clock that accumulates charged durations.
+///
+/// # Example
+///
+/// ```
+/// use ccai_sim::{Clock, SimDuration};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(SimDuration::from_micros(10));
+/// clock.advance_parallel([
+///     SimDuration::from_micros(4),
+///     SimDuration::from_micros(7),
+/// ]);
+/// assert_eq!(clock.now().as_picos(), 17_000_000);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock at the timeline origin.
+    pub fn new() -> Self {
+        Clock { now: SimTime::ZERO }
+    }
+
+    /// Creates a clock starting at an arbitrary point.
+    pub fn starting_at(now: SimTime) -> Self {
+        Clock { now }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Charges a serial span of work.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// Charges several concurrent lanes of work; the clock advances by the
+    /// longest lane. An empty iterator charges nothing.
+    pub fn advance_parallel<I>(&mut self, lanes: I)
+    where
+        I: IntoIterator<Item = SimDuration>,
+    {
+        let max = lanes.into_iter().max().unwrap_or(SimDuration::ZERO);
+        self.now += max;
+    }
+
+    /// Moves the clock forward to `deadline` if it is in the future;
+    /// otherwise leaves it unchanged. Returns the time actually waited.
+    pub fn advance_to(&mut self, deadline: SimTime) -> SimDuration {
+        if deadline > self.now {
+            let waited = deadline - self.now;
+            self.now = deadline;
+            waited
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Elapsed time since `mark`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` is in the future of the clock.
+    pub fn elapsed_since(&self, mark: SimTime) -> SimDuration {
+        self.now.duration_since(mark)
+    }
+
+    /// Resets the clock to the origin.
+    pub fn reset(&mut self) {
+        self.now = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(SimDuration::from_nanos(5));
+        c.advance(SimDuration::from_nanos(7));
+        assert_eq!(c.now().as_picos(), 12_000);
+    }
+
+    #[test]
+    fn parallel_takes_max() {
+        let mut c = Clock::new();
+        c.advance_parallel(vec![
+            SimDuration::from_nanos(3),
+            SimDuration::from_nanos(9),
+            SimDuration::from_nanos(6),
+        ]);
+        assert_eq!(c.now().as_picos(), 9_000);
+    }
+
+    #[test]
+    fn parallel_empty_is_noop() {
+        let mut c = Clock::new();
+        c.advance_parallel(std::iter::empty());
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let mut c = Clock::new();
+        c.advance(SimDuration::from_micros(10));
+        let waited = c.advance_to(SimTime::ZERO + SimDuration::from_micros(4));
+        assert_eq!(waited, SimDuration::ZERO);
+        let waited = c.advance_to(SimTime::ZERO + SimDuration::from_micros(15));
+        assert_eq!(waited, SimDuration::from_micros(5));
+        assert_eq!(c.now().as_picos(), 15_000_000);
+    }
+
+    #[test]
+    fn elapsed_and_reset() {
+        let mut c = Clock::new();
+        let mark = c.now();
+        c.advance(SimDuration::from_millis(2));
+        assert_eq!(c.elapsed_since(mark), SimDuration::from_millis(2));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+}

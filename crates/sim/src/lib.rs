@@ -1,0 +1,48 @@
+//! Discrete-event simulation substrate for the ccAI reproduction.
+//!
+//! The original ccAI prototype measures wall-clock time on a physical
+//! testbed (Intel server + Agilex 7 FPGA + five xPUs). This crate replaces
+//! the wall clock with a *virtual* clock: every simulated component charges
+//! time for the work it performs (PCIe transfers, MMIO round trips,
+//! cryptographic processing, xPU compute) and the experiment harness reads
+//! the resulting end-to-end latencies.
+//!
+//! The crate provides:
+//!
+//! * [`time`] — strongly-typed virtual time ([`SimTime`], [`SimDuration`]);
+//! * [`engine`] — a classic event-calendar scheduler for callback-driven
+//!   models ([`Scheduler`]);
+//! * [`clock`] — a lightweight cost-accumulating clock used by the
+//!   sequential performance models ([`Clock`]);
+//! * [`rate`] — bandwidth/throughput arithmetic ([`Bandwidth`]);
+//! * [`rng`] — a small deterministic PRNG so experiments are reproducible
+//!   without pulling randomness from the host;
+//! * [`stats`] — summary statistics and histograms for measurement series.
+//!
+//! # Example
+//!
+//! ```
+//! use ccai_sim::{Bandwidth, Clock, SimDuration};
+//!
+//! let mut clock = Clock::new();
+//! let link = Bandwidth::from_gbytes_per_sec(16.0);
+//! clock.advance(link.transfer_time(1 << 20)); // move 1 MiB
+//! assert!(clock.now().as_secs_f64() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod engine;
+pub mod rate;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use clock::Clock;
+pub use engine::{EventId, Scheduler};
+pub use rate::Bandwidth;
+pub use rng::SimRng;
+pub use stats::{Histogram, Summary};
+pub use time::{SimDuration, SimTime};

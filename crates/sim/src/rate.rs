@@ -1,0 +1,155 @@
+//! Bandwidth and throughput arithmetic.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data rate in bytes per second.
+///
+/// Used for PCIe link rates, memory bandwidth, crypto-engine throughput and
+/// compute throughput (where "bytes" become FLOPs via [`Bandwidth::work_time`]).
+///
+/// # Example
+///
+/// ```
+/// use ccai_sim::Bandwidth;
+///
+/// let link = Bandwidth::from_gbytes_per_sec(32.0);
+/// let t = link.transfer_time(64_000_000); // 64 MB
+/// assert!((t.as_secs_f64() - 0.002).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from bytes/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is non-finite or not positive.
+    pub fn from_bytes_per_sec(bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be finite and positive, got {bytes_per_sec}"
+        );
+        Bandwidth { bytes_per_sec }
+    }
+
+    /// Creates a bandwidth from MB/s (decimal megabytes).
+    pub fn from_mbytes_per_sec(mb: f64) -> Self {
+        Self::from_bytes_per_sec(mb * 1e6)
+    }
+
+    /// Creates a bandwidth from GB/s (decimal gigabytes).
+    pub fn from_gbytes_per_sec(gb: f64) -> Self {
+        Self::from_bytes_per_sec(gb * 1e9)
+    }
+
+    /// The raw rate in bytes/second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// The rate in GB/s.
+    pub fn gbytes_per_sec(self) -> f64 {
+        self.bytes_per_sec / 1e9
+    }
+
+    /// Time to move `bytes` at this rate.
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Time to perform `units` of abstract work at this rate (units/second).
+    pub fn work_time(self, units: f64) -> SimDuration {
+        SimDuration::from_secs_f64(units / self.bytes_per_sec)
+    }
+
+    /// Scales the rate (e.g. protocol efficiency factors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is non-finite or not positive.
+    pub fn scale(self, factor: f64) -> Bandwidth {
+        Bandwidth::from_bytes_per_sec(self.bytes_per_sec * factor)
+    }
+
+    /// Splits the rate across `n` equal sharers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn shared_by(self, n: u32) -> Bandwidth {
+        assert!(n > 0, "cannot share bandwidth among zero users");
+        Bandwidth::from_bytes_per_sec(self.bytes_per_sec / n as f64)
+    }
+
+    /// The slower of two rates (bottleneck of a pipeline).
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self.bytes_per_sec <= other.bytes_per_sec {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.gbytes_per_sec();
+        if g >= 1.0 {
+            write!(f, "{g:.2} GB/s")
+        } else {
+            write!(f, "{:.2} MB/s", self.bytes_per_sec / 1e6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_linear() {
+        let bw = Bandwidth::from_gbytes_per_sec(1.0);
+        assert_eq!(bw.transfer_time(0), SimDuration::ZERO);
+        let t1 = bw.transfer_time(1_000_000);
+        let t2 = bw.transfer_time(2_000_000);
+        assert_eq!(t2.as_picos(), 2 * t1.as_picos());
+    }
+
+    #[test]
+    fn scale_and_share() {
+        let bw = Bandwidth::from_gbytes_per_sec(10.0);
+        assert!((bw.scale(0.5).gbytes_per_sec() - 5.0).abs() < 1e-12);
+        assert!((bw.shared_by(4).gbytes_per_sec() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_picks_bottleneck() {
+        let a = Bandwidth::from_gbytes_per_sec(2.0);
+        let b = Bandwidth::from_gbytes_per_sec(3.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.min(a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::from_bytes_per_sec(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero users")]
+    fn shared_by_zero_rejected() {
+        let _ = Bandwidth::from_gbytes_per_sec(1.0).shared_by(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Bandwidth::from_gbytes_per_sec(16.0).to_string(), "16.00 GB/s");
+        assert_eq!(Bandwidth::from_mbytes_per_sec(250.0).to_string(), "250.00 MB/s");
+    }
+}

@@ -1,0 +1,276 @@
+//! Summary statistics for measurement series.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary statistics over a series of `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use ccai_sim::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    min: f64,
+    max: f64,
+    std_dev: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+impl Summary {
+    /// Computes statistics over a non-empty sample slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-finite values.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary of empty sample set");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "summary requires finite samples"
+        );
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Summary {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[count - 1],
+            std_dev: var.sqrt(),
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+        }
+    }
+
+    /// Computes statistics over a series of durations, in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_durations(samples: &[SimDuration]) -> Self {
+        let secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        Self::from_samples(&secs)
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+    /// Median (linear interpolation).
+    pub fn p50(&self) -> f64 {
+        self.p50
+    }
+    /// 95th percentile (linear interpolation).
+    pub fn p95(&self) -> f64 {
+        self.p95
+    }
+    /// 99th percentile (linear interpolation).
+    pub fn p99(&self) -> f64 {
+        self.p99
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} min={:.4} p50={:.4} p95={:.4} max={:.4}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.max
+        )
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A fixed-bucket histogram over `[lo, hi)` with overflow/underflow bins.
+///
+/// # Example
+///
+/// ```
+/// use ccai_sim::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(2.5);
+/// h.record(7.5);
+/// h.record(-1.0); // underflow
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.bucket_count(1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` equal buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `n == 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(n > 0, "histogram needs at least one bucket");
+        Histogram { lo, hi, buckets: vec![0; n], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_percentiles_interpolate() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.p50() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.p50(), 3.5);
+        assert_eq!(s.p99(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn summary_rejects_nan() {
+        let _ = Summary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn summary_from_durations() {
+        let s = Summary::from_durations(&[
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        ]);
+        assert!((s.mean() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.record(0.0);
+        h.record(9.99);
+        h.record(10.0);
+        h.record(99.9);
+        h.record(100.0); // overflow: hi is exclusive
+        h.record(-0.1);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+}

@@ -1,0 +1,281 @@
+//! Workload key management (§6).
+//!
+//! After attestation, the TVM and the PCIe-SC negotiate symmetric keys
+//! for the PCIe data streams. Each direction of each stream gets its own
+//! key + IV lane; IVs advance monotonically; on IV exhaustion ccAI
+//! "follows the solution used in NVIDIA H100 (e.g., generating and
+//! exchanging a new key)"; at task termination both sides destroy their
+//! copies.
+
+use ccai_crypto::{hkdf, IvManager, IvStatus, Key};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies one protected data stream (e.g. "H2D data", "D2H results").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct StreamId(pub u32);
+
+/// Errors from key-management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyManagerError {
+    /// The stream has not been provisioned.
+    UnknownStream(StreamId),
+    /// The stream's IV space is exhausted and must be rotated before the
+    /// next use.
+    NeedsRotation(StreamId),
+}
+
+impl fmt::Display for KeyManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyManagerError::UnknownStream(id) => write!(f, "unknown stream {}", id.0),
+            KeyManagerError::NeedsRotation(id) => {
+                write!(f, "stream {} exhausted; rotate key", id.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyManagerError {}
+
+struct StreamState {
+    key: Key,
+    ivs: IvManager,
+    generation: u32,
+}
+
+/// Manages per-stream symmetric keys derived from the attested session
+/// secret. Both the Adaptor and the PCIe-SC hold one of these, seeded
+/// identically, so their key schedules agree without further traffic.
+pub struct WorkloadKeyManager {
+    master: [u8; 32],
+    streams: HashMap<StreamId, StreamState>,
+    rotations: u64,
+    destroyed: bool,
+}
+
+impl fmt::Debug for WorkloadKeyManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadKeyManager")
+            .field("streams", &self.streams.len())
+            .field("rotations", &self.rotations)
+            .field("destroyed", &self.destroyed)
+            .finish()
+    }
+}
+
+impl WorkloadKeyManager {
+    /// Creates a manager from the post-attestation shared secret.
+    pub fn new(master: [u8; 32]) -> Self {
+        WorkloadKeyManager { master, streams: HashMap::new(), rotations: 0, destroyed: false }
+    }
+
+    /// Provisions a stream with an IV budget (`iv_limit`); both ends must
+    /// call this with identical arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager was destroyed or `iv_limit` is zero.
+    pub fn provision_stream(&mut self, id: StreamId, iv_limit: u64) {
+        assert!(!self.destroyed, "key manager destroyed");
+        let key = self.derive_key(id, 0);
+        self.streams.insert(
+            id,
+            StreamState { key, ivs: IvManager::with_limit(id.0, iv_limit), generation: 0 },
+        );
+    }
+
+    fn derive_key(&self, id: StreamId, generation: u32) -> Key {
+        let mut info = Vec::with_capacity(16);
+        info.extend_from_slice(b"stream");
+        info.extend_from_slice(&id.0.to_be_bytes());
+        info.extend_from_slice(&generation.to_be_bytes());
+        let okm = hkdf(b"ccai-workload-keys", &self.master, &info, 16);
+        Key::from_bytes(&okm).expect("16-byte key")
+    }
+
+    /// The stream's current key.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyManagerError::UnknownStream`] if not provisioned.
+    pub fn stream_key(&self, id: StreamId) -> Result<&Key, KeyManagerError> {
+        self.streams
+            .get(&id)
+            .map(|s| &s.key)
+            .ok_or(KeyManagerError::UnknownStream(id))
+    }
+
+    /// The stream's current key generation.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyManagerError::UnknownStream`] if not provisioned.
+    pub fn generation(&self, id: StreamId) -> Result<u32, KeyManagerError> {
+        self.streams
+            .get(&id)
+            .map(|s| s.generation)
+            .ok_or(KeyManagerError::UnknownStream(id))
+    }
+
+    /// Reserves the next IV for a stream. `RekeySoon` statuses are
+    /// surfaced so callers can schedule rotation before exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyManagerError::UnknownStream`] or
+    /// [`KeyManagerError::NeedsRotation`].
+    pub fn next_iv(&mut self, id: StreamId) -> Result<([u8; 12], IvStatus), KeyManagerError> {
+        let stream = self
+            .streams
+            .get_mut(&id)
+            .ok_or(KeyManagerError::UnknownStream(id))?;
+        stream.ivs.next_iv().map_err(|_| KeyManagerError::NeedsRotation(id))
+    }
+
+    /// Rotates a stream to a fresh key (the H100-style response to IV
+    /// exhaustion). Deterministic: both sides derive generation `n+1`.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyManagerError::UnknownStream`] if not provisioned.
+    pub fn rotate(&mut self, id: StreamId) -> Result<(), KeyManagerError> {
+        let generation = self
+            .streams
+            .get(&id)
+            .ok_or(KeyManagerError::UnknownStream(id))?
+            .generation
+            + 1;
+        let key = self.derive_key(id, generation);
+        let stream = self.streams.get_mut(&id).expect("checked above");
+        stream.key = key;
+        stream.generation = generation;
+        stream.ivs.rotate();
+        self.rotations += 1;
+        Ok(())
+    }
+
+    /// Number of rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Destroys all key material (task termination, §6: "both the TVM and
+    /// the PCIe-SC securely destroy shared symmetric keys").
+    pub fn destroy(&mut self) {
+        self.streams.clear();
+        self.master = [0u8; 32];
+        self.destroyed = true;
+    }
+
+    /// True once destroyed.
+    pub fn is_destroyed(&self) -> bool {
+        self.destroyed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> WorkloadKeyManager {
+        WorkloadKeyManager::new([0x33; 32])
+    }
+
+    #[test]
+    fn both_sides_derive_identical_schedules() {
+        let mut adaptor = manager();
+        let mut sc = manager();
+        for m in [&mut adaptor, &mut sc] {
+            m.provision_stream(StreamId(1), 100);
+        }
+        assert_eq!(
+            adaptor.stream_key(StreamId(1)).unwrap(),
+            sc.stream_key(StreamId(1)).unwrap()
+        );
+        assert_eq!(
+            adaptor.next_iv(StreamId(1)).unwrap().0,
+            sc.next_iv(StreamId(1)).unwrap().0
+        );
+    }
+
+    #[test]
+    fn streams_have_distinct_keys() {
+        let mut m = manager();
+        m.provision_stream(StreamId(1), 10);
+        m.provision_stream(StreamId(2), 10);
+        assert_ne!(m.stream_key(StreamId(1)).unwrap(), m.stream_key(StreamId(2)).unwrap());
+    }
+
+    #[test]
+    fn exhaustion_forces_rotation() {
+        let mut m = manager();
+        m.provision_stream(StreamId(1), 2);
+        m.next_iv(StreamId(1)).unwrap();
+        m.next_iv(StreamId(1)).unwrap();
+        assert_eq!(
+            m.next_iv(StreamId(1)),
+            Err(KeyManagerError::NeedsRotation(StreamId(1)))
+        );
+        let old_key = m.stream_key(StreamId(1)).unwrap().clone();
+        m.rotate(StreamId(1)).unwrap();
+        assert_ne!(&old_key, m.stream_key(StreamId(1)).unwrap());
+        assert!(m.next_iv(StreamId(1)).is_ok());
+        assert_eq!(m.generation(StreamId(1)).unwrap(), 1);
+        assert_eq!(m.rotations(), 1);
+    }
+
+    #[test]
+    fn rotation_stays_synchronized() {
+        let mut a = manager();
+        let mut b = manager();
+        for m in [&mut a, &mut b] {
+            m.provision_stream(StreamId(7), 5);
+            m.rotate(StreamId(7)).unwrap();
+            m.rotate(StreamId(7)).unwrap();
+        }
+        assert_eq!(a.stream_key(StreamId(7)).unwrap(), b.stream_key(StreamId(7)).unwrap());
+    }
+
+    #[test]
+    fn unknown_stream_errors() {
+        let mut m = manager();
+        assert_eq!(
+            m.next_iv(StreamId(9)),
+            Err(KeyManagerError::UnknownStream(StreamId(9)))
+        );
+        assert_eq!(m.rotate(StreamId(9)), Err(KeyManagerError::UnknownStream(StreamId(9))));
+    }
+
+    #[test]
+    fn destroy_wipes_material() {
+        let mut m = manager();
+        m.provision_stream(StreamId(1), 10);
+        m.destroy();
+        assert!(m.is_destroyed());
+        assert_eq!(
+            m.stream_key(StreamId(1)),
+            Err(KeyManagerError::UnknownStream(StreamId(1)))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "destroyed")]
+    fn provision_after_destroy_panics() {
+        let mut m = manager();
+        m.destroy();
+        m.provision_stream(StreamId(1), 10);
+    }
+
+    #[test]
+    fn different_masters_different_keys() {
+        let mut a = WorkloadKeyManager::new([1; 32]);
+        let mut b = WorkloadKeyManager::new([2; 32]);
+        a.provision_stream(StreamId(1), 10);
+        b.provision_stream(StreamId(1), 10);
+        assert_ne!(a.stream_key(StreamId(1)).unwrap(), b.stream_key(StreamId(1)).unwrap());
+    }
+}

@@ -1,0 +1,225 @@
+//! TPM-style Platform Configuration Registers.
+//!
+//! The HRoT-Blade "updates the measurement results in a dedicated
+//! register — the Platform Configuration Register (PCR) — which is used
+//! for generating attestation reports" (§6). PCRs are extend-only: each
+//! measurement is folded in as `pcr ← SHA-256(pcr ‖ measurement)`, so a
+//! bank's final values commit to the whole ordered measurement history.
+
+use ccai_crypto::{sha256, Digest, Sha256};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of PCRs in a bank (TPM 2.0 convention).
+pub const PCR_COUNT: usize = 24;
+
+/// Well-known PCR assignments in ccAI's chain of trust.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PcrIndex {
+    /// CPU-side firmware (recorded by the platform HRoT).
+    CpuFirmware,
+    /// The PCIe-SC bitstream (Packet Filter + Packet Handlers).
+    ScBitstream,
+    /// The PCIe-SC management firmware.
+    ScFirmware,
+    /// The TVM's measured software (Adaptor + trust modules).
+    TvmSoftware,
+    /// The attached xPU's firmware measurement.
+    XpuFirmware,
+    /// Chassis physical-integrity sensor state (§6 Sealing).
+    ChassisSeal,
+}
+
+impl PcrIndex {
+    /// The register number backing this assignment.
+    pub fn index(self) -> usize {
+        match self {
+            PcrIndex::CpuFirmware => 0,
+            PcrIndex::ScBitstream => 1,
+            PcrIndex::ScFirmware => 2,
+            PcrIndex::TvmSoftware => 3,
+            PcrIndex::XpuFirmware => 4,
+            PcrIndex::ChassisSeal => 5,
+        }
+    }
+
+    /// All assignments, in index order.
+    pub const ALL: [PcrIndex; 6] = [
+        PcrIndex::CpuFirmware,
+        PcrIndex::ScBitstream,
+        PcrIndex::ScFirmware,
+        PcrIndex::TvmSoftware,
+        PcrIndex::XpuFirmware,
+        PcrIndex::ChassisSeal,
+    ];
+}
+
+/// A bank of extend-only registers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcrBank {
+    registers: Vec<Digest>,
+    extensions: u64,
+}
+
+impl Default for PcrBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcrBank {
+    /// Creates a bank with all registers zeroed.
+    pub fn new() -> Self {
+        PcrBank { registers: vec![Digest([0u8; 32]); PCR_COUNT], extensions: 0 }
+    }
+
+    /// Reads register `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= PCR_COUNT`.
+    pub fn read(&self, index: usize) -> Digest {
+        self.registers[index]
+    }
+
+    /// Reads a well-known assignment.
+    pub fn read_assigned(&self, pcr: PcrIndex) -> Digest {
+        self.read(pcr.index())
+    }
+
+    /// Extends register `index` with a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= PCR_COUNT`.
+    pub fn extend(&mut self, index: usize, measurement: &Digest) {
+        let mut h = Sha256::new();
+        h.update(self.registers[index].as_bytes());
+        h.update(measurement.as_bytes());
+        self.registers[index] = h.finalize();
+        self.extensions += 1;
+    }
+
+    /// Extends a well-known assignment with raw data (hashed first).
+    pub fn extend_assigned(&mut self, pcr: PcrIndex, data: &[u8]) {
+        let measurement = sha256(data);
+        self.extend(pcr.index(), &measurement);
+    }
+
+    /// Total extensions performed.
+    pub fn extensions(&self) -> u64 {
+        self.extensions
+    }
+
+    /// A digest over a selection of registers, as signed by quotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection is empty or any index is out of range.
+    pub fn composite(&self, selection: &[usize]) -> Digest {
+        assert!(!selection.is_empty(), "empty PCR selection");
+        let mut h = Sha256::new();
+        for &index in selection {
+            h.update(&(index as u32).to_be_bytes());
+            h.update(self.registers[index].as_bytes());
+        }
+        h.finalize()
+    }
+
+    /// Snapshot of the selected registers (for inclusion in a report).
+    pub fn snapshot(&self, selection: &[usize]) -> Vec<(usize, Digest)> {
+        selection.iter().map(|&i| (i, self.registers[i])).collect()
+    }
+}
+
+impl fmt::Display for PcrBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PCR bank ({} extensions):", self.extensions)?;
+        for pcr in PcrIndex::ALL {
+            writeln!(f, "  PCR[{}] ({:?}) = {}", pcr.index(), pcr, self.read_assigned(pcr))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_is_zero() {
+        let bank = PcrBank::new();
+        for i in 0..PCR_COUNT {
+            assert_eq!(bank.read(i), Digest([0u8; 32]));
+        }
+    }
+
+    #[test]
+    fn extension_is_order_sensitive() {
+        let mut a = PcrBank::new();
+        let mut b = PcrBank::new();
+        a.extend_assigned(PcrIndex::ScBitstream, b"first");
+        a.extend_assigned(PcrIndex::ScBitstream, b"second");
+        b.extend_assigned(PcrIndex::ScBitstream, b"second");
+        b.extend_assigned(PcrIndex::ScBitstream, b"first");
+        assert_ne!(
+            a.read_assigned(PcrIndex::ScBitstream),
+            b.read_assigned(PcrIndex::ScBitstream)
+        );
+    }
+
+    #[test]
+    fn extension_is_deterministic() {
+        let mut a = PcrBank::new();
+        let mut b = PcrBank::new();
+        for bank in [&mut a, &mut b] {
+            bank.extend_assigned(PcrIndex::ScFirmware, b"fw v1.0");
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut bank = PcrBank::new();
+        bank.extend_assigned(PcrIndex::ScBitstream, b"x");
+        assert_eq!(bank.read_assigned(PcrIndex::ScFirmware), Digest([0u8; 32]));
+    }
+
+    #[test]
+    fn composite_covers_selection() {
+        let mut bank = PcrBank::new();
+        bank.extend_assigned(PcrIndex::ScBitstream, b"x");
+        let c1 = bank.composite(&[0, 1, 2]);
+        let c2 = bank.composite(&[0, 2]);
+        assert_ne!(c1, c2);
+        // Changing a selected register changes the composite.
+        let before = bank.composite(&[1]);
+        bank.extend_assigned(PcrIndex::ScBitstream, b"y");
+        assert_ne!(bank.composite(&[1]), before);
+    }
+
+    #[test]
+    fn composite_binds_register_position() {
+        let mut a = PcrBank::new();
+        let mut b = PcrBank::new();
+        a.extend_assigned(PcrIndex::ScBitstream, b"m"); // PCR 1
+        b.extend_assigned(PcrIndex::ScFirmware, b"m"); // PCR 2
+        assert_ne!(a.composite(&[1, 2]), b.composite(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty PCR selection")]
+    fn empty_selection_rejected() {
+        PcrBank::new().composite(&[]);
+    }
+
+    #[test]
+    fn snapshot_matches_reads() {
+        let mut bank = PcrBank::new();
+        bank.extend_assigned(PcrIndex::TvmSoftware, b"adaptor");
+        let snap = bank.snapshot(&[3, 4]);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], (3, bank.read(3)));
+        assert_eq!(snap[1], (4, bank.read(4)));
+    }
+}

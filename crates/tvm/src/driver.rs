@@ -1,0 +1,375 @@
+//! Unmodified vendor-style xPU driver models.
+//!
+//! Each real xPU ships its own software stack (CUDA + nvidia.ko, tt-buda +
+//! ttkmd, EFSMI + the Enflame driver, §7). What they share is the shape of
+//! their work: enumerate the device, enable bus mastering, move buffers by
+//! DMA, poke vendor-specific registers, ring doorbells. [`XpuDriver`]
+//! models that shape against the vendor-specific register layout of its
+//! device.
+//!
+//! **Transparency invariant:** this code contains zero ccAI knowledge. It
+//! calls the kernel's [`DmaStager`] seam for buffer staging — exactly the
+//! code path it uses on a vanilla TVM — and behaves byte-identically
+//! whether the stager is the vanilla [`IdentityStager`] or ccAI's
+//! encrypting Adaptor, and whether or not a PCIe-SC sits in front of the
+//! device.
+//!
+//! [`IdentityStager`]: crate::stager::IdentityStager
+
+use crate::guest_memory::GuestMemory;
+use crate::port::TlpPort;
+use crate::stager::DmaStager;
+use ccai_pcie::{Bdf, PcieDevice, Tlp};
+use ccai_xpu::{Reg, RegisterFile};
+use std::fmt;
+
+/// Errors surfaced by driver operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The device did not answer an MMIO/config read.
+    NoResponse,
+    /// A DMA transfer ended in the error state.
+    DmaFailed,
+    /// A command reported failure via `CmdStatus`.
+    CommandFailed,
+    /// Device enumeration found the wrong device.
+    WrongDevice {
+        /// Vendor ID read from config space.
+        vendor_id: u16,
+    },
+    /// Data recovered from the device failed integrity verification.
+    IntegrityFailed,
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::NoResponse => write!(f, "device did not respond"),
+            DriverError::DmaFailed => write!(f, "DMA transfer failed"),
+            DriverError::CommandFailed => write!(f, "device command failed"),
+            DriverError::WrongDevice { vendor_id } => {
+                write!(f, "unexpected device (vendor {vendor_id:#06x})")
+            }
+            DriverError::IntegrityFailed => write!(f, "device output failed integrity check"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// A vendor driver bound to one xPU instance.
+///
+/// Construction captures what a real driver learns at probe time: the
+/// device's BDF, BAR addresses and its register layout.
+pub struct XpuDriver {
+    tvm_bdf: Bdf,
+    device_bdf: Bdf,
+    expected_vendor_id: u16,
+    registers: RegisterFile,
+    bar0: u64,
+    /// BAR1 base, captured at probe time (bulk aperture; reserved for
+    /// aperture-based access paths).
+    pub bar1: u64,
+}
+
+impl fmt::Debug for XpuDriver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XpuDriver")
+            .field("device", &self.device_bdf)
+            .field("bar0", &format_args!("{:#x}", self.bar0))
+            .finish()
+    }
+}
+
+impl XpuDriver {
+    /// Binds a driver to a device.
+    pub fn bind(
+        tvm_bdf: Bdf,
+        device_bdf: Bdf,
+        expected_vendor_id: u16,
+        registers: RegisterFile,
+        bar0: u64,
+        bar1: u64,
+    ) -> XpuDriver {
+        XpuDriver { tvm_bdf, device_bdf, expected_vendor_id, registers, bar0, bar1 }
+    }
+
+    /// Convenience: binds to an [`ccai_xpu::Xpu`] before it is boxed into
+    /// the fabric.
+    pub fn for_xpu(tvm_bdf: Bdf, xpu: &ccai_xpu::Xpu) -> XpuDriver {
+        XpuDriver::bind(
+            tvm_bdf,
+            xpu.bdf(),
+            xpu.config_space().vendor_id(),
+            xpu.registers().clone(),
+            xpu.bar0_base(),
+            xpu.bar1_base(),
+        )
+    }
+
+    /// The device this driver controls.
+    pub fn device_bdf(&self) -> Bdf {
+        self.device_bdf
+    }
+
+    /// Probes config space and enables memory decoding + bus mastering.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::WrongDevice`] if the vendor ID mismatches;
+    /// [`DriverError::NoResponse`] if config reads go unanswered.
+    pub fn init(&self, port: &mut dyn TlpPort) -> Result<(), DriverError> {
+        let replies = port.request(Tlp::config_read(self.tvm_bdf, self.device_bdf, 0, 0));
+        let reply = replies.first().ok_or(DriverError::NoResponse)?;
+        if reply.payload().len() < 4 {
+            return Err(DriverError::NoResponse);
+        }
+        let vendor_id = u16::from_le_bytes([reply.payload()[0], reply.payload()[1]]);
+        if vendor_id != self.expected_vendor_id {
+            return Err(DriverError::WrongDevice { vendor_id });
+        }
+        // Enable memory space + bus master in the command register.
+        port.request(Tlp::config_write(
+            self.tvm_bdf,
+            self.device_bdf,
+            0x04,
+            vec![0x06, 0x00, 0x00, 0x00],
+        ));
+        Ok(())
+    }
+
+    /// Writes a device register over MMIO.
+    pub fn write_register(&self, port: &mut dyn TlpPort, reg: Reg, value: u64) {
+        port.request(Tlp::memory_write(
+            self.tvm_bdf,
+            self.bar0 + self.registers.offset(reg),
+            value.to_le_bytes().to_vec(),
+        ));
+    }
+
+    /// Reads a device register over MMIO.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NoResponse`] if no completion arrives.
+    pub fn read_register(&self, port: &mut dyn TlpPort, reg: Reg) -> Result<u64, DriverError> {
+        let replies = port.request(Tlp::memory_read(
+            self.tvm_bdf,
+            self.bar0 + self.registers.offset(reg),
+            8,
+            0,
+        ));
+        let reply = replies.first().ok_or(DriverError::NoResponse)?;
+        if reply.payload().len() != 8 {
+            return Err(DriverError::NoResponse);
+        }
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(reply.payload());
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Copies `data` into device memory at `device_addr` via DMA
+    /// (stage → program engine → pump → check status).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::DmaFailed`] if the engine reports an error.
+    pub fn dma_to_device(
+        &self,
+        port: &mut dyn TlpPort,
+        memory: &mut GuestMemory,
+        stager: &mut dyn DmaStager,
+        data: &[u8],
+        device_addr: u64,
+    ) -> Result<(), DriverError> {
+        let staged = stager.stage_to_device(port, memory, data);
+        self.write_register(port, Reg::DmaSrc, staged.device_addr);
+        self.write_register(port, Reg::DmaDst, device_addr);
+        self.write_register(port, Reg::DmaLen, staged.len);
+        self.write_register(port, Reg::DmaCtrl, 1); // H2D
+        while port.pump(memory) > 0 {}
+        match self.read_register(port, Reg::DmaStatus)? {
+            2 => Ok(()),
+            _ => Err(DriverError::DmaFailed),
+        }
+    }
+
+    /// Copies `len` bytes from device memory at `device_addr` back to the
+    /// host via DMA, returning the data.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::DmaFailed`] if the engine reports an error.
+    pub fn dma_from_device(
+        &self,
+        port: &mut dyn TlpPort,
+        memory: &mut GuestMemory,
+        stager: &mut dyn DmaStager,
+        device_addr: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, DriverError> {
+        let landing = stager.alloc_from_device(port, memory, len);
+        self.write_register(port, Reg::DmaSrc, device_addr);
+        self.write_register(port, Reg::DmaDst, landing.device_addr);
+        self.write_register(port, Reg::DmaLen, len);
+        self.write_register(port, Reg::DmaCtrl, 2); // D2H
+        while port.pump(memory) > 0 {}
+        match self.read_register(port, Reg::DmaStatus)? {
+            2 => stager
+                .recover_from_device(port, memory, landing)
+                .map_err(|_| DriverError::IntegrityFailed),
+            _ => Err(DriverError::DmaFailed),
+        }
+    }
+
+    /// Loads a model: DMA the weights to the device, then issue
+    /// `LoadModel`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DMA failures; [`DriverError::CommandFailed`] if the
+    /// device rejects the command.
+    pub fn load_model(
+        &self,
+        port: &mut dyn TlpPort,
+        memory: &mut GuestMemory,
+        stager: &mut dyn DmaStager,
+        weights: &[u8],
+        device_addr: u64,
+    ) -> Result<(), DriverError> {
+        self.dma_to_device(port, memory, stager, weights, device_addr)?;
+        self.write_register(port, Reg::CmdArg0, device_addr);
+        self.write_register(port, Reg::CmdArg1, weights.len() as u64);
+        self.write_register(port, Reg::CmdDoorbell, 1);
+        match self.read_register(port, Reg::CmdStatus)? {
+            1 => Ok(()),
+            _ => Err(DriverError::CommandFailed),
+        }
+    }
+
+    /// Runs inference: DMA the input up, ring `RunInference`, DMA the
+    /// 32-byte result back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DMA and command failures.
+    pub fn run_inference(
+        &self,
+        port: &mut dyn TlpPort,
+        memory: &mut GuestMemory,
+        stager: &mut dyn DmaStager,
+        input: &[u8],
+        input_device_addr: u64,
+        output_device_addr: u64,
+    ) -> Result<Vec<u8>, DriverError> {
+        self.dma_to_device(port, memory, stager, input, input_device_addr)?;
+        self.write_register(port, Reg::CmdArg0, input_device_addr);
+        self.write_register(port, Reg::CmdArg1, input.len() as u64);
+        self.write_register(port, Reg::CmdArg2, output_device_addr);
+        self.write_register(port, Reg::CmdDoorbell, 2);
+        if self.read_register(port, Reg::CmdStatus)? != 1 {
+            return Err(DriverError::CommandFailed);
+        }
+        self.dma_from_device(port, memory, stager, output_device_addr, 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stager::IdentityStager;
+    use ccai_pcie::{Fabric, PortId};
+    use ccai_xpu::{CommandProcessor, Xpu, XpuSpec};
+
+    fn tvm() -> Bdf {
+        Bdf::new(0, 2, 0)
+    }
+
+    fn setup() -> (Fabric, GuestMemory, IdentityStager, XpuDriver) {
+        let xpu = Xpu::new(XpuSpec::a100(), Bdf::new(0x17, 0, 0), 0x8000_0000);
+        let driver = XpuDriver::for_xpu(tvm(), &xpu);
+        let window = xpu.address_window();
+        let mut fabric = Fabric::new();
+        fabric.attach(PortId(0), Box::new(xpu));
+        fabric.map_range(window, PortId(0));
+
+        let mut memory = GuestMemory::new(1 << 22);
+        memory.share_range(0x10_0000..0x20_0000);
+        let stager = IdentityStager::new(0x10_0000, 0x10_0000);
+        (fabric, memory, stager, driver)
+    }
+
+    #[test]
+    fn init_validates_vendor() {
+        let (mut fabric, _m, _s, driver) = setup();
+        assert!(driver.init(&mut fabric).is_ok());
+    }
+
+    #[test]
+    fn init_rejects_wrong_vendor() {
+        let xpu = Xpu::new(XpuSpec::a100(), Bdf::new(0x17, 0, 0), 0x8000_0000);
+        let mut driver = XpuDriver::for_xpu(tvm(), &xpu);
+        driver.expected_vendor_id = 0xDEAD;
+        let window = xpu.address_window();
+        let mut fabric = Fabric::new();
+        fabric.attach(PortId(0), Box::new(xpu));
+        fabric.map_range(window, PortId(0));
+        assert_eq!(
+            driver.init(&mut fabric),
+            Err(DriverError::WrongDevice { vendor_id: 0x10DE })
+        );
+    }
+
+    #[test]
+    fn dma_round_trip_via_stager() {
+        let (mut fabric, mut memory, mut stager, driver) = setup();
+        driver.init(&mut fabric).unwrap();
+        let data = vec![0x3C; 20000];
+        driver
+            .dma_to_device(&mut fabric, &mut memory, &mut stager, &data, 0x4000)
+            .unwrap();
+        let back = driver
+            .dma_from_device(&mut fabric, &mut memory, &mut stager, 0x4000, 20000)
+            .unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn full_inference_flow_matches_host_prediction() {
+        let (mut fabric, mut memory, mut stager, driver) = setup();
+        driver.init(&mut fabric).unwrap();
+        let weights = b"llama-weights-v2".to_vec();
+        let input = b"what is a gpu?".to_vec();
+        driver
+            .load_model(&mut fabric, &mut memory, &mut stager, &weights, 0x1_0000)
+            .unwrap();
+        let result = driver
+            .run_inference(
+                &mut fabric,
+                &mut memory,
+                &mut stager,
+                &input,
+                0x2_0000,
+                0x3_0000,
+            )
+            .unwrap();
+        assert_eq!(result, CommandProcessor::surrogate_inference(&weights, &input));
+    }
+
+    #[test]
+    fn register_round_trip() {
+        let (mut fabric, _m, _s, driver) = setup();
+        driver.write_register(&mut fabric, Reg::CmdArg0, 0xABCD);
+        assert_eq!(driver.read_register(&mut fabric, Reg::CmdArg0).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn inference_without_model_fails_cleanly() {
+        let (mut fabric, mut memory, mut stager, driver) = setup();
+        driver.init(&mut fabric).unwrap();
+        let err = driver
+            .run_inference(&mut fabric, &mut memory, &mut stager, b"in", 0x2000, 0x3000)
+            .unwrap_err();
+        assert_eq!(err, DriverError::CommandFailed);
+    }
+}

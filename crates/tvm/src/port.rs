@@ -1,0 +1,34 @@
+//! The TLP submission port — where the kernel stands between drivers
+//! and the bus.
+//!
+//! Real drivers do not own the PCIe fabric; their MMIO accesses traverse
+//! kernel-owned mappings and their DMA staging goes through kernel APIs.
+//! [`TlpPort`] captures that seam: vanilla kernels pass requests straight
+//! to the fabric ([`TlpPort`] is implemented for
+//! [`ccai_pcie::Fabric`]); ccAI's Adaptor wraps the same port to
+//! mirror write-protected MMIO traffic with integrity tags — with zero
+//! driver changes.
+
+use ccai_pcie::{Fabric, HostMemory, Tlp};
+use std::fmt;
+
+/// A port through which kernel-side code submits TLPs and pumps
+/// device-initiated traffic.
+pub trait TlpPort: fmt::Debug {
+    /// Submits a host-originated request; returns responses that reached
+    /// the host.
+    fn request(&mut self, tlp: Tlp) -> Vec<Tlp>;
+
+    /// Pumps device-initiated traffic into `memory`; returns TLPs moved.
+    fn pump(&mut self, memory: &mut dyn HostMemory) -> usize;
+}
+
+impl TlpPort for Fabric {
+    fn request(&mut self, tlp: Tlp) -> Vec<Tlp> {
+        self.host_request(tlp)
+    }
+
+    fn pump(&mut self, memory: &mut dyn HostMemory) -> usize {
+        Fabric::pump(self, memory)
+    }
+}

@@ -1,0 +1,536 @@
+//! The assembled xPU: a PCIe endpoint wiring spec, memory, registers,
+//! MMU, DMA engine, command processor and firmware together.
+//!
+//! The device exposes two BARs:
+//!
+//! * **BAR0** — the MMIO register window ([`crate::RegisterFile`], with a
+//!   vendor-specific layout);
+//! * **BAR1** — a direct aperture into device memory (drivers use it for
+//!   small pokes; bulk data rides DMA).
+//!
+//! Crucially for ccAI's transparency claim, the device (and the driver
+//! models in `ccai-tvm`) behave *identically* whether or not a PCIe-SC is
+//! interposed in front of them.
+
+use crate::command::{Command, CommandProcessor};
+use crate::dma::{DmaDirection, DmaEngine, DmaRequest};
+use crate::firmware::Firmware;
+use crate::memory::DeviceMemory;
+use crate::mmu::Mmu;
+use crate::registers::{Reg, RegisterFile, RESET_MAGIC};
+use crate::spec::XpuSpec;
+use ccai_crypto::{DhGroup, SchnorrKeyPair};
+use ccai_pcie::{
+    device::handle_config_access, Bdf, ConfigSpace, CplStatus, PcieDevice, Tlp, TlpType,
+};
+use std::fmt;
+
+/// BAR0 (register window) size.
+pub const BAR0_SIZE: u64 = 1 << 20;
+/// BAR1 (device-memory aperture) size.
+pub const BAR1_SIZE: u64 = 1 << 28; // 256 MiB aperture
+
+/// A simulated xPU endpoint.
+pub struct Xpu {
+    spec: XpuSpec,
+    bdf: Bdf,
+    config: ConfigSpace,
+    bar0_base: u64,
+    bar1_base: u64,
+    registers: RegisterFile,
+    memory: DeviceMemory,
+    mmu: Option<Mmu>,
+    dma: DmaEngine,
+    commands: CommandProcessor,
+    firmware: Firmware,
+    interrupts_sent: u64,
+    cold_boots: u64,
+}
+
+impl fmt::Debug for Xpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Xpu")
+            .field("spec", &self.spec.name())
+            .field("bdf", &self.bdf)
+            .field("dma", &self.dma)
+            .finish()
+    }
+}
+
+impl Xpu {
+    /// Creates a device of the given spec at `bdf`, with BAR0 at
+    /// `bar_base` and BAR1 right after it.
+    pub fn new(spec: XpuSpec, bdf: Bdf, bar_base: u64) -> Xpu {
+        let vendor_entropy = {
+            let mut e = [0u8; 32];
+            let name = spec.vendor().as_bytes();
+            e[..name.len().min(32)].copy_from_slice(&name[..name.len().min(32)]);
+            e
+        };
+        let vendor_key = SchnorrKeyPair::generate(&DhGroup::sim512(), &vendor_entropy);
+        let firmware = Firmware::build_signed(
+            spec.firmware_version(),
+            format!("{}-firmware-image", spec.name()).into_bytes(),
+            &vendor_key,
+        );
+
+        assert_eq!(bar_base % BAR1_SIZE, 0, "BAR base must be 256 MiB-aligned");
+        let mut config = ConfigSpace::new(vendor_id_of(spec.vendor()), device_id_of(spec.name()));
+        // BAR0 occupies the first MiB; BAR1 needs its own size-aligned slot.
+        let bar1_base = bar_base + BAR1_SIZE;
+        config.set_bar(0, bar_base, BAR0_SIZE);
+        config.set_bar(2, bar1_base, BAR1_SIZE);
+
+        let registers = RegisterFile::with_layout(spec.vendor(), 0);
+        let memory = DeviceMemory::new(spec.memory_bytes());
+        let mmu = spec.has_mmu().then(|| Mmu::new(0x1000));
+
+        Xpu {
+            dma: DmaEngine::new(bdf),
+            commands: CommandProcessor::new(),
+            spec,
+            bdf,
+            config,
+            bar0_base: bar_base,
+            bar1_base,
+            registers,
+            memory,
+            mmu,
+            firmware,
+            interrupts_sent: 0,
+            cold_boots: 0,
+        }
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &XpuSpec {
+        &self.spec
+    }
+
+    /// BAR0 base address (registers).
+    pub fn bar0_base(&self) -> u64 {
+        self.bar0_base
+    }
+
+    /// BAR1 base address (device-memory aperture).
+    pub fn bar1_base(&self) -> u64 {
+        self.bar1_base
+    }
+
+    /// The full host-address window the device decodes (both BARs) —
+    /// the range the fabric should route to its port.
+    pub fn address_window(&self) -> std::ops::Range<u64> {
+        self.bar0_base..self.bar1_base + BAR1_SIZE
+    }
+
+    /// The register layout (drivers need it; the PCIe-SC does not).
+    pub fn registers(&self) -> &RegisterFile {
+        &self.registers
+    }
+
+    /// Device memory, for test assertions.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Mutable device memory, for test setup.
+    pub fn memory_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.memory
+    }
+
+    /// The on-board MMU, if the device has one.
+    pub fn mmu(&self) -> Option<&Mmu> {
+        self.mmu.as_ref()
+    }
+
+    /// Mutable MMU access (driver programming).
+    pub fn mmu_mut(&mut self) -> Option<&mut Mmu> {
+        self.mmu.as_mut()
+    }
+
+    /// The firmware image.
+    pub fn firmware(&self) -> &Firmware {
+        &self.firmware
+    }
+
+    /// Mutable firmware (for tamper tests).
+    pub fn firmware_mut(&mut self) -> &mut Firmware {
+        &mut self.firmware
+    }
+
+    /// Interrupt messages emitted so far.
+    pub fn interrupts_sent(&self) -> u64 {
+        self.interrupts_sent
+    }
+
+    /// Number of cold-boot resets performed.
+    pub fn cold_boots(&self) -> u64 {
+        self.cold_boots
+    }
+
+    /// Performs a cold-boot reset: memory, registers, MMU, TLB, DMA and
+    /// command state are all wiped (the xPU environment guard's A-action).
+    pub fn cold_boot_reset(&mut self) {
+        self.memory.wipe();
+        self.registers.wipe();
+        if let Some(mmu) = &mut self.mmu {
+            mmu.wipe();
+        }
+        self.dma.wipe();
+        self.commands.wipe();
+        self.cold_boots += 1;
+    }
+
+    fn register_write(&mut self, reg: Reg, value: u64) {
+        self.registers.write(reg, value);
+        match reg {
+            Reg::DmaCtrl => {
+                let direction = match value {
+                    1 => DmaDirection::HostToDevice,
+                    2 => DmaDirection::DeviceToHost,
+                    _ => return,
+                };
+                let request = DmaRequest {
+                    direction,
+                    host_addr: match direction {
+                        DmaDirection::HostToDevice => self.registers.read(Reg::DmaSrc),
+                        DmaDirection::DeviceToHost => self.registers.read(Reg::DmaDst),
+                    },
+                    device_addr: match direction {
+                        DmaDirection::HostToDevice => self.registers.read(Reg::DmaDst),
+                        DmaDirection::DeviceToHost => self.registers.read(Reg::DmaSrc),
+                    },
+                    len: self.registers.read(Reg::DmaLen),
+                };
+                if request.len == 0 {
+                    return;
+                }
+                self.dma.start(request, &mut self.memory);
+                self.sync_dma_status();
+            }
+            Reg::CmdDoorbell => {
+                let command = match value {
+                    1 => Command::LoadModel {
+                        addr: self.registers.read(Reg::CmdArg0),
+                        len: self.registers.read(Reg::CmdArg1),
+                    },
+                    2 => Command::RunInference {
+                        input: self.registers.read(Reg::CmdArg0),
+                        len: self.registers.read(Reg::CmdArg1),
+                        output: self.registers.read(Reg::CmdArg2),
+                    },
+                    _ => return,
+                };
+                let status = self.commands.execute(command, &mut self.memory);
+                self.registers.write(Reg::CmdStatus, status.to_code());
+                self.raise_interrupt();
+            }
+            Reg::ResetCtrl
+                if value == RESET_MAGIC => {
+                    self.cold_boot_reset();
+                }
+            Reg::PageTableBase => {
+                if let Some(mmu) = &mut self.mmu {
+                    mmu.set_table_base(value);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn sync_dma_status(&mut self) {
+        self.registers
+            .write(Reg::DmaStatus, self.dma.status().to_code());
+        if matches!(
+            self.dma.status(),
+            crate::dma::DmaStatus::Done | crate::dma::DmaStatus::Error
+        ) {
+            self.raise_interrupt();
+        }
+    }
+
+    fn raise_interrupt(&mut self) {
+        self.interrupts_sent += 1;
+        self.registers
+            .write(Reg::IntStatus, self.registers.read(Reg::IntStatus) | 1);
+    }
+}
+
+fn vendor_id_of(vendor: &str) -> u16 {
+    match vendor {
+        "NVIDIA" => 0x10DE,
+        "Tenstorrent" => 0x1E52,
+        "Enflame" => 0x1EA0,
+        other => 0x1000 + other.len() as u16,
+    }
+}
+
+fn device_id_of(name: &str) -> u16 {
+    name.bytes().fold(0u16, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u16))
+}
+
+impl PcieDevice for Xpu {
+    fn bdf(&self) -> Bdf {
+        self.bdf
+    }
+
+    fn config_space(&self) -> &ConfigSpace {
+        &self.config
+    }
+
+    fn config_space_mut(&mut self) -> &mut ConfigSpace {
+        &mut self.config
+    }
+
+    fn handle(&mut self, tlp: Tlp) -> Vec<Tlp> {
+        if let Some(cpl) = handle_config_access(self, &tlp) {
+            return vec![cpl];
+        }
+        let header = *tlp.header();
+        let Some(addr) = header.address() else {
+            return Vec::new(); // messages etc. are absorbed
+        };
+
+        // BAR0: register window.
+        if (self.bar0_base..self.bar0_base + BAR0_SIZE).contains(&addr) {
+            let offset = addr - self.bar0_base;
+            match header.tlp_type() {
+                TlpType::MemWrite => {
+                    if let Some(reg) = self.registers.reg_at(offset) {
+                        let mut bytes = [0u8; 8];
+                        let payload = tlp.payload();
+                        bytes[..payload.len().min(8)]
+                            .copy_from_slice(&payload[..payload.len().min(8)]);
+                        self.register_write(reg, u64::from_le_bytes(bytes));
+                    }
+                    Vec::new()
+                }
+                TlpType::MemRead => {
+                    let value = self
+                        .registers
+                        .reg_at(offset)
+                        .map(|reg| self.registers.read(reg))
+                        .unwrap_or(0);
+                    let len = (header.payload_len() as usize).min(8);
+                    vec![Tlp::completion_with_data(
+                        self.bdf,
+                        header.requester(),
+                        header.tag(),
+                        value.to_le_bytes()[..len].to_vec(),
+                    )]
+                }
+                _ => vec![Tlp::completion(
+                    self.bdf,
+                    header.requester(),
+                    header.tag(),
+                    CplStatus::UnsupportedRequest,
+                )],
+            }
+        } else if (self.bar1_base..self.bar1_base + BAR1_SIZE).contains(&addr) {
+            // BAR1: device-memory aperture.
+            let offset = addr - self.bar1_base;
+            match header.tlp_type() {
+                TlpType::MemWrite => {
+                    let _ = self.memory.write(offset, tlp.payload());
+                    Vec::new()
+                }
+                TlpType::MemRead => match self.memory.read(offset, header.payload_len() as u64)
+                {
+                    Ok(data) => vec![Tlp::completion_with_data(
+                        self.bdf,
+                        header.requester(),
+                        header.tag(),
+                        data,
+                    )],
+                    Err(_) => vec![Tlp::completion(
+                        self.bdf,
+                        header.requester(),
+                        header.tag(),
+                        CplStatus::UnsupportedRequest,
+                    )],
+                },
+                _ => Vec::new(),
+            }
+        } else if header.tlp_type().is_read() {
+            vec![Tlp::completion(
+                self.bdf,
+                header.requester(),
+                header.tag(),
+                CplStatus::UnsupportedRequest,
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn poll_outbound(&mut self) -> Vec<Tlp> {
+        let mut out = self.dma.poll_outbound();
+        // Surface a fresh interrupt as a message TLP.
+        if self.registers.read(Reg::IntStatus) & 1 != 0 {
+            self.registers.write(Reg::IntStatus, 0);
+            out.push(Tlp::message(self.bdf, 0x20));
+        }
+        out
+    }
+
+    fn deliver_completion(&mut self, tlp: Tlp) {
+        self.dma.deliver_completion(tlp, &mut self.memory);
+        self.sync_dma_status();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccai_pcie::{Fabric, PortId, VecHostMemory};
+
+    fn host() -> Bdf {
+        Bdf::new(0, 0, 0)
+    }
+
+    fn setup() -> (Fabric, VecHostMemory, RegisterFile, u64, u64) {
+        let xpu = Xpu::new(XpuSpec::a100(), Bdf::new(0x17, 0, 0), 0x8000_0000);
+        let regs = xpu.registers().clone();
+        let bar0 = xpu.bar0_base();
+        let bar1 = xpu.bar1_base();
+        let window = xpu.address_window();
+        let mut fabric = Fabric::new();
+        fabric.attach(PortId(0), Box::new(xpu));
+        fabric.map_range(window, PortId(0));
+        (fabric, VecHostMemory::new(1 << 20), regs, bar0, bar1)
+    }
+
+    fn write_reg(fabric: &mut Fabric, regs: &RegisterFile, bar0: u64, reg: Reg, value: u64) {
+        fabric.host_request(Tlp::memory_write(
+            host(),
+            bar0 + regs.offset(reg),
+            value.to_le_bytes().to_vec(),
+        ));
+    }
+
+    fn read_reg(fabric: &mut Fabric, regs: &RegisterFile, bar0: u64, reg: Reg) -> u64 {
+        let replies =
+            fabric.host_request(Tlp::memory_read(host(), bar0 + regs.offset(reg), 8, 0));
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(replies[0].payload());
+        u64::from_le_bytes(bytes)
+    }
+
+    #[test]
+    fn mmio_register_access_through_fabric() {
+        let (mut fabric, _mem, regs, bar0, _) = setup();
+        write_reg(&mut fabric, &regs, bar0, Reg::DmaLen, 12345);
+        assert_eq!(read_reg(&mut fabric, &regs, bar0, Reg::DmaLen), 12345);
+    }
+
+    #[test]
+    fn bar1_aperture_reaches_device_memory() {
+        let (mut fabric, _mem, _regs, _bar0, bar1) = setup();
+        fabric.host_request(Tlp::memory_write(host(), bar1 + 0x100, vec![1, 2, 3]));
+        let replies = fabric.host_request(Tlp::memory_read(host(), bar1 + 0x100, 3, 0));
+        assert_eq!(replies[0].payload(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn h2d_dma_through_fabric() {
+        let (mut fabric, mut mem, regs, bar0, bar1) = setup();
+        // Host buffer at 0x4000.
+        mem.as_mut_slice()[0x4000..0x4000 + 8192].fill(0x5A);
+
+        write_reg(&mut fabric, &regs, bar0, Reg::DmaSrc, 0x4000);
+        write_reg(&mut fabric, &regs, bar0, Reg::DmaDst, 0x0); // device addr
+        write_reg(&mut fabric, &regs, bar0, Reg::DmaLen, 8192);
+        write_reg(&mut fabric, &regs, bar0, Reg::DmaCtrl, 1); // H2D
+
+        // Pump until quiescent.
+        while fabric.pump(&mut mem) > 0 {}
+
+        assert_eq!(read_reg(&mut fabric, &regs, bar0, Reg::DmaStatus), 2, "done");
+        let replies = fabric.host_request(Tlp::memory_read(host(), bar1, 16, 0));
+        assert_eq!(replies[0].payload(), &[0x5A; 16]);
+    }
+
+    #[test]
+    fn d2h_dma_through_fabric() {
+        let (mut fabric, mut mem, regs, bar0, bar1) = setup();
+        fabric.host_request(Tlp::memory_write(host(), bar1, vec![0xA7; 4096]));
+        fabric.host_request(Tlp::memory_write(host(), bar1 + 4096, vec![0xA7; 5000 - 4096]));
+
+        write_reg(&mut fabric, &regs, bar0, Reg::DmaSrc, 0x0); // device addr
+        write_reg(&mut fabric, &regs, bar0, Reg::DmaDst, 0x2000); // host addr
+        write_reg(&mut fabric, &regs, bar0, Reg::DmaLen, 5000);
+        write_reg(&mut fabric, &regs, bar0, Reg::DmaCtrl, 2); // D2H
+        while fabric.pump(&mut mem) > 0 {}
+
+        assert_eq!(&mem.as_slice()[0x2000..0x2000 + 5000], vec![0xA7; 5000].as_slice());
+    }
+
+    #[test]
+    fn command_processor_via_doorbell() {
+        let (mut fabric, mut mem, regs, bar0, bar1) = setup();
+        fabric.host_request(Tlp::memory_write(host(), bar1 + 0x1000, b"weights!".to_vec()));
+        fabric.host_request(Tlp::memory_write(host(), bar1 + 0x2000, b"input".to_vec()));
+
+        write_reg(&mut fabric, &regs, bar0, Reg::CmdArg0, 0x1000);
+        write_reg(&mut fabric, &regs, bar0, Reg::CmdArg1, 8);
+        write_reg(&mut fabric, &regs, bar0, Reg::CmdDoorbell, 1); // LoadModel
+        assert_eq!(read_reg(&mut fabric, &regs, bar0, Reg::CmdStatus), 1);
+
+        write_reg(&mut fabric, &regs, bar0, Reg::CmdArg0, 0x2000);
+        write_reg(&mut fabric, &regs, bar0, Reg::CmdArg1, 5);
+        write_reg(&mut fabric, &regs, bar0, Reg::CmdArg2, 0x3000);
+        write_reg(&mut fabric, &regs, bar0, Reg::CmdDoorbell, 2); // RunInference
+        assert_eq!(read_reg(&mut fabric, &regs, bar0, Reg::CmdStatus), 1);
+
+        let replies = fabric.host_request(Tlp::memory_read(host(), bar1 + 0x3000, 32, 0));
+        let expected = CommandProcessor::surrogate_inference(b"weights!", b"input");
+        assert_eq!(replies[0].payload(), expected);
+
+        // Interrupts surfaced as messages.
+        while fabric.pump(&mut mem) > 0 {}
+        assert!(!fabric.drain_host_inbox().is_empty());
+    }
+
+    #[test]
+    fn cold_boot_reset_via_register() {
+        let (mut fabric, _mem, regs, bar0, bar1) = setup();
+        fabric.host_request(Tlp::memory_write(host(), bar1, vec![0xEE; 64]));
+        write_reg(&mut fabric, &regs, bar0, Reg::ResetCtrl, RESET_MAGIC);
+        let replies = fabric.host_request(Tlp::memory_read(host(), bar1, 64, 0));
+        assert_eq!(replies[0].payload(), &[0u8; 64], "memory wiped");
+    }
+
+    #[test]
+    fn wrong_reset_magic_ignored() {
+        let (mut fabric, _mem, regs, bar0, bar1) = setup();
+        fabric.host_request(Tlp::memory_write(host(), bar1, vec![0xEE; 4]));
+        write_reg(&mut fabric, &regs, bar0, Reg::ResetCtrl, 0x1234);
+        let replies = fabric.host_request(Tlp::memory_read(host(), bar1, 4, 0));
+        assert_eq!(replies[0].payload(), &[0xEE; 4]);
+    }
+
+    #[test]
+    fn firmware_ships_verified() {
+        let xpu = Xpu::new(XpuSpec::t4(), Bdf::new(1, 0, 0), 0x8000_0000);
+        assert!(xpu.firmware().verify());
+        assert_eq!(xpu.firmware().version(), "90.04.38.00.03");
+    }
+
+    #[test]
+    fn mmu_presence_follows_spec() {
+        let gpu = Xpu::new(XpuSpec::a100(), Bdf::new(1, 0, 0), 0x8000_0000);
+        let npu = Xpu::new(XpuSpec::tenstorrent_n150d(), Bdf::new(2, 0, 0), 0x9000_0000);
+        assert!(gpu.mmu().is_some());
+        assert!(npu.mmu().is_none());
+    }
+
+    #[test]
+    fn page_table_base_register_reaches_mmu() {
+        let (mut fabric, _mem, regs, bar0, _) = setup();
+        write_reg(&mut fabric, &regs, bar0, Reg::PageTableBase, 0xAB00_0000);
+        // Reach into the device to confirm.
+        let dev = fabric.device(PortId(0)).unwrap();
+        let _ = dev; // device trait has no downcast; assert via register readback
+        assert_eq!(read_reg(&mut fabric, &regs, bar0, Reg::PageTableBase), 0xAB00_0000);
+    }
+}

@@ -1,0 +1,309 @@
+//! On-device memory.
+//!
+//! A flat byte store with a simple region allocator (weights, activations,
+//! KV cache, command buffers) and a [`DeviceMemory::wipe`] path used by
+//! the xPU environment guard's cold-boot reset (§4.2): "cleaning its
+//! memory, caches, registers, and TLB status".
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named allocation inside device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// Start offset in device memory.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// Exclusive end offset.
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+
+    /// True if `addr` falls inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.base..self.end()).contains(&addr)
+    }
+}
+
+/// Errors from device-memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Not enough free space for the requested allocation.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still free.
+        free: u64,
+    },
+    /// An access fell outside the device memory.
+    OutOfBounds {
+        /// Offending address.
+        addr: u64,
+        /// Access length.
+        len: u64,
+    },
+    /// Allocation name already in use.
+    NameTaken(String),
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfMemory { requested, free } => {
+                write!(f, "out of device memory: requested {requested}, free {free}")
+            }
+            MemoryError::OutOfBounds { addr, len } => {
+                write!(f, "device memory access out of bounds: {addr:#x}+{len}")
+            }
+            MemoryError::NameTaken(name) => write!(f, "region name already used: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Device memory with named-region bump allocation.
+///
+/// Backing storage is allocated lazily in sparse 64 KiB chunks so an
+/// "80 GiB" A100 model does not actually reserve 80 GiB of host RAM.
+///
+/// # Example
+///
+/// ```
+/// use ccai_xpu::DeviceMemory;
+///
+/// let mut mem = DeviceMemory::new(1 << 20);
+/// let weights = mem.alloc("weights", 4096)?;
+/// mem.write(weights.base, &[7; 16])?;
+/// assert_eq!(mem.read(weights.base, 16)?, vec![7; 16]);
+/// # Ok::<(), ccai_xpu::memory::MemoryError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    capacity: u64,
+    next_free: u64,
+    regions: BTreeMap<String, Region>,
+    chunks: BTreeMap<u64, Vec<u8>>,
+}
+
+const CHUNK: u64 = 64 * 1024;
+
+impl DeviceMemory {
+    /// Creates device memory of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "device memory capacity must be positive");
+        DeviceMemory {
+            capacity,
+            next_free: 0,
+            regions: BTreeMap::new(),
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated to regions.
+    pub fn allocated(&self) -> u64 {
+        self.next_free
+    }
+
+    /// Bytes still available.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.next_free
+    }
+
+    /// Fraction of capacity allocated (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        self.next_free as f64 / self.capacity as f64
+    }
+
+    /// Allocates a named region of `len` bytes (64-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::OutOfMemory`] if insufficient space remains,
+    /// [`MemoryError::NameTaken`] if the name is already allocated.
+    pub fn alloc(&mut self, name: &str, len: u64) -> Result<Region, MemoryError> {
+        if self.regions.contains_key(name) {
+            return Err(MemoryError::NameTaken(name.to_string()));
+        }
+        let base = (self.next_free + 63) & !63;
+        if base + len > self.capacity {
+            return Err(MemoryError::OutOfMemory { requested: len, free: self.free() });
+        }
+        let region = Region { base, len };
+        self.next_free = base + len;
+        self.regions.insert(name.to_string(), region);
+        Ok(region)
+    }
+
+    /// Looks up a named region.
+    pub fn region(&self, name: &str) -> Option<Region> {
+        self.regions.get(name).copied()
+    }
+
+    /// Frees *all* regions and zeroes the backing store — the cold-boot
+    /// reset the xPU environment guard triggers when a task terminates.
+    pub fn wipe(&mut self) {
+        self.regions.clear();
+        self.chunks.clear();
+        self.next_free = 0;
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<(), MemoryError> {
+        if addr.checked_add(len).is_none_or(|end| end > self.capacity) {
+            return Err(MemoryError::OutOfBounds { addr, len });
+        }
+        Ok(())
+    }
+
+    /// Writes bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::OutOfBounds`] if the range exceeds capacity.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemoryError> {
+        self.check(addr, data.len() as u64)?;
+        let mut offset = 0usize;
+        while offset < data.len() {
+            let pos = addr + offset as u64;
+            let chunk_base = pos / CHUNK * CHUNK;
+            let within = (pos - chunk_base) as usize;
+            let take = ((CHUNK as usize) - within).min(data.len() - offset);
+            let chunk = self
+                .chunks
+                .entry(chunk_base)
+                .or_insert_with(|| vec![0; CHUNK as usize]);
+            chunk[within..within + take].copy_from_slice(&data[offset..offset + take]);
+            offset += take;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `addr` (unwritten memory reads as zero).
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::OutOfBounds`] if the range exceeds capacity.
+    pub fn read(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemoryError> {
+        self.check(addr, len)?;
+        let mut out = vec![0u8; len as usize];
+        let mut offset = 0usize;
+        while offset < out.len() {
+            let pos = addr + offset as u64;
+            let chunk_base = pos / CHUNK * CHUNK;
+            let within = (pos - chunk_base) as usize;
+            let take = ((CHUNK as usize) - within).min(out.len() - offset);
+            if let Some(chunk) = self.chunks.get(&chunk_base) {
+                out[offset..offset + take].copy_from_slice(&chunk[within..within + take]);
+            }
+            offset += take;
+        }
+        Ok(out)
+    }
+
+    /// True if every byte of backing storage is zero — used by tests to
+    /// prove the environment guard left no residue.
+    pub fn is_zeroed(&self) -> bool {
+        self.chunks.values().all(|c| c.iter().all(|&b| b == 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw_round_trip() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let r = mem.alloc("weights", 1000).unwrap();
+        mem.write(r.base, b"hello xpu").unwrap();
+        assert_eq!(mem.read(r.base, 9).unwrap(), b"hello xpu");
+    }
+
+    #[test]
+    fn allocations_do_not_overlap_and_are_aligned() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let a = mem.alloc("a", 100).unwrap();
+        let b = mem.alloc("b", 100).unwrap();
+        assert!(a.end() <= b.base);
+        assert_eq!(b.base % 64, 0);
+    }
+
+    #[test]
+    fn oom_reports_free_space() {
+        let mut mem = DeviceMemory::new(1024);
+        mem.alloc("a", 1000).unwrap();
+        match mem.alloc("b", 100) {
+            Err(MemoryError::OutOfMemory { requested: 100, free }) => {
+                assert!(free < 100);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut mem = DeviceMemory::new(1024);
+        mem.alloc("x", 10).unwrap();
+        assert!(matches!(mem.alloc("x", 10), Err(MemoryError::NameTaken(_))));
+    }
+
+    #[test]
+    fn out_of_bounds_rw_rejected() {
+        let mut mem = DeviceMemory::new(100);
+        assert!(matches!(mem.write(90, &[0; 20]), Err(MemoryError::OutOfBounds { .. })));
+        assert!(matches!(mem.read(u64::MAX, 2), Err(MemoryError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn sparse_chunks_span_boundaries() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let addr = CHUNK - 5; // straddles two chunks
+        mem.write(addr, &[9; 10]).unwrap();
+        assert_eq!(mem.read(addr, 10).unwrap(), vec![9; 10]);
+        assert_eq!(mem.read(addr - 1, 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn huge_capacity_is_lazy() {
+        // "80 GiB" without 80 GiB of RAM.
+        let mut mem = DeviceMemory::new(80 << 30);
+        mem.write(79 << 30, &[1]).unwrap();
+        assert_eq!(mem.read(79 << 30, 1).unwrap(), vec![1]);
+        assert!(mem.chunks.len() < 4);
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let r = mem.alloc("secret", 64).unwrap();
+        mem.write(r.base, &[0xAA; 64]).unwrap();
+        assert!(!mem.is_zeroed());
+        mem.wipe();
+        assert!(mem.is_zeroed());
+        assert_eq!(mem.allocated(), 0);
+        assert!(mem.region("secret").is_none());
+        assert_eq!(mem.read(r.base, 64).unwrap(), vec![0; 64]);
+    }
+
+    #[test]
+    fn utilization_tracks_allocation() {
+        let mut mem = DeviceMemory::new(1000);
+        assert_eq!(mem.utilization(), 0.0);
+        mem.alloc("half", 500).unwrap();
+        assert!((mem.utilization() - 0.5).abs() < 0.01);
+    }
+}

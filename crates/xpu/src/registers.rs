@@ -1,0 +1,204 @@
+//! The MMIO register file.
+//!
+//! Drivers program xPUs through BAR-mapped registers. ccAI's L2 table
+//! treats MMIO writes of "control/register values" as Write-Protected
+//! packets (A3) and performs "additional security verification (e.g.
+//! checking the correctness of the xPU page table register)" (§4).
+//!
+//! The register map is deliberately vendor-flavoured: each [`XpuSpec`]
+//! family lays the same logical registers out at different offsets, so
+//! the TVM driver stacks really are device-specific while the PCIe-SC
+//! remains device-agnostic (it matches address *ranges*, not registers).
+//!
+//! [`XpuSpec`]: crate::XpuSpec
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Logical register names shared by all devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Reg {
+    /// DMA source address (host physical for H2D, device for D2H).
+    DmaSrc,
+    /// DMA destination address.
+    DmaDst,
+    /// DMA transfer length in bytes.
+    DmaLen,
+    /// DMA control/doorbell: writing a direction code starts a transfer.
+    DmaCtrl,
+    /// DMA status: 0 idle, 1 busy, 2 done, 3 error.
+    DmaStatus,
+    /// Interrupt status bits.
+    IntStatus,
+    /// Page table base (MMU-equipped devices).
+    PageTableBase,
+    /// Command doorbell: writing a command code dispatches it.
+    CmdDoorbell,
+    /// Command argument 0.
+    CmdArg0,
+    /// Command argument 1.
+    CmdArg1,
+    /// Command argument 2.
+    CmdArg2,
+    /// Command status.
+    CmdStatus,
+    /// Reset control: writing the magic value wipes the device.
+    ResetCtrl,
+    /// Firmware version (read-only).
+    FirmwareVersion,
+}
+
+impl Reg {
+    /// All registers, for layout generation.
+    pub const ALL: [Reg; 14] = [
+        Reg::DmaSrc,
+        Reg::DmaDst,
+        Reg::DmaLen,
+        Reg::DmaCtrl,
+        Reg::DmaStatus,
+        Reg::IntStatus,
+        Reg::PageTableBase,
+        Reg::CmdDoorbell,
+        Reg::CmdArg0,
+        Reg::CmdArg1,
+        Reg::CmdArg2,
+        Reg::CmdStatus,
+        Reg::ResetCtrl,
+        Reg::FirmwareVersion,
+    ];
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The magic value that [`Reg::ResetCtrl`] requires for a reset.
+pub const RESET_MAGIC: u64 = 0xC01D_B007; // "cold boot"
+
+/// A vendor-flavoured register file: logical registers at vendor-specific
+/// byte offsets, each 8 bytes wide.
+///
+/// # Example
+///
+/// ```
+/// use ccai_xpu::{RegisterFile, Reg};
+///
+/// let mut regs = RegisterFile::with_layout("NVIDIA", 0x0);
+/// regs.write(Reg::DmaLen, 4096);
+/// assert_eq!(regs.read(Reg::DmaLen), 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterFile {
+    offsets: BTreeMap<Reg, u64>,
+    values: BTreeMap<Reg, u64>,
+}
+
+impl RegisterFile {
+    /// Builds a register file whose offsets depend on the vendor string —
+    /// modelling the real-world divergence of register maps — starting at
+    /// `base` within the BAR.
+    pub fn with_layout(vendor: &str, base: u64) -> RegisterFile {
+        // Deterministic vendor-specific stride and ordering.
+        let seed: u64 = vendor.bytes().map(u64::from).sum();
+        let stride = 8 + (seed % 3) * 8; // 8, 16, or 24 byte spacing
+        let mut regs: Vec<Reg> = Reg::ALL.to_vec();
+        // Rotate the layout by a vendor-dependent amount.
+        let rotation = (seed as usize) % regs.len();
+        regs.rotate_left(rotation);
+        let offsets = regs
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, base + i as u64 * stride))
+            .collect();
+        RegisterFile { offsets, values: BTreeMap::new() }
+    }
+
+    /// Byte offset of a register within the BAR.
+    pub fn offset(&self, reg: Reg) -> u64 {
+        self.offsets[&reg]
+    }
+
+    /// Reverse lookup: which register (if any) lives at `offset`.
+    pub fn reg_at(&self, offset: u64) -> Option<Reg> {
+        self.offsets
+            .iter()
+            .find(|(_, &o)| o == offset)
+            .map(|(&r, _)| r)
+    }
+
+    /// Total span of the register window in bytes.
+    pub fn span(&self) -> u64 {
+        self.offsets.values().max().copied().unwrap_or(0) + 8
+    }
+
+    /// Reads a register (unwritten registers read as zero).
+    pub fn read(&self, reg: Reg) -> u64 {
+        self.values.get(&reg).copied().unwrap_or(0)
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, reg: Reg, value: u64) {
+        self.values.insert(reg, value);
+    }
+
+    /// Zeroes every register — part of the cold-boot reset.
+    pub fn wipe(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_differ_by_vendor() {
+        let nv = RegisterFile::with_layout("NVIDIA", 0);
+        let tt = RegisterFile::with_layout("Tenstorrent", 0);
+        let differing = Reg::ALL
+            .iter()
+            .filter(|&&r| nv.offset(r) != tt.offset(r))
+            .count();
+        assert!(differing > Reg::ALL.len() / 2, "layouts too similar");
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let a = RegisterFile::with_layout("Enflame", 0x100);
+        let b = RegisterFile::with_layout("Enflame", 0x100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offsets_unique_and_in_window() {
+        let regs = RegisterFile::with_layout("NVIDIA", 0x40);
+        let mut seen = std::collections::HashSet::new();
+        for r in Reg::ALL {
+            let o = regs.offset(r);
+            assert!(seen.insert(o), "offset collision at {o:#x}");
+            assert!(o >= 0x40 && o + 8 <= 0x40 + regs.span());
+        }
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let regs = RegisterFile::with_layout("NVIDIA", 0);
+        let o = regs.offset(Reg::DmaCtrl);
+        assert_eq!(regs.reg_at(o), Some(Reg::DmaCtrl));
+        assert_eq!(regs.reg_at(o + 1), None);
+    }
+
+    #[test]
+    fn rw_and_wipe() {
+        let mut regs = RegisterFile::with_layout("NVIDIA", 0);
+        assert_eq!(regs.read(Reg::DmaStatus), 0);
+        regs.write(Reg::DmaStatus, 2);
+        regs.write(Reg::PageTableBase, 0xdead_b000);
+        assert_eq!(regs.read(Reg::DmaStatus), 2);
+        regs.wipe();
+        assert_eq!(regs.read(Reg::PageTableBase), 0);
+    }
+}

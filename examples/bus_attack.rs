@@ -1,0 +1,114 @@
+//! The §2.2 / §8.2 bus adversary, live.
+//!
+//! ```text
+//! cargo run -p ccai-bench --example bus_attack
+//! ```
+//!
+//! Runs the full attack battery against an unprotected platform (where
+//! everything succeeds) and a ccAI platform (where everything is
+//! blocked or detected): snooping, in-flight payload tampering, rogue
+//! requester injection, and host attempts on TVM memory.
+
+use ccai_core::system::{layout, ConfidentialSystem, SystemMode};
+use ccai_pcie::{BusAdversary, TamperMode, Tlp, WireAttack};
+use ccai_tvm::hypervisor::AttackOutcome;
+use ccai_tvm::HostAdversary;
+use ccai_xpu::XpuSpec;
+
+/// Flips one payload bit in every downstream data TLP that looks like
+/// DMA completion traffic (ciphertext heading to the device).
+#[derive(Debug)]
+struct CompletionTamper {
+    hits: u32,
+}
+
+impl WireAttack for CompletionTamper {
+    fn mangle(&mut self, tlp: Tlp, downstream: bool) -> Option<Tlp> {
+        if downstream
+            && tlp.header().tlp_type() == ccai_pcie::TlpType::CompletionData
+            && tlp.payload().len() >= 64
+        {
+            self.hits += 1;
+            return Some(TamperMode::BitFlip { byte: 13, bit: 5 }.apply(tlp));
+        }
+        Some(tlp)
+    }
+}
+
+fn main() {
+    let secret_weights = b"SECRET-WEIGHTS-".repeat(1024);
+    let secret_prompt = b"SECRET-PROMPT--".repeat(64);
+
+    println!("=== target 1: unprotected platform ===");
+    let mut vanilla = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::Vanilla);
+    let snooper = BusAdversary::new();
+    vanilla.fabric_mut().add_tap(snooper.tap());
+    vanilla.run_workload(&secret_weights, &secret_prompt).expect("vanilla run");
+    println!(
+        "snooping: weights leaked = {}, prompt leaked = {}",
+        snooper.log().leaked(&secret_weights[..15]),
+        snooper.log().leaked(&secret_prompt[..15]),
+    );
+
+    println!();
+    println!("=== target 2: ccAI platform ===");
+    let mut ccai = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let snooper = BusAdversary::new();
+    ccai.fabric_mut().add_tap(snooper.tap());
+    ccai.run_workload(&secret_weights, &secret_prompt).expect("ccAI run");
+    println!(
+        "snooping: weights leaked = {}, prompt leaked = {} ({} packets captured)",
+        snooper.log().leaked(&secret_weights[..15]),
+        snooper.log().leaked(&secret_prompt[..15]),
+        snooper.log().len(),
+    );
+
+    // --- in-flight tampering ---
+    let mut ccai = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    ccai.fabric_mut().set_wire_attack(Box::new(CompletionTamper { hits: 0 }));
+    let verdict = ccai.run_workload(&secret_weights, &secret_prompt);
+    println!("tampering: workload verdict = {verdict:?}");
+    let alerts = ccai.sc().expect("sc").alerts().len();
+    println!("tampering: PCIe-SC raised {alerts} alert(s); plaintext never reached the device");
+    assert!(verdict.is_err());
+    assert!(alerts > 0);
+
+    // --- rogue requester injection ---
+    let mut ccai = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    ccai.run_workload(&secret_weights, &secret_prompt).expect("setup run");
+    let rogue = ccai_pcie::Bdf::new(9, 9, 0);
+    let forged_read =
+        BusAdversary::craft_forged_read(rogue, layout::XPU_BAR_BASE + (1 << 28), 256);
+    let replies = ccai.fabric_mut().host_request(forged_read);
+    let leaked = replies.iter().any(|r| !r.payload().is_empty());
+    println!("rogue device read of xPU memory: leaked = {leaked}");
+    assert!(!leaked);
+    let forged_write =
+        BusAdversary::craft_forged_write(rogue, layout::XPU_BAR_BASE, vec![0xFF; 8]);
+    ccai.fabric_mut().host_request(forged_write);
+    let blocked = ccai.sc_counters().packets_blocked;
+    println!("rogue packets blocked by the L1 table so far: {blocked}");
+    assert!(blocked >= 2);
+
+    // --- host adversary vs TVM memory ---
+    let mut host = HostAdversary::new();
+    let outcome = host.read_tvm_memory(ccai.memory(), 0x1000, 64);
+    println!("host read of private TVM memory: {outcome:?}");
+    assert_eq!(outcome, AttackOutcome::Blocked);
+    // Shared bounce pages are readable — but hold only ciphertext.
+    let bounce = host.read_tvm_memory(ccai.memory(), layout::STAGING_BASE, 15);
+    match bounce {
+        AttackOutcome::Leaked(bytes) => {
+            println!(
+                "host read of the bounce buffer: got {} bytes — ciphertext (≠ plaintext: {})",
+                bytes.len(),
+                bytes != secret_weights[..15]
+            );
+            assert_ne!(bytes, secret_weights[..15].to_vec());
+        }
+        other => println!("host read of the bounce buffer: {other:?}"),
+    }
+
+    println!();
+    println!("all attacks against ccAI were blocked or detected.");
+}

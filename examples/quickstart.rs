@@ -1,0 +1,56 @@
+//! Quickstart: run one confidential inference end to end.
+//!
+//! ```text
+//! cargo run -p ccai-bench --example quickstart
+//! ```
+//!
+//! Builds a vanilla platform and a ccAI-protected one around a simulated
+//! NVIDIA A100, runs the same workload through the *same unmodified
+//! driver*, and shows that (1) results are identical, (2) the protected
+//! run really encrypted/decrypted the data path, and (3) a bus snooper
+//! learns nothing from the protected run.
+
+use ccai_core::system::{ConfidentialSystem, SystemMode};
+use ccai_pcie::BusAdversary;
+use ccai_xpu::{CommandProcessor, XpuSpec};
+
+fn main() {
+    let weights = b"proprietary model weights: the crown jewels".repeat(512);
+    let prompt = b"user secret: how do I treat this diagnosis?".repeat(16);
+    let expected = CommandProcessor::surrogate_inference(&weights, &prompt);
+
+    // --- vanilla run (with a snooper on the bus) ---
+    let mut vanilla = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::Vanilla);
+    let snooper = BusAdversary::new();
+    vanilla.fabric_mut().add_tap(snooper.tap());
+    let result = vanilla.run_workload(&weights, &prompt).expect("vanilla run");
+    assert_eq!(result, expected);
+    println!("vanilla : result OK — but the snooper harvested {} packets", snooper.log().len());
+    println!(
+        "vanilla : prompt leaked on the bus? {}",
+        snooper.log().leaked(&prompt[..43])
+    );
+
+    // --- ccAI run (same driver, same workload, snooper still listening) ---
+    let mut ccai = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let snooper2 = BusAdversary::new();
+    ccai.fabric_mut().add_tap(snooper2.tap());
+    let result = ccai.run_workload(&weights, &prompt).expect("ccAI run");
+    assert_eq!(result, expected, "protection is transparent to results");
+
+    let sc = ccai.sc_counters();
+    let adaptor = ccai.adaptor_counters();
+    println!("ccAI    : result OK (identical to vanilla)");
+    println!(
+        "ccAI    : prompt leaked on the bus? {}",
+        snooper2.log().leaked(&prompt[..43])
+    );
+    println!(
+        "ccAI    : adaptor encrypted {} bytes; SC decrypted {} chunks, encrypted {} back",
+        adaptor.bytes_encrypted, sc.chunks_decrypted, sc.chunks_encrypted
+    );
+    println!("ccAI    : SC alerts: {}", ccai.sc().expect("sc present").alerts().len());
+
+    ccai.end_task();
+    println!("task ended: keys destroyed, xPU environment reset");
+}

@@ -1,0 +1,160 @@
+//! Cross-checks every regenerated table/figure against the *shape* of the
+//! paper's results: who wins, by roughly what factor, and where the knees
+//! fall. Absolute seconds are simulation artifacts; these relations are
+//! the reproduction targets (see EXPERIMENTS.md).
+
+use ccai_bench::figures;
+use ccai_core::compat;
+
+#[test]
+fn headline_claim_overheads_within_the_abstract_band() {
+    // Abstract: "low (0.05% – 5.67%) performance overhead".
+    let mut all: Vec<(String, f64)> = Vec::new();
+    for p in figures::fig8_fix_batch()
+        .iter()
+        .chain(figures::fig8_fix_token().iter())
+        .chain(figures::fig9().iter())
+        .chain(figures::fig10().iter())
+        .chain(figures::fig12a().iter())
+    {
+        all.push((p.label.clone(), p.e2e_overhead()));
+    }
+    for (label, overhead) in &all {
+        assert!(
+            (0.0..0.07).contains(overhead),
+            "{label}: E2E overhead {overhead} outside the reproduction band"
+        );
+    }
+    // Something must be non-trivially protected: max above 3%.
+    let max = all.iter().map(|(_, o)| *o).fold(0.0f64, f64::max);
+    assert!(max > 0.03, "max overhead {max} suspiciously low — is crypto on?");
+}
+
+#[test]
+fn fig8_token_sweep_e2e_scales_roughly_linearly() {
+    let points = figures::fig8_fix_batch();
+    let e2e: Vec<f64> = points.iter().map(|p| p.vanilla.e2e.as_secs_f64()).collect();
+    // 2048 tokens ≈ 32× the decode work of 64 tokens; with fixed prefill
+    // cost the ratio should land between 20× and 32×.
+    let ratio = e2e[5] / e2e[0];
+    assert!((20.0..35.0).contains(&ratio), "E2E scaling ratio {ratio}");
+}
+
+#[test]
+fn fig8_paper_observation_token_increase_does_not_spike_overhead() {
+    // §8.3: "expanding the input token size from 1024-tok to 2048-tok
+    // adds merely 0.08% overhead".
+    let points = figures::fig8_fix_batch();
+    let at_1024 = points[4].e2e_overhead();
+    let at_2048 = points[5].e2e_overhead();
+    assert!((at_2048 - at_1024).abs() < 0.002);
+}
+
+#[test]
+fn fig8_paper_observation_batch_knee_then_plateau() {
+    // §8.3: "TPS overhead increases by 3.39% between 12-bat and 24-bat,
+    // but only 0.47% between 24-bat and 48-bat".
+    let points = figures::fig8_fix_token();
+    let loss = |label: &str| {
+        points.iter().find(|p| p.label == label).unwrap().tps_loss()
+    };
+    let jump_12_24 = loss("24-bat") - loss("12-bat");
+    let jump_24_48 = loss("48-bat") - loss("24-bat");
+    assert!(jump_12_24 > 2.0 * jump_24_48, "knee {jump_12_24} vs plateau {jump_24_48}");
+}
+
+#[test]
+fn fig8_ttft_overhead_larger_for_smaller_tokens() {
+    // §8.3: "ccAI performs better on benchmarks with larger-size tokens
+    // (e.g., 5.45% in 64-tok and 1.13% in 2048-tok)".
+    let points = figures::fig8_fix_batch();
+    let first = points.first().unwrap().ttft_overhead();
+    let last = points.last().unwrap().ttft_overhead();
+    assert!(first > 2.0 * last, "TTFT amortization: {first} vs {last}");
+    assert!((0.02..0.08).contains(&first));
+}
+
+#[test]
+fn fig9_overhead_not_linear_in_model_size() {
+    // §8.4: "this bandwidth-related overhead does not scale linearly with
+    // model parameter size (e.g., 2.14% on Deepseek-r1-70b and 2.84% on
+    // Babel-83b)" — both smaller than Deepseek-r1-32b's 4.76%.
+    let points = figures::fig9();
+    let by_name = |name: &str| points.iter().find(|p| p.label == name).unwrap().e2e_overhead();
+    assert!(by_name("Deepseek-r1-70b") < by_name("Deepseek-r1-32b"));
+    assert!(by_name("Babel-83b") < by_name("Deepseek-r1-32b"));
+}
+
+#[test]
+fn fig10_every_vendor_protected_cheaply() {
+    let points = figures::fig10();
+    let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+    assert_eq!(
+        labels,
+        ["NVIDIA A100", "NVIDIA T4", "NVIDIA RTX4090Ti", "Enflame S60", "Tenstorrent N150d"]
+    );
+    for p in &points {
+        assert!(p.e2e_overhead() < 0.04, "{}", p.label);
+    }
+}
+
+#[test]
+fn fig11_reduction_is_stable_across_workload_scale() {
+    // §8.5: "changes in token/batch size have minimal impact on our
+    // optimization's effectiveness" — reductions all within a few points
+    // of each other, in the 88–90%+ region.
+    let all: Vec<f64> = figures::fig11_fix_batch()
+        .iter()
+        .chain(figures::fig11_fix_token().iter())
+        .map(figures::AblationPoint::reduction)
+        .collect();
+    let min = all.iter().copied().fold(1.0f64, f64::min);
+    let max = all.iter().copied().fold(0.0f64, f64::max);
+    assert!(min > 0.85, "min reduction {min}");
+    assert!(max < 0.95, "max reduction {max}");
+    assert!(max - min < 0.06, "stability band {min}..{max}");
+}
+
+#[test]
+fn fig12a_limited_bandwidth_does_not_amplify_overhead() {
+    // §8.6: "ccAI does not introduce higher performance overhead when
+    // PCIe speed/lanes are limited".
+    let points = figures::fig12a();
+    let full = points[0].e2e_overhead();
+    for p in &points[1..] {
+        assert!(
+            p.e2e_overhead() < full + 0.05,
+            "{}: {} vs full-bandwidth {}",
+            p.label,
+            p.e2e_overhead(),
+            full
+        );
+    }
+}
+
+#[test]
+fn fig12b_relative_performance_near_paper_value() {
+    // §8.6: "both ccAI and the native system reduce performance to ~83%…
+    // ccAI only introduces a low addition (less than 2%)".
+    for p in figures::fig12b() {
+        assert!((0.75..0.97).contains(&p.vanilla_relative()), "{}", p.label);
+        assert!(p.ccai_added() < 0.02, "{}: +{}", p.label, p.ccai_added());
+    }
+}
+
+#[test]
+fn tables_match_paper_values() {
+    assert_eq!(compat::table2().len(), 18);
+    let (loc, _, regs, brams) = compat::table3_totals();
+    assert_eq!(loc, 3_100);
+    assert_eq!(regs, 195_700);
+    assert_eq!(brams, 630);
+}
+
+#[test]
+fn granularity_ablation_supports_the_secure_pcie_argument() {
+    // §8.1 "Comparison to secure PCIe": full-link encryption would cost
+    // strictly more than selective packet-level protection.
+    let (selective, full_link) = figures::ablation_granularity();
+    assert!(full_link > 3.0 * selective, "selective {selective} vs full {full_link}");
+}

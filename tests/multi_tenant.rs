@@ -1,0 +1,218 @@
+//! §9 "PCIe-SC for multiple xPUs and users": two tenants, two xPUs, one
+//! fabric. Each xPU carries its own security-controller instance (the
+//! deployed configuration: "each PCIe-SC serves a single xPU that is
+//! owned by a TVM"); policies are keyed by PCIe identifiers, so tenant
+//! isolation falls out of the packet filter plus per-tenant key domains.
+
+use ccai_core::adaptor::{Adaptor, AdaptorConfig};
+use ccai_core::perf::OptimizationConfig;
+use ccai_core::sc::{regs, PcieSc, ScConfig};
+use ccai_pcie::{Bdf, BusAdversary, Fabric, PortId, Tlp};
+use ccai_tvm::{GuestMemory, XpuDriver};
+use ccai_xpu::{CommandProcessor, Xpu, XpuSpec};
+
+struct Tenant {
+    bdf: Bdf,
+    driver: XpuDriver,
+    adaptor: Adaptor,
+    master: [u8; 32],
+}
+
+struct TwoTenantRig {
+    fabric: Fabric,
+    memory: GuestMemory,
+    tenants: Vec<Tenant>,
+    xpu_bar1: Vec<u64>,
+}
+
+const SC_REGIONS: [u64; 2] = [0x7F00_0000, 0x7E00_0000];
+const XPU_BARS: [u64; 2] = [0x8000_0000, 0xC000_0000];
+const STAGING: [(u64, u64); 2] = [(0x100_0000, 0x100_0000), (0x300_0000, 0x100_0000)];
+const TAG_LANDING: [u64; 2] = [0x80_0000, 0x90_0000];
+const METADATA: [u64; 2] = [0xA0_0000, 0xA1_0000];
+
+fn build_rig() -> TwoTenantRig {
+    let mut fabric = Fabric::new();
+    let mut memory = GuestMemory::new(128 << 20);
+    let mut tenants = Vec::new();
+    let mut xpu_bar1 = Vec::new();
+
+    for i in 0..2usize {
+        let tvm_bdf = Bdf::new(0, 2 + i as u8, 0);
+        let xpu_bdf = Bdf::new(0x17 + i as u8, 0, 0);
+        let sc_bdf = Bdf::new(0x15 - i as u8, 0, 0);
+
+        let xpu = Xpu::new(XpuSpec::a100(), xpu_bdf, XPU_BARS[i]);
+        let driver = XpuDriver::for_xpu(tvm_bdf, &xpu);
+        let window = xpu.address_window();
+        let bar0 = xpu.bar0_base()..xpu.bar0_base() + ccai_xpu::device::BAR0_SIZE;
+        let bar1 = xpu.bar1_base()..xpu.bar1_base() + ccai_xpu::device::BAR1_SIZE;
+        xpu_bar1.push(xpu.bar1_base());
+
+        let port = PortId(i as u8);
+        fabric.attach(port, Box::new(xpu));
+        fabric.map_range(window, port);
+        fabric.map_range(SC_REGIONS[i]..SC_REGIONS[i] + regs::WINDOW_LEN, port);
+
+        memory.share_range(STAGING[i].0..STAGING[i].0 + STAGING[i].1);
+        memory.share_range(TAG_LANDING[i]..TAG_LANDING[i] + 0x1_0000);
+        memory.share_range(METADATA[i]..METADATA[i] + 0x1_0000);
+
+        // Per-tenant master secret (in deployment: a per-tenant DH
+        // exchange after per-tenant attestation).
+        let master = [0x40 + i as u8; 32];
+        let sc = PcieSc::new(
+            ScConfig {
+                sc_bdf,
+                region_base: SC_REGIONS[i],
+                tvm_bdf,
+                xpu_bdf,
+                mmio_integrity: true,
+                metadata_batching: true,
+            },
+            master,
+        );
+        fabric.interpose(port, Box::new(sc));
+
+        let adaptor = Adaptor::new(
+            AdaptorConfig {
+                tvm_bdf,
+                xpu_bdf,
+                sc_region_base: SC_REGIONS[i],
+                xpu_bar0: bar0,
+                xpu_bar1: bar1,
+                staging_base: STAGING[i].0,
+                staging_len: STAGING[i].1,
+                tag_landing: TAG_LANDING[i],
+                metadata_buf: METADATA[i],
+                mmio_integrity: true,
+                opts: OptimizationConfig::all_on(),
+            },
+            master,
+        );
+        tenants.push(Tenant { bdf: tvm_bdf, driver, adaptor, master });
+    }
+
+    TwoTenantRig { fabric, memory, tenants, xpu_bar1 }
+}
+
+fn run_tenant(rig: &mut TwoTenantRig, i: usize, weights: &[u8], input: &[u8]) -> Vec<u8> {
+    let tenant = &rig.tenants[i];
+    let adaptor = tenant.adaptor.clone();
+    let master = tenant.master;
+    let mut stager = adaptor.clone();
+    let mut port = adaptor.port(&mut rig.fabric);
+    adaptor.hw_init(&mut port);
+    assert!(adaptor.install_default_policy(&mut port, &master), "tenant {i} policy");
+    let driver = &tenant.driver;
+    driver.init(&mut port).unwrap();
+    driver
+        .load_model(&mut port, &mut rig.memory, &mut stager, weights, 0x10_0000)
+        .unwrap();
+    driver
+        .run_inference(&mut port, &mut rig.memory, &mut stager, input, 0x40_0000, 0x50_0000)
+        .unwrap()
+}
+
+#[test]
+fn two_tenants_compute_correctly_side_by_side() {
+    let mut rig = build_rig();
+    let (w_a, i_a) = (b"tenant-a-model".to_vec(), b"tenant-a-query".to_vec());
+    let (w_b, i_b) = (b"tenant-b-model".to_vec(), b"tenant-b-query".to_vec());
+    let r_a = run_tenant(&mut rig, 0, &w_a, &i_a);
+    let r_b = run_tenant(&mut rig, 1, &w_b, &i_b);
+    assert_eq!(r_a, CommandProcessor::surrogate_inference(&w_a, &i_a));
+    assert_eq!(r_b, CommandProcessor::surrogate_inference(&w_b, &i_b));
+    assert_ne!(r_a, r_b);
+}
+
+#[test]
+fn snooper_learns_nothing_from_either_tenant() {
+    let mut rig = build_rig();
+    let adversary = BusAdversary::new();
+    rig.fabric.add_tap(adversary.tap());
+    let secret_a = b"TENANT-A-SECRET".repeat(300);
+    let secret_b = b"TENANT-B-SECRET".repeat(300);
+    run_tenant(&mut rig, 0, &secret_a, b"qa");
+    run_tenant(&mut rig, 1, &secret_b, b"qb");
+    assert!(adversary.log().len() > 100);
+    assert!(!adversary.log().leaked(&secret_a[..15]));
+    assert!(!adversary.log().leaked(&secret_b[..15]));
+}
+
+#[test]
+fn cross_tenant_xpu_access_is_blocked() {
+    let mut rig = build_rig();
+    run_tenant(&mut rig, 0, b"model-a", b"query-a");
+    run_tenant(&mut rig, 1, b"model-b", b"query-b");
+
+    // Tenant A tries to read tenant B's device memory (model B lives at
+    // 0x10_0000 behind B's BAR1 aperture). B's SC only authorizes B.
+    let tenant_a = rig.tenants[0].bdf;
+    let target = rig.xpu_bar1[1] + 0x10_0000;
+    let replies = rig
+        .fabric
+        .host_request(Tlp::memory_read(tenant_a, target, 64, 0x41));
+    assert!(
+        replies.iter().all(|r| r.payload().is_empty()),
+        "tenant A must not read tenant B's xPU memory"
+    );
+
+    // And the write direction.
+    rig.fabric
+        .host_request(Tlp::memory_write(tenant_a, target, vec![0xFF; 64]));
+    // Tenant B's model still intact: rerun produces the correct result.
+    let r_b = run_tenant(&mut rig, 1, b"model-b", b"query-b2");
+    assert_eq!(r_b, CommandProcessor::surrogate_inference(b"model-b", b"query-b2"));
+}
+
+#[test]
+fn cross_tenant_control_access_is_denied() {
+    let mut rig = build_rig();
+    run_tenant(&mut rig, 0, b"m", b"q");
+    // Tenant A pokes tenant B's SC control window (e.g. to redirect B's
+    // tag landing buffer into A-readable memory).
+    let tenant_a = rig.tenants[0].bdf;
+    rig.fabric.host_request(Tlp::memory_write(
+        tenant_a,
+        SC_REGIONS[1] + regs::TAG_LANDING_ADDR,
+        TAG_LANDING[0].to_le_bytes().to_vec(),
+    ));
+    // B still works and B's SC recorded the denial.
+    let r_b = run_tenant(&mut rig, 1, b"model-b", b"query-b");
+    assert_eq!(r_b, CommandProcessor::surrogate_inference(b"model-b", b"query-b"));
+}
+
+#[test]
+fn tenants_cannot_decrypt_each_others_streams() {
+    // Key-domain isolation: even with full fabric access, tenant A's key
+    // schedule (master A) cannot open data sealed under tenant B's
+    // schedule. Checked at the crypto layer with the exact derivation the
+    // adaptors use.
+    use ccai_core::handler::{ChunkRef, CryptoEngine};
+    use ccai_core::sc::epoch_master;
+    use ccai_trust::keymgmt::StreamId;
+    use ccai_trust::WorkloadKeyManager;
+
+    let mut keys_a = WorkloadKeyManager::new(epoch_master(&[0x40; 32], 0));
+    let mut keys_b = WorkloadKeyManager::new(epoch_master(&[0x41; 32], 0));
+    keys_a.provision_stream(StreamId(0x100), 100);
+    keys_b.provision_stream(StreamId(0x100), 100);
+
+    let chunk = ChunkRef { stream: StreamId(0x100), seq: 0 };
+    let mut engine = CryptoEngine::new();
+    let (ct, tag) = engine.seal_detached(
+        keys_b.stream_key(StreamId(0x100)).unwrap(),
+        &chunk.nonce(),
+        b"tenant B plaintext",
+        &chunk.aad(),
+    );
+    let verdict = engine.open_detached(
+        keys_a.stream_key(StreamId(0x100)).unwrap(),
+        &chunk.nonce(),
+        &ct,
+        &tag,
+        &chunk.aad(),
+    );
+    assert!(verdict.is_err(), "cross-tenant decryption must fail");
+}

@@ -1,0 +1,328 @@
+//! Property-based tests over the core data structures and invariants:
+//! TLP codec round-trips, AEAD round-trips and tamper detection, policy
+//! blob round-trips, filter monotonicity, device-memory consistency, and
+//! bignum algebra.
+
+use ccai_core::filter::{L1Rule, L2Rule, PacketFilter, PolicyBlob, SecurityAction};
+use ccai_crypto::bignum::BigUint;
+use ccai_crypto::{AesGcm, Key};
+use ccai_pcie::{Bdf, Tlp, TlpType};
+use ccai_xpu::DeviceMemory;
+use proptest::prelude::*;
+
+fn arb_bdf() -> impl Strategy<Value = Bdf> {
+    (any::<u8>(), 0u8..32, 0u8..8).prop_map(|(b, d, f)| Bdf::new(b, d, f))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tlp_memory_write_round_trips(
+        bdf in arb_bdf(),
+        addr in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..2048),
+    ) {
+        let tlp = Tlp::memory_write(bdf, addr, payload);
+        let decoded = Tlp::decode(&tlp.encode()).expect("decodes");
+        prop_assert_eq!(decoded, tlp);
+    }
+
+    #[test]
+    fn tlp_memory_read_round_trips(
+        bdf in arb_bdf(),
+        addr in any::<u64>(),
+        len in 1u32..4096,
+        tag in any::<u8>(),
+    ) {
+        let tlp = Tlp::memory_read(bdf, addr, len, tag);
+        let decoded = Tlp::decode(&tlp.encode()).expect("decodes");
+        prop_assert_eq!(decoded.header().payload_len(), len);
+        prop_assert_eq!(decoded, tlp);
+    }
+
+    #[test]
+    fn tlp_completion_round_trips(
+        completer in arb_bdf(),
+        requester in arb_bdf(),
+        tag in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let tlp = Tlp::completion_with_data(completer, requester, tag, payload);
+        prop_assert_eq!(Tlp::decode(&tlp.encode()).expect("decodes"), tlp);
+    }
+
+    #[test]
+    fn tlp_decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Tlp::decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn gcm_round_trips_any_payload(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..4096),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let gcm = AesGcm::new(&Key::Aes128(key));
+        let sealed = gcm.seal(&nonce, &plaintext, &aad);
+        prop_assert_eq!(sealed.len(), plaintext.len() + 16);
+        prop_assert_eq!(gcm.open(&nonce, &sealed, &aad).expect("authentic"), plaintext);
+    }
+
+    #[test]
+    fn gcm_rejects_any_single_byte_corruption(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 1..512),
+        corrupt_at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let gcm = AesGcm::new(&Key::Aes128(key));
+        let mut sealed = gcm.seal(&nonce, &plaintext, b"");
+        let idx = corrupt_at.index(sealed.len());
+        sealed[idx] ^= xor;
+        prop_assert!(gcm.open(&nonce, &sealed, b"").is_err());
+    }
+
+    #[test]
+    fn policy_blob_round_trips(
+        requesters in proptest::collection::vec(arb_bdf(), 1..8),
+        starts in proptest::collection::vec(0u64..u64::MAX / 2, 1..8),
+    ) {
+        let l1: Vec<L1Rule> = requesters
+            .iter()
+            .map(|&r| L1Rule::admit(TlpType::MemWrite, r))
+            .chain(std::iter::once(L1Rule::default_deny()))
+            .collect();
+        let l2: Vec<L2Rule> = requesters
+            .iter()
+            .zip(starts.iter())
+            .map(|(&r, &s)| {
+                L2Rule::for_range(TlpType::MemWrite, r, s..s + 0x1000, SecurityAction::CryptProtect)
+            })
+            .collect();
+        let key = Key::Aes128([0x5C; 16]);
+        let blob = PolicyBlob::seal(&l1, &l2, &key, [3; 12]);
+        let (l1_back, l2_back) = blob.unseal(&key).expect("round trip");
+        prop_assert_eq!(l1_back, l1);
+        prop_assert_eq!(l2_back, l2);
+    }
+
+    #[test]
+    fn filter_default_deny_is_total(
+        bdf in arb_bdf(),
+        addr in any::<u64>(),
+        write in any::<bool>(),
+    ) {
+        // With no rules, EVERY packet is disallowed — the fail-closed
+        // invariant.
+        let mut filter = PacketFilter::new();
+        let tlp = if write {
+            Tlp::memory_write(bdf, addr, vec![0])
+        } else {
+            Tlp::memory_read(bdf, addr, 4, 0)
+        };
+        prop_assert_eq!(filter.classify(tlp.header()), SecurityAction::Disallow);
+    }
+
+    #[test]
+    fn filter_admission_is_requester_exact(
+        admitted in arb_bdf(),
+        other in arb_bdf(),
+        addr in 0u64..0x1_0000,
+    ) {
+        prop_assume!(admitted != other);
+        let mut filter = PacketFilter::new();
+        filter.push_l1(L1Rule::admit(TlpType::MemWrite, admitted));
+        filter.push_l2(L2Rule::for_type(TlpType::MemWrite, admitted, SecurityAction::PassThrough));
+        let good = Tlp::memory_write(admitted, addr, vec![0]);
+        let bad = Tlp::memory_write(other, addr, vec![0]);
+        prop_assert_eq!(filter.classify(good.header()), SecurityAction::PassThrough);
+        prop_assert_eq!(filter.classify(bad.header()), SecurityAction::Disallow);
+    }
+
+    #[test]
+    fn device_memory_write_read_consistency(
+        writes in proptest::collection::vec(
+            (0u64..60_000, proptest::collection::vec(any::<u8>(), 1..256)),
+            1..16
+        ),
+    ) {
+        // Model-based check: device memory behaves like a flat byte array.
+        let mut mem = DeviceMemory::new(1 << 16);
+        let mut model = vec![0u8; 1 << 16];
+        for (addr, data) in &writes {
+            if *addr as usize + data.len() <= model.len() {
+                mem.write(*addr, data).expect("in bounds");
+                model[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+            }
+        }
+        let snapshot = mem.read(0, 1 << 16).expect("full read");
+        prop_assert_eq!(snapshot, model);
+    }
+
+    #[test]
+    fn bignum_mul_mod_agrees_with_schoolbook(
+        a_bytes in proptest::collection::vec(any::<u8>(), 1..24),
+        b_bytes in proptest::collection::vec(any::<u8>(), 1..24),
+        m_bytes in proptest::collection::vec(any::<u8>(), 2..24),
+    ) {
+        let a = BigUint::from_bytes_be(&a_bytes);
+        let b = BigUint::from_bytes_be(&b_bytes);
+        let mut m = BigUint::from_bytes_be(&m_bytes);
+        // Montgomery requires an odd modulus >= 3.
+        if !m.is_odd() {
+            m = m.add(&BigUint::one());
+        }
+        prop_assume!(m > BigUint::from(2u64));
+        let ctx = ccai_crypto::bignum::Montgomery::new(m.clone());
+        prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul(&b).rem(&m));
+    }
+
+    #[test]
+    fn bignum_div_rem_invariant(
+        a_bytes in proptest::collection::vec(any::<u8>(), 1..32),
+        d_bytes in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let a = BigUint::from_bytes_be(&a_bytes);
+        let d = BigUint::from_bytes_be(&d_bytes);
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+    }
+
+    #[test]
+    fn bignum_bytes_round_trip(bytes in proptest::collection::vec(1u8..=255, 0..40)) {
+        // Leading byte nonzero keeps the encoding canonical.
+        let n = BigUint::from_bytes_be(&bytes);
+        prop_assert_eq!(n.to_bytes_be(), bytes);
+    }
+}
+
+// ---- protocol-level properties (fewer cases: modexp-heavy) ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn schnorr_signatures_verify_and_bind_the_message(
+        key_seed in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        use ccai_crypto::{DhGroup, SchnorrKeyPair};
+        let group = DhGroup::sim512();
+        let kp = SchnorrKeyPair::generate(&group, &key_seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public().verify(&msg, &sig));
+        // Any single-byte change to a non-empty message invalidates it.
+        if !msg.is_empty() {
+            let mut other = msg.clone();
+            let idx = flip.index(other.len());
+            other[idx] ^= 0x01;
+            prop_assert!(!kp.public().verify(&other, &sig));
+        }
+    }
+
+    #[test]
+    fn dh_agreement_is_symmetric_for_any_entropy(
+        a_seed in any::<[u8; 32]>(),
+        b_seed in any::<[u8; 32]>(),
+    ) {
+        use ccai_crypto::{DhGroup, DhKeyPair};
+        let group = DhGroup::sim512();
+        let a = DhKeyPair::generate(&group, &a_seed);
+        let b = DhKeyPair::generate(&group, &b_seed);
+        prop_assert_eq!(a.agree(b.public()).unwrap(), b.agree(a.public()).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hkdf_is_deterministic_and_input_sensitive(
+        salt in proptest::collection::vec(any::<u8>(), 0..32),
+        ikm in proptest::collection::vec(any::<u8>(), 1..64),
+        info in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        use ccai_crypto::hkdf;
+        let a = hkdf(&salt, &ikm, &info, 32);
+        let b = hkdf(&salt, &ikm, &info, 32);
+        prop_assert_eq!(&a, &b);
+        let mut ikm2 = ikm.clone();
+        ikm2[0] ^= 1;
+        prop_assert_ne!(a, hkdf(&salt, &ikm2, &info, 32));
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in any::<prop::sample::Index>(),
+    ) {
+        use ccai_crypto::{sha256, Sha256};
+        let cut = split.index(data.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn link_dma_time_is_monotonic(
+        bytes_small in 1u64..(1 << 24),
+        extra in 1u64..(1 << 24),
+    ) {
+        use ccai_pcie::{LinkConfig, LinkSpeed};
+        let link = LinkConfig::new(LinkSpeed::Gen4, 16);
+        prop_assert!(link.dma_time(bytes_small + extra) > link.dma_time(bytes_small));
+        // And faster links are never slower.
+        let slow = LinkConfig::new(LinkSpeed::Gen3, 8);
+        prop_assert!(slow.dma_time(bytes_small) >= link.dma_time(bytes_small));
+    }
+
+    #[test]
+    fn iv_manager_never_repeats_within_a_generation(
+        prefix in any::<u32>(),
+        draws in 1usize..512,
+    ) {
+        use ccai_crypto::IvManager;
+        let mut ivs = IvManager::new(prefix);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..draws {
+            let (nonce, _) = ivs.next_iv().unwrap();
+            prop_assert!(seen.insert(nonce), "nonce reuse");
+        }
+    }
+
+    #[test]
+    fn tag_records_round_trip_any_content(
+        stream in any::<u32>(),
+        seq in any::<u64>(),
+        tag in any::<[u8; 16]>(),
+    ) {
+        use ccai_core::handler::TagRecord;
+        use ccai_trust::keymgmt::StreamId;
+        let record = TagRecord { stream: StreamId(stream), seq, tag };
+        prop_assert_eq!(TagRecord::from_bytes(&record.to_bytes()), Some(record));
+    }
+
+    #[test]
+    fn guest_memory_dma_respects_sharing_for_any_layout(
+        share_start in 0u64..0x8000,
+        share_len in 1u64..0x4000,
+        probe in 0u64..0xFFFF,
+    ) {
+        use ccai_pcie::{Bdf, HostMemory};
+        use ccai_tvm::GuestMemory;
+        let mut mem = GuestMemory::new(0x1_0000);
+        let share_end = (share_start + share_len).min(0x1_0000);
+        mem.share_range(share_start..share_end);
+        let dev = Bdf::new(1, 0, 0);
+        let readable = mem.dma_read(dev, probe, 1).is_some();
+        let expected = probe >= share_start && probe < share_end;
+        prop_assert_eq!(readable, expected);
+    }
+}

@@ -1,0 +1,240 @@
+//! §8.2 security analysis, executed: every adversary from the threat
+//! model attacks the assembled system, and every attack is blocked or
+//! detected while the vanilla baseline demonstrably falls.
+
+use ccai_core::sc::ScAlert;
+use ccai_core::system::{layout, ConfidentialSystem, SystemMode};
+use ccai_pcie::{Bdf, BusAdversary, TamperMode, Tlp, TlpType, WireAttack};
+use ccai_tvm::hypervisor::AttackOutcome;
+use ccai_tvm::HostAdversary;
+use ccai_xpu::{CommandProcessor, XpuSpec};
+
+fn secrets() -> (Vec<u8>, Vec<u8>) {
+    (
+        b"WEIGHTS-SECRET-".repeat(700),
+        b"PROMPT-SECRET--".repeat(40),
+    )
+}
+
+#[test]
+fn vanilla_platform_leaks_everything_to_a_snooper() {
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::Vanilla);
+    let snooper = BusAdversary::new();
+    system.fabric_mut().add_tap(snooper.tap());
+    system.run_workload(&weights, &prompt).unwrap();
+    assert!(snooper.log().leaked(&weights[..15]));
+    assert!(snooper.log().leaked(&prompt[..15]));
+}
+
+#[test]
+fn ccai_defeats_pcie_snooping() {
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let snooper = BusAdversary::new();
+    system.fabric_mut().add_tap(snooper.tap());
+    let result = system.run_workload(&weights, &prompt).unwrap();
+    assert_eq!(result, CommandProcessor::surrogate_inference(&weights, &prompt));
+    // The snooper saw plenty of traffic but none of the plaintext.
+    assert!(snooper.log().len() > 50);
+    assert!(!snooper.log().leaked(&weights[..15]));
+    assert!(!snooper.log().leaked(&prompt[..15]));
+    // Even short fragments stay hidden.
+    assert!(!snooper.log().leaked(b"WEIGHTS-SECRET"));
+}
+
+#[derive(Debug)]
+struct DataTamper;
+impl WireAttack for DataTamper {
+    fn mangle(&mut self, tlp: Tlp, downstream: bool) -> Option<Tlp> {
+        if downstream && tlp.header().tlp_type() == TlpType::CompletionData
+            && tlp.payload().len() >= 64
+        {
+            Some(TamperMode::BitFlip { byte: 7, bit: 1 }.apply(tlp))
+        } else {
+            Some(tlp)
+        }
+    }
+}
+
+#[test]
+fn ccai_detects_in_flight_tampering() {
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.fabric_mut().set_wire_attack(Box::new(DataTamper));
+    let verdict = system.run_workload(&weights, &prompt);
+    assert!(verdict.is_err(), "tampered data must not produce a result");
+    let alerts = system.sc().unwrap().alerts();
+    assert!(
+        alerts.iter().any(|a| matches!(a, ScAlert::CryptFailure { .. })),
+        "the SC records the authentication failure: {alerts:?}"
+    );
+}
+
+/// Deletes ciphertext completions outright (the §8.2 packet-deletion
+/// attack).
+#[derive(Debug)]
+struct PacketDeleter {
+    dropped: u32,
+}
+impl WireAttack for PacketDeleter {
+    fn mangle(&mut self, tlp: Tlp, downstream: bool) -> Option<Tlp> {
+        if downstream
+            && tlp.header().tlp_type() == TlpType::CompletionData
+            && tlp.payload().len() >= 4096
+            && self.dropped == 0
+        {
+            self.dropped += 1;
+            return None;
+        }
+        Some(tlp)
+    }
+}
+
+#[test]
+fn ccai_surfaces_packet_deletion_as_failure() {
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.fabric_mut().set_wire_attack(Box::new(PacketDeleter { dropped: 0 }));
+    let verdict = system.run_workload(&weights, &prompt);
+    assert!(verdict.is_err(), "missing data cannot silently succeed");
+}
+
+#[test]
+fn rogue_requester_blocked_by_l1_table() {
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.run_workload(&weights, &prompt).unwrap();
+
+    let rogue = Bdf::new(9, 9, 0);
+    // Try to read the model out of device memory (BAR1 aperture).
+    let bar1 = layout::XPU_BAR_BASE + (1 << 28);
+    let replies = system
+        .fabric_mut()
+        .host_request(BusAdversary::craft_forged_read(rogue, bar1 + layout::DEV_WEIGHTS, 64));
+    assert!(replies.iter().all(|r| r.payload().is_empty()), "no data for the rogue");
+
+    // Try to overwrite the weights.
+    let before = system.sc_counters().packets_blocked;
+    system
+        .fabric_mut()
+        .host_request(BusAdversary::craft_forged_write(rogue, bar1 + layout::DEV_WEIGHTS, vec![0; 64]));
+    assert!(system.sc_counters().packets_blocked > before);
+
+    // The workload still runs correctly afterwards: nothing was damaged.
+    let result = system.run_workload(&weights, &prompt).unwrap();
+    assert_eq!(result, CommandProcessor::surrogate_inference(&weights, &prompt));
+}
+
+#[test]
+fn rogue_cannot_reconfigure_the_sc() {
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.run_workload(b"w", b"i").unwrap();
+    let rogue = Bdf::new(9, 9, 0);
+    // Attempt to point the tag landing buffer at attacker memory.
+    system.fabric_mut().host_request(Tlp::memory_write(
+        rogue,
+        layout::SC_REGION + ccai_core::sc::regs::TAG_LANDING_ADDR,
+        0xDEAD_0000u64.to_le_bytes().to_vec(),
+    ));
+    let alerts = system.sc().unwrap().alerts();
+    assert!(
+        alerts
+            .iter()
+            .any(|a| matches!(a, ScAlert::ControlAccessDenied { .. })),
+        "control-window access from a rogue must be denied: {alerts:?}"
+    );
+    // System still healthy.
+    system.run_workload(b"w2", b"i2").unwrap();
+}
+
+#[test]
+fn replayed_data_chunks_are_rejected() {
+    // Replay is exercised at the SC level: seeing the same (stream, seq)
+    // twice is refused even with a valid tag. The system-level proof is
+    // that a full rerun of the same workload uses fresh streams and
+    // succeeds, while the SC's replay counter stays zero in clean runs.
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.run_workload(&weights, &prompt).unwrap();
+    system.run_workload(&weights, &prompt).unwrap();
+    assert_eq!(system.sc().unwrap().replays_blocked(), 0);
+}
+
+#[test]
+fn host_adversary_cannot_read_private_tvm_memory() {
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.run_workload(&weights, &prompt).unwrap();
+    let mut host = HostAdversary::new();
+    for addr in [0u64, 0x1000, 0x7F_0000] {
+        assert_eq!(
+            host.read_tvm_memory(system.memory(), addr, 64),
+            AttackOutcome::Blocked,
+            "private page at {addr:#x}"
+        );
+    }
+}
+
+#[test]
+fn bounce_buffers_hold_only_ciphertext() {
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.run_workload(&weights, &prompt).unwrap();
+    let mut host = HostAdversary::new();
+    match host.read_tvm_memory(system.memory(), layout::STAGING_BASE, weights.len() as u64) {
+        AttackOutcome::Leaked(bytes) => {
+            assert_ne!(bytes, weights, "bounce buffer must not hold plaintext");
+            // No 15-byte window of the secret shows through.
+            assert!(
+                !bytes.windows(15).any(|w| w == &weights[..15]),
+                "plaintext fragment visible in the bounce buffer"
+            );
+        }
+        other => panic!("shared pages are host-visible by design, got {other:?}"),
+    }
+}
+
+#[test]
+fn environment_guard_blocks_page_table_retargeting() {
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.run_workload(b"w", b"i").unwrap();
+    // Register a guarded page-table base, then attack it via the Adaptor
+    // port (so the MMIO integrity tag is valid — the *value* is the attack).
+    let guarded_addr = layout::XPU_BAR_BASE + 0x40;
+    let tvm = system.tvm_bdf();
+    let (_, _, _, _, adaptor) = system.parts();
+    let adaptor = adaptor.expect("ccai mode");
+    {
+        let fabric = system.fabric_mut();
+        let mut port = adaptor.port(fabric);
+        adaptor.guard_register(&mut port, guarded_addr, 0xAB00_0000);
+        use ccai_tvm::TlpPort;
+        port.request(Tlp::memory_write(
+            tvm,
+            guarded_addr,
+            0xBAD0_0000u64.to_le_bytes().to_vec(),
+        ));
+    }
+    let alerts = system.sc().unwrap().alerts();
+    assert!(
+        alerts
+            .iter()
+            .any(|a| matches!(a, ScAlert::WriteProtectFailure { .. })),
+        "page-table retargeting must be caught: {alerts:?}"
+    );
+}
+
+#[test]
+fn every_device_survives_the_snooping_battery() {
+    let (weights, prompt) = secrets();
+    for spec in XpuSpec::evaluation_set() {
+        let name = spec.name().to_string();
+        let mut system = ConfidentialSystem::build(spec, SystemMode::CcAi);
+        let snooper = BusAdversary::new();
+        system.fabric_mut().add_tap(snooper.tap());
+        system.run_workload(&weights, &prompt).unwrap();
+        assert!(!snooper.log().leaked(&weights[..15]), "{name} leaked weights");
+        assert!(!snooper.log().leaked(&prompt[..15]), "{name} leaked prompt");
+    }
+}

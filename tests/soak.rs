@@ -1,0 +1,77 @@
+//! Soak: many randomized confidential workloads through one platform,
+//! with a snooper attached throughout. Sizes are drawn deterministically
+//! so failures reproduce.
+
+use ccai_core::system::{ConfidentialSystem, SystemMode};
+use ccai_pcie::BusAdversary;
+use ccai_sim::SimRng;
+use ccai_xpu::{CommandProcessor, XpuSpec};
+
+#[test]
+fn fifty_randomized_workloads_stay_clean() {
+    let mut rng = SimRng::seed_from(0xCC_A1);
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let adversary = BusAdversary::new();
+    system.fabric_mut().add_tap(adversary.tap());
+
+    for round in 0..50 {
+        let w_len = rng.next_range(1, 60_000) as usize;
+        let i_len = rng.next_range(1, 20_000) as usize;
+        let weights = rng.bytes(w_len);
+        let input = rng.bytes(i_len);
+        let result = system
+            .run_workload(&weights, &input)
+            .unwrap_or_else(|e| panic!("round {round} ({w_len}/{i_len}): {e}"));
+        assert_eq!(
+            result,
+            CommandProcessor::surrogate_inference(&weights, &input),
+            "round {round}"
+        );
+        if w_len >= 24 {
+            assert!(
+                !adversary.log().leaked(&weights[..24]),
+                "round {round}: weights prefix leaked"
+            );
+        }
+        // Periodic task teardown exercises epoch rekeying mid-soak.
+        if round % 17 == 16 {
+            system.end_task();
+        }
+    }
+
+    let sc = system.sc().expect("protected");
+    assert_eq!(sc.alerts().len(), 0, "clean soak must raise no alerts");
+    assert_eq!(sc.replays_blocked(), 0);
+    assert!(system.adaptor_counters().bytes_encrypted > 500_000);
+}
+
+#[test]
+fn task_teardown_wipes_the_xpu_environment() {
+    // §4.2 environment guard: after end_task, nothing of the previous
+    // tenant's model or results remains readable on the device.
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let secret_model = b"residual-model-secret".repeat(100);
+    system.run_workload(&secret_model, b"query").unwrap();
+    system.end_task();
+
+    // Read the (former) weights region through the aperture as the
+    // authorized TVM — an A4-classified read that reaches the device.
+    use ccai_core::system::layout;
+    let bar1 = layout::XPU_BAR_BASE + (1 << 28);
+    let tvm = system.tvm_bdf();
+    let replies = system.fabric_mut().host_request(ccai_pcie::Tlp::memory_read(
+        tvm,
+        bar1 + layout::DEV_WEIGHTS,
+        256,
+        0x61,
+    ));
+    let data = replies
+        .iter()
+        .find(|r| !r.payload().is_empty())
+        .map(|r| r.payload().to_vec())
+        .unwrap_or_default();
+    assert!(
+        data.iter().all(|&b| b == 0),
+        "device memory must be zeroed after the environment reset"
+    );
+}
