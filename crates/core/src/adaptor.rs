@@ -53,12 +53,11 @@ fn seal_chunks_parallel(
         .collect();
     let lanes = lanes.max(1).min(chunks.len().max(1));
     let stripe = chunks.len().div_ceil(lanes);
-    let mut results: Vec<Vec<(Vec<u8>, TagRecord)>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .chunks(stripe)
             .map(|stripe_chunks| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // Each lane expands its own key schedule, as each core
                     // does on the real system.
                     let cipher = ccai_crypto::AesGcm::new(key);
@@ -66,24 +65,23 @@ fn seal_chunks_parallel(
                         .iter()
                         .map(|&(seq, chunk)| {
                             let chunk_ref = ChunkRef { stream, seq };
-                            let mut sealed =
-                                cipher.seal(&chunk_ref.nonce(), chunk, &chunk_ref.aad());
-                            let split = sealed.len() - 16;
-                            let mut tag = [0u8; 16];
-                            tag.copy_from_slice(&sealed[split..]);
-                            sealed.truncate(split);
+                            let mut sealed = chunk.to_vec();
+                            let tag = cipher.seal_in_place_detached(
+                                &chunk_ref.nonce(),
+                                &mut sealed,
+                                &chunk_ref.aad(),
+                            );
                             (sealed, TagRecord { stream, seq, tag })
                         })
                         .collect::<Vec<_>>()
                 })
             })
             .collect();
-        for handle in handles {
-            results.push(handle.join().expect("crypto lane panicked"));
-        }
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("crypto lane panicked"))
+            .collect()
     })
-    .expect("crossbeam scope");
-    results.into_iter().flatten().collect()
 }
 
 /// Adaptor operation counters (priced by the perf model).
@@ -480,7 +478,9 @@ impl DmaStager for Adaptor {
 
             // Encrypt into the bounce buffer; collect tags. Large
             // transfers fan the chunks out across the configured crypto
-            // lanes (§5); small ones stay on the caller's core.
+            // lanes (§5); small ones stay on the caller's core. Either
+            // way the plaintext is copied exactly once and sealed in
+            // place — no per-chunk ciphertext allocations.
             let lanes = state.config.opts.crypto_lanes as usize;
             let mut tags = Vec::new();
             if lanes > 1 && data.len() >= PARALLEL_CRYPTO_THRESHOLD {
@@ -491,17 +491,18 @@ impl DmaStager for Adaptor {
                     tags.push(record);
                 }
             } else {
-                for (i, chunk) in data.chunks(CHUNK_SIZE as usize).enumerate() {
+                let mut sealed = data.to_vec();
+                for (i, chunk) in sealed.chunks_mut(CHUNK_SIZE as usize).enumerate() {
                     let chunk_ref = ChunkRef { stream, seq: i as u64 };
-                    let (ct, tag) = state.engine.seal_detached(
+                    let tag = state.engine.seal_in_place_detached(
                         &key,
                         &chunk_ref.nonce(),
                         chunk,
                         &chunk_ref.aad(),
                     );
-                    memory.write(base + i as u64 * CHUNK_SIZE, &ct);
                     tags.push(TagRecord { stream, seq: i as u64, tag });
                 }
+                memory.write(base, &sealed);
             }
             state.counters.bytes_encrypted += data.len() as u64;
             state.counters.chunks_staged += tags.len() as u64;
@@ -608,23 +609,21 @@ impl DmaStager for Adaptor {
             tags.insert((record.stream, record.seq), record.tag);
         }
 
-        // Decrypt and verify chunk by chunk.
-        let mut plaintext = Vec::with_capacity(buffer.len as usize);
-        for i in 0..chunks {
-            let offset = i * CHUNK_SIZE;
-            let this_len = CHUNK_SIZE.min(buffer.len - offset);
-            let ct = memory.read(base + offset, this_len);
+        // Read the landing buffer once, then verify + decrypt each chunk
+        // in place — no per-chunk ciphertext or plaintext allocations.
+        let mut plaintext = memory.read(base, buffer.len);
+        for (i, chunk) in plaintext.chunks_mut(CHUNK_SIZE as usize).enumerate() {
+            let i = i as u64;
             let chunk_ref = ChunkRef { stream, seq: i };
             let tag = tags.remove(&(stream, i)).ok_or_else(|| IntegrityError {
                 reason: format!("missing tag for chunk {i}"),
             })?;
-            let plain = state
+            state
                 .engine
-                .open_detached(&key, &chunk_ref.nonce(), &ct, &tag, &chunk_ref.aad())
+                .open_in_place_detached(&key, &chunk_ref.nonce(), chunk, &tag, &chunk_ref.aad())
                 .map_err(|()| IntegrityError {
                     reason: format!("authentication failed for chunk {i}"),
                 })?;
-            plaintext.extend_from_slice(&plain);
             state.counters.chunks_recovered += 1;
         }
         state.counters.bytes_decrypted += plaintext.len() as u64;
@@ -694,5 +693,54 @@ impl TlpPort for AdaptorPort<'_> {
 
     fn pump(&mut self, memory: &mut dyn HostMemory) -> usize {
         self.fabric.pump(memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §5 crypto-lane striping must be invisible in the output: any
+    /// lane count yields byte-identical ciphertexts and tags, in sequence
+    /// order, matching the single-threaded engine path.
+    #[test]
+    fn parallel_lanes_match_sequential_engine_output() {
+        let key = Key::Aes128([0x42; 16]);
+        let stream = StreamId(9);
+        // 10.5 chunks: exercises an odd stripe split and a short tail.
+        let data: Vec<u8> =
+            (0..CHUNK_SIZE as usize * 10 + 2048).map(|i| (i * 31 % 251) as u8).collect();
+
+        let mut engine = CryptoEngine::new();
+        let expected: Vec<(Vec<u8>, TagRecord)> = data
+            .chunks(CHUNK_SIZE as usize)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let chunk_ref = ChunkRef { stream, seq: i as u64 };
+                let (ct, tag) =
+                    engine.seal_detached(&key, &chunk_ref.nonce(), chunk, &chunk_ref.aad());
+                (ct, TagRecord { stream, seq: i as u64, tag })
+            })
+            .collect();
+
+        for lanes in [1, 2, 3, 8, 64] {
+            let got = seal_chunks_parallel(&key, stream, &data, lanes);
+            assert_eq!(got.len(), expected.len(), "lanes={lanes}");
+            for ((got_ct, got_rec), (want_ct, want_rec)) in got.iter().zip(&expected) {
+                assert_eq!(got_rec.seq, want_rec.seq, "lanes={lanes}");
+                assert_eq!(got_rec.tag, want_rec.tag, "lanes={lanes} seq={}", want_rec.seq);
+                assert_eq!(got_ct, want_ct, "lanes={lanes} seq={}", want_rec.seq);
+            }
+        }
+    }
+
+    /// More lanes than chunks must not spawn empty stripes or panic.
+    #[test]
+    fn lane_count_clamps_to_chunk_count() {
+        let key = Key::Aes256([7; 32]);
+        let data = vec![0xA5u8; 100];
+        let sealed = seal_chunks_parallel(&key, StreamId(1), &data, 16);
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed[0].0.len(), 100);
     }
 }

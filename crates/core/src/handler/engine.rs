@@ -29,9 +29,27 @@ pub struct EngineStats {
     pub auth_failures: u64,
 }
 
+/// Stack-allocated cache key: the raw key bytes widened to the larger
+/// key size. Hashing and comparing this is allocation-free, unlike the
+/// `Vec<u8>` key the seed used (one heap allocation per crypto call).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct KeyFingerprint {
+    len: u8,
+    bytes: [u8; 32],
+}
+
+impl KeyFingerprint {
+    fn of(key: &Key) -> KeyFingerprint {
+        let raw = key.as_bytes();
+        let mut bytes = [0u8; 32];
+        bytes[..raw.len()].copy_from_slice(raw);
+        KeyFingerprint { len: raw.len() as u8, bytes }
+    }
+}
+
 /// The crypto engine with a small key-schedule cache.
 pub struct CryptoEngine {
-    ciphers: HashMap<Vec<u8>, AesGcm>,
+    ciphers: HashMap<KeyFingerprint, AesGcm>,
     stats: EngineStats,
 }
 
@@ -55,12 +73,14 @@ impl CryptoEngine {
 
     fn cipher(&mut self, key: &Key) -> &AesGcm {
         self.ciphers
-            .entry(key.as_bytes().to_vec())
+            .entry(KeyFingerprint::of(key))
             .or_insert_with(|| AesGcm::new(key))
     }
 
     /// Encrypts a chunk; returns `(ciphertext, tag)` with
-    /// `ciphertext.len() == plaintext.len()`.
+    /// `ciphertext.len() == plaintext.len()`. Rides the cipher's detached
+    /// API directly: one allocation for the ciphertext, no concatenation
+    /// or truncation.
     pub fn seal_detached(
         &mut self,
         key: &Key,
@@ -70,12 +90,22 @@ impl CryptoEngine {
     ) -> (Vec<u8>, [u8; 16]) {
         self.stats.seal_ops += 1;
         self.stats.bytes_encrypted += plaintext.len() as u64;
-        let mut sealed = self.cipher(key).seal(nonce, plaintext, aad);
-        let split = sealed.len() - 16;
-        let mut tag = [0u8; 16];
-        tag.copy_from_slice(&sealed[split..]);
-        sealed.truncate(split);
-        (sealed, tag)
+        self.cipher(key).seal_detached(nonce, plaintext, aad)
+    }
+
+    /// Encrypts a chunk in place, returning the detached tag. The
+    /// zero-copy variant of [`CryptoEngine::seal_detached`] for callers
+    /// that already own a mutable staging buffer.
+    pub fn seal_in_place_detached(
+        &mut self,
+        key: &Key,
+        nonce: &[u8; 12],
+        buf: &mut [u8],
+        aad: &[u8],
+    ) -> [u8; 16] {
+        self.stats.seal_ops += 1;
+        self.stats.bytes_encrypted += buf.len() as u64;
+        self.cipher(key).seal_in_place_detached(nonce, buf, aad)
     }
 
     /// Decrypts a chunk against its detached tag.
@@ -94,13 +124,38 @@ impl CryptoEngine {
         aad: &[u8],
     ) -> Result<Vec<u8>, ()> {
         self.stats.open_ops += 1;
-        let mut sealed = Vec::with_capacity(ciphertext.len() + 16);
-        sealed.extend_from_slice(ciphertext);
-        sealed.extend_from_slice(tag);
-        match self.cipher(key).open(nonce, &sealed, aad) {
+        match self.cipher(key).open_detached(nonce, ciphertext, tag, aad) {
             Ok(plain) => {
                 self.stats.bytes_decrypted += plain.len() as u64;
                 Ok(plain)
+            }
+            Err(_) => {
+                self.stats.auth_failures += 1;
+                Err(())
+            }
+        }
+    }
+
+    /// Verifies and decrypts a chunk in place against its detached tag.
+    /// On failure the buffer is left as ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// `Err(())` if the tag fails to verify; no plaintext is produced.
+    #[allow(clippy::result_unit_err)]
+    pub fn open_in_place_detached(
+        &mut self,
+        key: &Key,
+        nonce: &[u8; 12],
+        buf: &mut [u8],
+        tag: &[u8; 16],
+        aad: &[u8],
+    ) -> Result<(), ()> {
+        self.stats.open_ops += 1;
+        match self.cipher(key).open_in_place_detached(nonce, buf, tag, aad) {
+            Ok(()) => {
+                self.stats.bytes_decrypted += buf.len() as u64;
+                Ok(())
             }
             Err(_) => {
                 self.stats.auth_failures += 1;
@@ -188,6 +243,50 @@ mod tests {
         let tag = engine.plain_tag(&key(), &[3; 12], b"mmio write");
         assert!(engine.verify_plain_tag(&key(), &[3; 12], b"mmio write", &tag));
         assert!(!engine.verify_plain_tag(&key(), &[3; 12], b"mmio writf", &tag));
+    }
+
+    #[test]
+    fn in_place_variants_count_stats_and_round_trip() {
+        let mut engine = CryptoEngine::new();
+        let mut buf = vec![0x5Au8; 4096];
+        let original = buf.clone();
+        let tag = engine.seal_in_place_detached(&key(), &[7; 12], &mut buf, b"aad");
+        assert_ne!(buf, original);
+        engine
+            .open_in_place_detached(&key(), &[7; 12], &mut buf, &tag, b"aad")
+            .unwrap();
+        assert_eq!(buf, original);
+        // A failed in-place open must count an auth failure and not a
+        // decrypted byte.
+        let mut bad_tag = tag;
+        bad_tag[3] ^= 1;
+        let mut sealed_again = buf.clone();
+        let tag2 = engine.seal_in_place_detached(&key(), &[8; 12], &mut sealed_again, b"");
+        assert_ne!(tag2, bad_tag);
+        assert!(engine
+            .open_in_place_detached(&key(), &[8; 12], &mut sealed_again, &bad_tag, b"")
+            .is_err());
+        let stats = engine.stats();
+        assert_eq!(stats.seal_ops, 2);
+        assert_eq!(stats.open_ops, 2);
+        assert_eq!(stats.bytes_encrypted, 8192);
+        assert_eq!(stats.bytes_decrypted, 4096);
+        assert_eq!(stats.auth_failures, 1);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_key_widths() {
+        // A 16-byte zero key and a 32-byte zero key share their first 16
+        // bytes; the fingerprint's length field must keep their cached
+        // schedules apart.
+        let mut engine = CryptoEngine::new();
+        let k128 = Key::Aes128([0; 16]);
+        let k256 = Key::Aes256([0; 32]);
+        let (ct1, tag1) = engine.seal_detached(&k128, &[0; 12], b"same input", b"");
+        let (ct2, _) = engine.seal_detached(&k256, &[0; 12], b"same input", b"");
+        assert_ne!(ct1, ct2);
+        assert!(engine.open_detached(&k128, &[0; 12], &ct1, &tag1, b"").is_ok());
+        assert!(engine.open_detached(&k256, &[0; 12], &ct1, &tag1, b"").is_err());
     }
 
     #[test]

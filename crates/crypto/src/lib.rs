@@ -25,10 +25,15 @@
 //! * [`iv`] — the IV manager with the H100-style exhaustion policy (§6);
 //! * [`ct`] — constant-time comparison helpers.
 //!
-//! These implementations favour clarity over speed; they are functionally
-//! real (NIST/RFC test vectors pass, both sides of the simulated PCIe link
-//! interoperate) while simulated *throughput* is modelled separately in
-//! `ccai-core`.
+//! The bulk AEAD path is built for real throughput — compile-time AES
+//! T-tables, per-key nibble-indexed GHASH tables for `H..H⁴`, a
+//! multi-block CTR keystream and zero-copy detached APIs (see [`gcm`])
+//! — because the
+//! functional datapath seals and opens every byte that crosses the
+//! simulated PCIe-SC. The seed's byte-at-a-time implementations are
+//! retained in [`scalar`] (tests + the `scalar-oracle` feature) as
+//! differential oracles and as the baseline the crypto benchmarks compare
+//! against. The asymmetric primitives still favour clarity over speed.
 //!
 //! # Example
 //!
@@ -51,14 +56,17 @@ pub mod bignum;
 pub mod ct;
 pub mod dh;
 pub mod gcm;
+mod ghash;
 pub mod hmac;
 pub mod iv;
+#[cfg(any(test, feature = "scalar-oracle"))]
+pub mod scalar;
 pub mod schnorr;
 pub mod sha256;
 
 pub use aes::{Aes, Key};
 pub use dh::{DhGroup, DhKeyPair, DhPublic};
-pub use gcm::{AesGcm, OpenError, TAG_LEN};
+pub use gcm::{AesGcm, OpenError, NONCE_LEN, TAG_LEN};
 pub use hmac::{hkdf, hmac_sha256};
 pub use iv::{IvManager, IvStatus};
 pub use schnorr::{SchnorrKeyPair, SchnorrPublic, Signature};

@@ -1,0 +1,320 @@
+//! The seed's scalar crypto implementations, retained as differential
+//! oracles.
+//!
+//! When the table-driven hot path in [`crate::aes`] / [`crate::ghash`] was
+//! introduced, the original byte-at-a-time AES and 128-iteration GF(2^128)
+//! multiply were kept here verbatim. They share no tables with the fast
+//! path (the S-box is re-derived at runtime from the field generator), so
+//! agreement between the two is strong evidence against table-generation
+//! bugs. Compiled for tests and behind the `scalar-oracle` feature, which
+//! the benchmark crate enables to measure the speedup.
+
+use crate::aes::{xtime, Key};
+
+/// Multiplication in GF(2^128) with the GCM reduction polynomial — the
+/// original bit-serial loop (operands in GCM's reflected big-endian
+/// convention).
+pub fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z: u128 = 0;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// S-box and inverse S-box, computed at runtime from the field inverse +
+/// affine map (independently of the compile-time tables on the fast path).
+#[allow(clippy::needless_range_loop)] // index arithmetic mirrors FIPS-197
+fn sboxes() -> ([u8; 256], [u8; 256]) {
+    let mut pow = [0u8; 256];
+    let mut log = [0u8; 256];
+    let mut x: u8 = 1;
+    for i in 0..255 {
+        pow[i] = x;
+        log[x as usize] = i as u8;
+        x ^= xtime(x);
+    }
+    pow[255] = pow[0];
+    let inv = |a: u8| -> u8 {
+        if a == 0 {
+            0
+        } else {
+            pow[(255 - log[a as usize] as usize) % 255]
+        }
+    };
+    let mut sbox = [0u8; 256];
+    let mut inv_sbox = [0u8; 256];
+    for a in 0..256usize {
+        let b = inv(a as u8);
+        let s = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+        sbox[a] = s;
+        inv_sbox[s as usize] = a as u8;
+    }
+    (sbox, inv_sbox)
+}
+
+/// The original table-free AES instance.
+#[derive(Clone)]
+pub struct ScalarAes {
+    round_keys: Vec<[u8; 16]>,
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+impl ScalarAes {
+    /// Expands `key` into round keys.
+    pub fn new(key: &Key) -> ScalarAes {
+        let (sbox, inv_sbox) = sboxes();
+        let kb = key.as_bytes();
+        let nk = kb.len() / 4; // 4 or 8
+        let rounds = nk + 6; // 10 or 14
+        let total_words = 4 * (rounds + 1);
+
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([kb[4 * i], kb[4 * i + 1], kb[4 * i + 2], kb[4 * i + 3]]);
+        }
+        let mut rcon: u8 = 1;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+
+        let round_keys = (0..=rounds)
+            .map(|r| {
+                let mut rk = [0u8; 16];
+                for c in 0..4 {
+                    rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                }
+                rk
+            })
+            .collect();
+
+        ScalarAes { round_keys, sbox, inv_sbox }
+    }
+
+    /// Number of rounds.
+    pub fn rounds(&self) -> usize {
+        self.round_keys.len() - 1
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let rounds = self.rounds();
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..rounds {
+            self.sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        self.sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[rounds]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let rounds = self.rounds();
+        add_round_key(block, &self.round_keys[rounds]);
+        for r in (1..rounds).rev() {
+            inv_shift_rows(block);
+            self.inv_sub_bytes(block);
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        self.inv_sub_bytes(block);
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    fn sub_bytes(&self, b: &mut [u8; 16]) {
+        for x in b.iter_mut() {
+            *x = self.sbox[*x as usize];
+        }
+    }
+
+    fn inv_sub_bytes(&self, b: &mut [u8; 16]) {
+        for x in b.iter_mut() {
+            *x = self.inv_sbox[*x as usize];
+        }
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+/// State layout is column-major: byte `state[4c + r]` is row r, column c.
+fn shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[4 * c + 1] =
+            gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[4 * c + 2] =
+            gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[4 * c + 3] =
+            gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+/// The original AES-GCM construction: scalar AES blocks, bit-serial GHASH,
+/// one counter block per 16 bytes. Matches [`crate::AesGcm`] bit-for-bit;
+/// only the speed differs.
+pub struct ScalarAesGcm {
+    aes: ScalarAes,
+    h: u128,
+}
+
+impl ScalarAesGcm {
+    /// Creates the oracle GCM instance from an AES key.
+    pub fn new(key: &Key) -> ScalarAesGcm {
+        let aes = ScalarAes::new(key);
+        let mut h_block = [0u8; 16];
+        aes.encrypt_block(&mut h_block);
+        ScalarAesGcm { aes, h: u128::from_be_bytes(h_block) }
+    }
+
+    fn counter_block(nonce: &[u8; 12], counter: u32) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..12].copy_from_slice(nonce);
+        block[12..].copy_from_slice(&counter.to_be_bytes());
+        block
+    }
+
+    fn ctr_xor(&self, nonce: &[u8; 12], data: &mut [u8]) {
+        let mut counter = 2u32; // counter 1 is reserved for the tag
+        for chunk in data.chunks_mut(16) {
+            let mut keystream = Self::counter_block(nonce, counter);
+            self.aes.encrypt_block(&mut keystream);
+            for (d, k) in chunk.iter_mut().zip(keystream.iter()) {
+                *d ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn ghash(&self, ciphertext: &[u8], aad: &[u8]) -> u128 {
+        let mut acc = 0u128;
+        for data in [aad, ciphertext] {
+            for chunk in data.chunks(16) {
+                let mut block = [0u8; 16];
+                block[..chunk.len()].copy_from_slice(chunk);
+                acc = gf_mul(acc ^ u128::from_be_bytes(block), self.h);
+            }
+        }
+        let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+        gf_mul(acc ^ lengths, self.h)
+    }
+
+    fn tag(&self, nonce: &[u8; 12], ciphertext: &[u8], aad: &[u8]) -> [u8; 16] {
+        let s = self.ghash(ciphertext, aad);
+        let mut e0 = Self::counter_block(nonce, 1);
+        self.aes.encrypt_block(&mut e0);
+        (s ^ u128::from_be_bytes(e0)).to_be_bytes()
+    }
+
+    /// Encrypts `plaintext`, binding `aad`; returns `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; 12], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        self.ctr_xor(nonce, &mut out);
+        let tag = self.tag(nonce, &out, aad);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `ciphertext || tag` produced by [`ScalarAesGcm::seal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` on a tag mismatch; no plaintext is released.
+    #[allow(clippy::result_unit_err)]
+    pub fn open(&self, nonce: &[u8; 12], sealed: &[u8], aad: &[u8]) -> Result<Vec<u8>, ()> {
+        if sealed.len() < 16 {
+            return Err(());
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - 16);
+        if !crate::ct::ct_eq(&self.tag(nonce, ciphertext, aad), tag) {
+            return Err(());
+        }
+        let mut out = ciphertext.to_vec();
+        self.ctr_xor(nonce, &mut out);
+        Ok(out)
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The ccAI reproduction annotates its public data types with
+//! `#[derive(Serialize, Deserialize)]` so the real serde can be dropped in
+//! when the build environment has network access, but nothing in the
+//! workspace actually serializes through serde (the benchmark runners emit
+//! their JSON by hand). These derives therefore only need to *accept* the
+//! syntax — including `#[serde(...)]` helper attributes — and emit no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
