@@ -109,6 +109,11 @@ pub struct AdaptorCounters {
     pub driver_mmio_reads: u64,
     /// MMIO integrity tags mirrored.
     pub mmio_tags: u64,
+    /// Failed transfers reported by the driver's retry machinery.
+    pub transfer_retries: u64,
+    /// Stream rekeys requested (one per failed transfer whose stream was
+    /// still known).
+    pub rekeys: u64,
 }
 
 /// Static configuration captured when the Adaptor loads.
@@ -149,6 +154,10 @@ struct AdaptorState {
     staging_cursor: u64,
     /// Landing buffers awaiting recovery: device_addr → (stream, chunks).
     pending_d2h: Vec<(u64, StreamId, u64)>,
+    /// Every staging in this task: device_addr → stream, so a failed
+    /// transfer can still be mapped to its stream for rekeying (entries in
+    /// `pending_d2h` are consumed by recovery even when it fails).
+    stream_of: Vec<(u64, StreamId)>,
     tag_cursor: u64,
     mmio_seq: u64,
 }
@@ -231,6 +240,7 @@ impl Adaptor {
             next_stream: 0x100,
             staging_cursor: 0,
             pending_d2h: Vec::new(),
+            stream_of: Vec::new(),
             tag_cursor: 0,
             mmio_seq: 0,
         };
@@ -465,6 +475,7 @@ impl DmaStager for Adaptor {
             let base = state.alloc_staging(data.len() as u64);
             let stream = StreamId(state.next_stream);
             state.next_stream += 1;
+            state.stream_of.push((base, stream));
             let key = state.stream_key(stream);
 
             let mut control_tlps = Vec::new();
@@ -569,6 +580,7 @@ impl DmaStager for Adaptor {
             let base = state.alloc_staging(len);
             let stream = StreamId(state.next_stream);
             state.next_stream += 1;
+            state.stream_of.push((base, stream));
             let _ = state.stream_key(stream);
             let chunks = len.div_ceil(CHUNK_SIZE);
             state.pending_d2h.push((base, stream, chunks));
@@ -630,10 +642,49 @@ impl DmaStager for Adaptor {
         Ok(plaintext)
     }
 
+    fn transfer_failed(
+        &mut self,
+        port: &mut dyn TlpPort,
+        _memory: &mut GuestMemory,
+        buffer: &StagedBuffer,
+    ) {
+        // Map the dead buffer back to its stream (most recent staging for
+        // the address wins: the cursor can revisit addresses across tasks)
+        // and retire the stream's key generation on both sides. The retry
+        // will stage under a fresh stream, so no IV consumed by the failed
+        // attempt can ever be reused, and a replay of the old ciphertext
+        // can no longer authenticate.
+        let rekey = {
+            let mut state = self.state.borrow_mut();
+            state.counters.transfer_retries += 1;
+            let stream = state
+                .stream_of
+                .iter()
+                .rev()
+                .find(|(base, _)| *base == buffer.device_addr)
+                .map(|&(_, stream)| stream);
+            match stream {
+                Some(stream) => {
+                    let _ = state.keys.rotate(stream);
+                    state.counters.rekeys += 1;
+                    Some(state.control_write(
+                        regs::REKEY,
+                        u64::from(stream.0).to_le_bytes().to_vec(),
+                    ))
+                }
+                None => None,
+            }
+        };
+        if let Some(rekey) = rekey {
+            port.request(rekey);
+        }
+    }
+
     fn release_all(&mut self) {
         let mut state = self.state.borrow_mut();
         state.staging_cursor = 0;
         state.pending_d2h.clear();
+        state.stream_of.clear();
     }
 }
 

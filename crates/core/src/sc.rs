@@ -59,6 +59,11 @@ pub mod regs {
     pub const NOTIFY: u64 = 0x1140;
     /// Task-end doorbell (write 1): destroy keys, demand env cleanup.
     pub const TASK_END: u64 = 0x1148;
+    /// Stream-rekey doorbell (write: stream id as u64 LE). The Adaptor
+    /// rings this after a failed transfer so both sides rotate the
+    /// stream's key generation in lockstep and the retransmit can never
+    /// reuse an IV consumed by the dead attempt.
+    pub const REKEY: u64 = 0x1150;
     /// Total control-window span.
     pub const WINDOW_LEN: u64 = 0x2000;
 }
@@ -109,7 +114,21 @@ pub enum ScAlert {
         /// The offending requester.
         requester: String,
     },
+    /// A tenant's channel was demoted to A1-deny after too many
+    /// consecutive integrity failures (graceful degradation: a link or
+    /// peer this broken is treated as hostile).
+    ChannelQuarantined {
+        /// The quarantined xPU.
+        xpu: String,
+        /// Consecutive failures observed when the threshold tripped.
+        failures: u32,
+    },
 }
+
+/// Consecutive A2/A3 integrity failures a tenant may accumulate before
+/// its channel is quarantined to A1-deny. A successful crypto operation
+/// resets the count.
+pub const DEFAULT_QUARANTINE_THRESHOLD: u32 = 8;
 
 /// Operation counters priced by the performance model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -164,6 +183,8 @@ struct TenantCtx {
     tag_landing_cursor: u64,
     metadata_buf: Option<u64>,
     mmio_seq: u64,
+    consecutive_crypt_failures: u32,
+    quarantined: bool,
 }
 
 impl TenantCtx {
@@ -182,6 +203,8 @@ impl TenantCtx {
             tag_landing_cursor: 0,
             metadata_buf: None,
             mmio_seq: 0,
+            consecutive_crypt_failures: 0,
+            quarantined: false,
         }
     }
 
@@ -218,6 +241,7 @@ pub struct PcieSc {
     /// records, metadata batches); drained into upstream outcomes.
     pending_host_writes: Vec<Tlp>,
     expected_reset_addr: Option<u64>,
+    quarantine_threshold: u32,
 }
 
 impl fmt::Debug for PcieSc {
@@ -255,7 +279,26 @@ impl PcieSc {
             alerts: Vec::new(),
             pending_host_writes: Vec::new(),
             expected_reset_addr: None,
+            quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
         }
+    }
+
+    /// Overrides [`DEFAULT_QUARANTINE_THRESHOLD`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero (a channel must be allowed at least
+    /// one failure before being condemned).
+    pub fn set_quarantine_threshold(&mut self, threshold: u32) {
+        assert!(threshold >= 1, "quarantine threshold must be positive");
+        self.quarantine_threshold = threshold;
+    }
+
+    /// True if the tenant bound to `xpu_bdf` has been quarantined to
+    /// A1-deny.
+    pub fn is_quarantined(&self, xpu_bdf: Bdf) -> bool {
+        self.tenant_by_xpu(xpu_bdf)
+            .is_some_and(|t| self.tenants[t].quarantined)
     }
 
     /// Binds an additional tenant — a (TVM, xPU-or-virtual-function) pair
@@ -417,6 +460,10 @@ impl PcieSc {
                     }
                 }
             }
+            regs::REKEY => {
+                let stream = StreamId(read_u64(payload) as u32);
+                let _ = self.tenants[tenant].params.keys_mut().rotate(stream);
+            }
             regs::TASK_END => {
                 self.tenants[tenant].rekey_epoch();
                 self.env_guard.request_reset();
@@ -504,50 +551,62 @@ impl PcieSc {
 
     fn decrypt_completion(&mut self, tenant: usize, tlp: Tlp, chunk: ChunkRef) -> InterposeOutcome {
         if !self.tenants[tenant].params.mark_processed(chunk) {
-            self.alert_crypt(chunk, "replayed chunk");
+            self.alert_crypt(tenant, chunk, "replayed chunk");
             return InterposeOutcome::drop_packet();
         }
         let Some(tag) = self.tenants[tenant].tags.take(chunk.stream, chunk.seq) else {
-            self.alert_crypt(chunk, "missing authentication tag");
+            self.alert_crypt(tenant, chunk, "missing authentication tag");
             return InterposeOutcome::drop_packet();
         };
         let Ok(key) = self.tenants[tenant].params.key(chunk.stream).cloned() else {
-            self.alert_crypt(chunk, "no key for stream");
+            self.alert_crypt(tenant, chunk, "no key for stream");
             return InterposeOutcome::drop_packet();
         };
         match self.engine.open_detached(&key, &chunk.nonce(), tlp.payload(), &tag, &chunk.aad())
         {
             Ok(plain) => {
                 self.counters.chunks_decrypted += 1;
+                self.tenants[tenant].consecutive_crypt_failures = 0;
                 InterposeOutcome::pass(tlp.with_payload(plain))
             }
             Err(()) => {
-                self.alert_crypt(chunk, "authentication failed");
+                self.alert_crypt(tenant, chunk, "authentication failed");
                 InterposeOutcome::drop_packet()
             }
         }
     }
 
-    fn alert_crypt(&mut self, chunk: ChunkRef, reason: &str) {
+    fn alert_crypt(&mut self, tenant: usize, chunk: ChunkRef, reason: &str) {
         self.counters.packets_blocked += 1;
         self.alerts.push(ScAlert::CryptFailure {
             stream: chunk.stream.0,
             seq: chunk.seq,
             reason: reason.to_string(),
         });
+        let threshold = self.quarantine_threshold;
+        let ctx = &mut self.tenants[tenant];
+        ctx.consecutive_crypt_failures += 1;
+        if !ctx.quarantined && ctx.consecutive_crypt_failures >= threshold {
+            ctx.quarantined = true;
+            self.alerts.push(ScAlert::ChannelQuarantined {
+                xpu: ctx.xpu_bdf.to_string(),
+                failures: ctx.consecutive_crypt_failures,
+            });
+        }
     }
 
     // ---- A2: encrypt D2H writes ----
 
     fn encrypt_device_write(&mut self, tenant: usize, tlp: Tlp, chunk: ChunkRef) -> InterposeOutcome {
         let Ok(key) = self.tenants[tenant].params.key(chunk.stream).cloned() else {
-            self.alert_crypt(chunk, "no key for stream");
+            self.alert_crypt(tenant, chunk, "no key for stream");
             return InterposeOutcome::drop_packet();
         };
         let (ct, tag) =
             self.engine
                 .seal_detached(&key, &chunk.nonce(), tlp.payload(), &chunk.aad());
         self.counters.chunks_encrypted += 1;
+        self.tenants[tenant].consecutive_crypt_failures = 0;
         let mut outcome = InterposeOutcome::pass(tlp.with_payload(ct));
         let ctx = &mut self.tenants[tenant];
         if let Some(landing) = ctx.tag_landing {
@@ -662,10 +721,22 @@ impl Interposer for PcieSc {
         self.counters.packets_seen += 1;
         let header = *tlp.header();
 
-        // The SC's own control window.
+        // The SC's own control window stays reachable even under
+        // quarantine (the Adaptor needs it to end the task and re-attest).
         if let Some(addr) = header.address() {
             if self.in_control_window(addr) {
                 return self.handle_control(tlp);
+            }
+        }
+
+        // Quarantined channels are demoted to A1-deny for all data
+        // traffic.
+        if let Some(tenant) = self
+            .tenant_by_tvm(header.requester())
+            .or_else(|| self.tenant_by_xpu(header.requester()))
+        {
+            if self.tenants[tenant].quarantined {
+                return self.block_a1(&tlp);
             }
         }
 
@@ -706,6 +777,16 @@ impl Interposer for PcieSc {
     fn on_upstream(&mut self, tlp: Tlp) -> InterposeOutcome {
         self.counters.packets_seen += 1;
         let header = *tlp.header();
+
+        // A quarantined device may not reach the host at all.
+        if let Some(tenant) = self
+            .tenant_by_xpu(header.requester())
+            .or_else(|| self.tenant_by_tvm(header.requester()))
+        {
+            if self.tenants[tenant].quarantined {
+                return self.block_a1(&tlp);
+            }
+        }
 
         // Track device-issued reads so their completions can be matched.
         if header.tlp_type() == TlpType::MemRead

@@ -11,7 +11,7 @@ use crate::adaptor::{Adaptor, AdaptorConfig, AdaptorCounters};
 use crate::perf::OptimizationConfig;
 use crate::sc::{regs, PcieSc, ScConfig, ScCounters};
 use ccai_crypto::{DhGroup, DhKeyPair};
-use ccai_pcie::{Bdf, Fabric, PortId, Tlp};
+use ccai_pcie::{Bdf, Fabric, FaultEvent, FaultInjector, FaultPlan, PortId, Tlp};
 use ccai_tvm::{DmaStager, DriverError, GuestMemory, IdentityStager, TlpPort, XpuDriver};
 use ccai_xpu::{Reg, Xpu, XpuSpec, registers::RESET_MAGIC};
 use std::fmt;
@@ -367,6 +367,41 @@ impl ConfidentialSystem {
     /// Driver + stager handles for advanced scenarios (tests).
     pub fn driver(&self) -> &XpuDriver {
         &self.driver
+    }
+
+    /// Mutable driver handle (e.g. to tune the DMA retry policy).
+    pub fn driver_mut(&mut self) -> &mut XpuDriver {
+        &mut self.driver
+    }
+
+    /// Arms deterministic fault injection on the fabric's upstream
+    /// segment (see [`FaultPlan`]). Replaces any plan already armed.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fabric.inject_faults(plan);
+    }
+
+    /// Disarms fault injection, returning the injector (and with it the
+    /// recorded trace), if one was armed.
+    pub fn clear_faults(&mut self) -> Option<FaultInjector> {
+        self.fabric.clear_faults()
+    }
+
+    /// The fault events injected so far, in injection order.
+    pub fn fault_trace(&self) -> Vec<FaultEvent> {
+        self.fabric.fault_trace()
+    }
+
+    /// SHA-256 digest of the xPU's device-memory content — the
+    /// differential oracle: two runs that leave the device in the same
+    /// state digest identically, regardless of what the bus did in
+    /// between.
+    pub fn xpu_memory_digest(&self) -> [u8; 32] {
+        self.fabric
+            .device(self.xpu_port)
+            .and_then(ccai_pcie::PcieDevice::as_any)
+            .and_then(|any| any.downcast_ref::<Xpu>())
+            .map(|xpu| xpu.memory().content_digest())
+            .expect("xPU attached at the expected port")
     }
 
     /// Runs `f` with a TLP port appropriate for this mode (the Adaptor

@@ -41,12 +41,27 @@ pub const NONCE_LEN: usize = 12;
 pub const PAR_BLOCKS: usize = 16;
 
 /// Error returned when authenticated decryption fails.
+///
+/// The two variants are distinguishable so callers (the SC's Packet
+/// Handler, the differential fault-injection suite) can tell a framing
+/// problem from a cryptographic one, but neither releases any plaintext
+/// and neither leaks *where* verification diverged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OpenError;
+pub enum OpenError {
+    /// The authentication tag did not verify: wrong key, wrong nonce,
+    /// wrong AAD, or a tampered ciphertext.
+    TagMismatch,
+    /// The sealed input is shorter than an authentication tag, so there
+    /// is no tag to verify against.
+    Truncated,
+}
 
 impl fmt::Display for OpenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "authentication tag mismatch")
+        match self {
+            OpenError::TagMismatch => write!(f, "authentication tag mismatch"),
+            OpenError::Truncated => write!(f, "sealed input shorter than an authentication tag"),
+        }
     }
 }
 
@@ -195,8 +210,8 @@ impl AesGcm {
     ///
     /// # Errors
     ///
-    /// Returns [`OpenError`] on a tag mismatch; `buf` is left as
-    /// ciphertext and no plaintext is produced.
+    /// Returns [`OpenError::TagMismatch`] on a tag mismatch; `buf` is
+    /// left as ciphertext and no plaintext is produced.
     pub fn open_in_place_detached(
         &self,
         nonce: &[u8; NONCE_LEN],
@@ -205,7 +220,7 @@ impl AesGcm {
         aad: &[u8],
     ) -> Result<(), OpenError> {
         if !ct_eq(&self.tag(nonce, buf, aad), tag) {
-            return Err(OpenError);
+            return Err(OpenError::TagMismatch);
         }
         self.ctr_xor(nonce, buf);
         Ok(())
@@ -229,7 +244,8 @@ impl AesGcm {
     ///
     /// # Errors
     ///
-    /// Returns [`OpenError`] on a tag mismatch; no plaintext is released.
+    /// Returns [`OpenError::TagMismatch`] on a tag mismatch; no
+    /// plaintext is released.
     pub fn open_detached(
         &self,
         nonce: &[u8; NONCE_LEN],
@@ -238,7 +254,7 @@ impl AesGcm {
         aad: &[u8],
     ) -> Result<Vec<u8>, OpenError> {
         if !ct_eq(&self.tag(nonce, ciphertext, aad), tag) {
-            return Err(OpenError);
+            return Err(OpenError::TagMismatch);
         }
         let mut out = ciphertext.to_vec();
         self.ctr_xor(nonce, &mut out);
@@ -258,9 +274,10 @@ impl AesGcm {
     ///
     /// # Errors
     ///
-    /// Returns [`OpenError`] if the input is shorter than a tag or if the
-    /// authentication tag does not verify (wrong key, nonce, AAD, or a
-    /// tampered ciphertext). No plaintext is released on failure.
+    /// Returns [`OpenError::Truncated`] if the input is shorter than a
+    /// tag, and [`OpenError::TagMismatch`] if the authentication tag does
+    /// not verify (wrong key, nonce, AAD, or a tampered ciphertext). No
+    /// plaintext is released on failure.
     pub fn open(
         &self,
         nonce: &[u8; NONCE_LEN],
@@ -268,7 +285,7 @@ impl AesGcm {
         aad: &[u8],
     ) -> Result<Vec<u8>, OpenError> {
         if sealed.len() < TAG_LEN {
-            return Err(OpenError);
+            return Err(OpenError::Truncated);
         }
         let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
         let mut tag_arr = [0u8; TAG_LEN];
@@ -434,7 +451,7 @@ mod tests {
         bad_tag[0] ^= 1;
         assert_eq!(
             gcm.open_in_place_detached(&n, &mut buf, &bad_tag, b""),
-            Err(OpenError)
+            Err(OpenError::TagMismatch)
         );
         // Failed open must leave the buffer untouched (still ciphertext).
         assert_eq!(buf, ciphertext);
@@ -464,7 +481,58 @@ mod tests {
     #[test]
     fn truncated_input_rejected() {
         let gcm = AesGcm::new(&Key::Aes128([0; 16]));
-        assert_eq!(gcm.open(&[0u8; 12], &[0u8; 15], b""), Err(OpenError));
+        // Too short to even hold a tag: a distinct error from mismatch.
+        for len in 0..TAG_LEN {
+            let sealed = vec![0u8; len];
+            assert_eq!(gcm.open(&[0u8; 12], &sealed, b""), Err(OpenError::Truncated));
+        }
+        // Exactly TAG_LEN junk bytes is long enough to *be* a tag — it
+        // must fail as a mismatch instead.
+        assert_eq!(gcm.open(&[0u8; 12], &[0u8; TAG_LEN], b""), Err(OpenError::TagMismatch));
+    }
+
+    /// A failed in-place open must leave the caller's buffer untouched for
+    /// every buffer shape, including the multi-slab bulk path.
+    #[test]
+    fn failed_open_never_touches_the_buffer() {
+        let gcm = AesGcm::new(&Key::Aes256([0x5A; 32]));
+        let n = [8u8; 12];
+        for len in [1usize, 16, 127, 128, 129, 4096] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+            let mut buf = pt.clone();
+            let tag = gcm.seal_in_place_detached(&n, &mut buf, b"aad");
+            let ciphertext = buf.clone();
+
+            let mut bad_tag = tag;
+            bad_tag[TAG_LEN - 1] ^= 0x40;
+            assert_eq!(
+                gcm.open_in_place_detached(&n, &mut buf, &bad_tag, b"aad"),
+                Err(OpenError::TagMismatch),
+                "len {len}"
+            );
+            assert_eq!(buf, ciphertext, "len {len}: buffer modified on bad tag");
+
+            // Wrong AAD is also a mismatch and also leaves the bytes alone.
+            assert_eq!(
+                gcm.open_in_place_detached(&n, &mut buf, &tag, b"other"),
+                Err(OpenError::TagMismatch),
+                "len {len}"
+            );
+            assert_eq!(buf, ciphertext, "len {len}: buffer modified on bad AAD");
+
+            // And the correct tag still opens the untouched ciphertext.
+            gcm.open_in_place_detached(&n, &mut buf, &tag, b"aad").unwrap();
+            assert_eq!(buf, pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn open_error_variants_display_distinctly() {
+        let mismatch = format!("{}", OpenError::TagMismatch);
+        let truncated = format!("{}", OpenError::Truncated);
+        assert_ne!(mismatch, truncated);
+        assert!(mismatch.contains("mismatch"));
+        assert!(truncated.contains("shorter"));
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub trait PcieDevice: fmt::Debug {
 
     /// Delivers a completion for a DMA read this device issued earlier.
     fn deliver_completion(&mut self, _tlp: Tlp) {}
+
+    /// Downcasting support so owners can inspect concrete device state
+    /// (e.g. memory digests) while it lives in the fabric. Devices that
+    /// opt in return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Default handling for configuration TLPs: devices can call this from

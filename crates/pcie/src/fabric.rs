@@ -14,6 +14,7 @@
 //!   internal PCIe connection inside the sealed chassis (§6 Sealing).
 
 use crate::device::{HostMemory, PcieDevice};
+use crate::fault::{CompletionVerdict, FaultEvent, FaultInjector, FaultPlan};
 use crate::tlp::{CplStatus, Tlp, TlpType};
 use crate::Bdf;
 use std::collections::HashMap;
@@ -114,6 +115,11 @@ pub struct Fabric {
     wire_attack: Option<Box<dyn WireAttack>>,
     /// Interrupt/other messages delivered to the host.
     host_inbox: Vec<Tlp>,
+    /// Seeded fault injector on the upstream link segment, if installed.
+    fault: Option<FaultInjector>,
+    /// Read completions held back by a `DelayCompletion` fault, flushed
+    /// (and counted as moved) at the start of the next pump cycle.
+    delayed: Vec<(PortId, Tlp)>,
 }
 
 impl Fabric {
@@ -189,6 +195,25 @@ impl Fabric {
     /// Removes the wire attacker.
     pub fn clear_wire_attack(&mut self) -> Option<Box<dyn WireAttack>> {
         self.wire_attack.take()
+    }
+
+    /// Installs a seeded fault injector on the upstream link segment.
+    /// Replaces any previous injector (and its trace).
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultInjector::new(plan));
+    }
+
+    /// Removes the fault injector, returning it (with its trace).
+    pub fn clear_faults(&mut self) -> Option<FaultInjector> {
+        self.fault.take()
+    }
+
+    /// The fault trace recorded so far (empty without an injector).
+    pub fn fault_trace(&self) -> Vec<FaultEvent> {
+        self.fault
+            .as_ref()
+            .map(|f| f.trace().to_vec())
+            .unwrap_or_default()
     }
 
     fn wire(&mut self, tlp: Tlp, downstream: bool) -> Option<Tlp> {
@@ -338,6 +363,14 @@ impl Fabric {
     /// moved.
     pub fn pump(&mut self, host_memory: &mut dyn HostMemory) -> usize {
         let mut moved = 0;
+        // Flush completions a `DelayCompletion` fault held back last
+        // cycle. They count as moved so `while pump() > 0` loops keep
+        // draining until every delayed packet has arrived.
+        let delayed = std::mem::take(&mut self.delayed);
+        for (origin, reply) in delayed {
+            moved += 1;
+            self.deliver_completion_to_device(origin, reply);
+        }
         let port_ids: Vec<PortId> = {
             let mut ids: Vec<PortId> = self.ports.keys().copied().collect();
             ids.sort();
@@ -365,6 +398,13 @@ impl Fabric {
                         port.device.handle(back);
                     }
                     to_bus_all.extend(to_bus);
+                }
+                // The injected fault segment sits between the interposer
+                // and the host: the PCIe-SC has already classified and
+                // encrypted this traffic, so every surviving mutation is
+                // caught by the integrity layer, not hidden from it.
+                if let Some(injector) = &mut self.fault {
+                    injector.fault_upstream_batch(&mut to_bus_all);
                 }
                 for tlp in to_bus_all {
                     if let Some(tlp) = self.wire(tlp, false) {
@@ -406,26 +446,22 @@ impl Fabric {
                         CplStatus::UnsupportedRequest,
                     ),
                 };
-                let Some(reply) = self.wire(reply, true) else {
-                    return; // deleted on the wire
-                };
-                // Back down through the interposer to the device.
-                let port = self.ports.get_mut(&origin).expect("port exists");
-                let forwarded = match &mut port.interposer {
-                    Some(ip) => {
-                        let outcome = ip.on_downstream(reply);
-                        for up in outcome.reply {
-                            // replies go back upstream; rare, ignore routing
-                            self.host_inbox.push(up);
+                // The completion crosses the faulted link segment raw,
+                // before the interposer sees it: a corrupted ciphertext
+                // chunk must still reach the SC so its integrity check
+                // (not luck) is what keeps it out of the device.
+                let reply = match &mut self.fault {
+                    Some(injector) => match injector.fault_completion(reply) {
+                        CompletionVerdict::Deliver(tlp) => tlp,
+                        CompletionVerdict::Dropped => return,
+                        CompletionVerdict::Delayed(tlp) => {
+                            self.delayed.push((origin, tlp));
+                            return;
                         }
-                        outcome.forward
-                    }
-                    None => vec![reply],
+                    },
+                    None => reply,
                 };
-                let port = self.ports.get_mut(&origin).expect("port exists");
-                for tlp in forwarded {
-                    port.device.deliver_completion(tlp);
-                }
+                self.deliver_completion_to_device(origin, reply);
             }
             TlpType::Message => {
                 self.host_inbox.push(tlp);
@@ -434,6 +470,31 @@ impl Fabric {
                 // Peer-to-peer and other flows are not modelled.
                 self.host_inbox.push(tlp);
             }
+        }
+    }
+
+    /// Delivers one read completion down to the device at `origin`,
+    /// through the wire (taps + attacker) and the port's interposer.
+    fn deliver_completion_to_device(&mut self, origin: PortId, reply: Tlp) {
+        let Some(reply) = self.wire(reply, true) else {
+            return; // deleted on the wire
+        };
+        // Back down through the interposer to the device.
+        let port = self.ports.get_mut(&origin).expect("port exists");
+        let forwarded = match &mut port.interposer {
+            Some(ip) => {
+                let outcome = ip.on_downstream(reply);
+                for up in outcome.reply {
+                    // replies go back upstream; rare, ignore routing
+                    self.host_inbox.push(up);
+                }
+                outcome.forward
+            }
+            None => vec![reply],
+        };
+        let port = self.ports.get_mut(&origin).expect("port exists");
+        for tlp in forwarded {
+            port.device.deliver_completion(tlp);
         }
     }
 }

@@ -19,7 +19,9 @@
 //!   **interposer** slots (where the PCIe-SC plugs in) and passive bus
 //!   taps (where the snooping adversary plugs in);
 //! * [`adversary`] — the §2.2 bus attacker: snooping, tampering, replay,
-//!   reordering, dropping and rogue injection.
+//!   reordering, dropping and rogue injection;
+//! * [`fault`] — seeded, deterministic fault injection on the upstream
+//!   link segment ([`FaultPlan`], [`FaultInjector`]), for recovery tests.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub mod bdf;
 pub mod config_space;
 pub mod device;
 pub mod fabric;
+pub mod fault;
 pub mod link;
 pub mod tlp;
 
@@ -49,5 +52,6 @@ pub use bdf::Bdf;
 pub use config_space::ConfigSpace;
 pub use device::{HostMemory, PcieDevice, VecHostMemory};
 pub use fabric::{Fabric, Interposer, InterposeOutcome, PortId, WireAttack};
+pub use fault::{CompletionVerdict, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use link::{LinkConfig, LinkSpeed};
 pub use tlp::{CplStatus, DecodeError, Tlp, TlpHeader, TlpType};

@@ -18,9 +18,10 @@
 
 use crate::guest_memory::GuestMemory;
 use crate::port::TlpPort;
-use crate::stager::DmaStager;
+use crate::stager::{DmaStager, StagedBuffer};
 use ccai_pcie::{Bdf, PcieDevice, Tlp};
 use ccai_xpu::{Reg, RegisterFile};
+use std::cell::Cell;
 use std::fmt;
 
 /// Errors surfaced by driver operations.
@@ -57,6 +58,27 @@ impl fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {}
 
+/// How the driver retries failed DMA transfers.
+///
+/// Real driver stacks survive transient link errors (receiver errors, bad
+/// LCRC, completion timeouts) by retrying the transfer after the engine is
+/// quiesced. The policy bounds both the number of attempts and the idle
+/// backoff between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per transfer (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Base of the exponential backoff: attempt `n` idles the port for
+    /// `backoff_base^n` pump rounds before re-staging.
+    pub backoff_base: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, backoff_base: 2 }
+    }
+}
+
 /// A vendor driver bound to one xPU instance.
 ///
 /// Construction captures what a real driver learns at probe time: the
@@ -70,6 +92,8 @@ pub struct XpuDriver {
     /// BAR1 base, captured at probe time (bulk aperture; reserved for
     /// aperture-based access paths).
     pub bar1: u64,
+    retry: RetryPolicy,
+    retries: Cell<u64>,
 }
 
 impl fmt::Debug for XpuDriver {
@@ -91,7 +115,33 @@ impl XpuDriver {
         bar0: u64,
         bar1: u64,
     ) -> XpuDriver {
-        XpuDriver { tvm_bdf, device_bdf, expected_vendor_id, registers, bar0, bar1 }
+        XpuDriver {
+            tvm_bdf,
+            device_bdf,
+            expected_vendor_id,
+            registers,
+            bar0,
+            bar1,
+            retry: RetryPolicy::default(),
+            retries: Cell::new(0),
+        }
+    }
+
+    /// Replaces the DMA retry policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.max_attempts` is zero.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        assert!(policy.max_attempts >= 1, "retry policy needs at least one attempt");
+        self.retry = policy;
+    }
+
+    /// Total DMA retries performed over the driver's lifetime (transfers
+    /// that needed more than one attempt contribute one count per extra
+    /// attempt).
+    pub fn dma_retries(&self) -> u64 {
+        self.retries.get()
     }
 
     /// Convenience: binds to an [`ccai_xpu::Xpu`] before it is boxed into
@@ -169,11 +219,12 @@ impl XpuDriver {
     }
 
     /// Copies `data` into device memory at `device_addr` via DMA
-    /// (stage → program engine → pump → check status).
+    /// (stage → program engine → pump → check status), retrying per the
+    /// driver's [`RetryPolicy`] if the engine stalls or errors.
     ///
     /// # Errors
     ///
-    /// [`DriverError::DmaFailed`] if the engine reports an error.
+    /// [`DriverError::DmaFailed`] if every attempt fails.
     pub fn dma_to_device(
         &self,
         port: &mut dyn TlpPort,
@@ -182,24 +233,35 @@ impl XpuDriver {
         data: &[u8],
         device_addr: u64,
     ) -> Result<(), DriverError> {
-        let staged = stager.stage_to_device(port, memory, data);
-        self.write_register(port, Reg::DmaSrc, staged.device_addr);
-        self.write_register(port, Reg::DmaDst, device_addr);
-        self.write_register(port, Reg::DmaLen, staged.len);
-        self.write_register(port, Reg::DmaCtrl, 1); // H2D
-        while port.pump(memory) > 0 {}
-        match self.read_register(port, Reg::DmaStatus)? {
-            2 => Ok(()),
-            _ => Err(DriverError::DmaFailed),
+        let mut attempt = 0u32;
+        loop {
+            let staged = stager.stage_to_device(port, memory, data);
+            self.write_register(port, Reg::DmaSrc, staged.device_addr);
+            self.write_register(port, Reg::DmaDst, device_addr);
+            self.write_register(port, Reg::DmaLen, staged.len);
+            self.write_register(port, Reg::DmaCtrl, 1); // H2D
+            while port.pump(memory) > 0 {}
+            if self.read_register(port, Reg::DmaStatus)? == 2 {
+                return Ok(());
+            }
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                return Err(DriverError::DmaFailed);
+            }
+            self.quiesce_and_back_off(port, memory, stager, &staged, attempt);
         }
     }
 
     /// Copies `len` bytes from device memory at `device_addr` back to the
-    /// host via DMA, returning the data.
+    /// host via DMA, returning the data. Engine errors *and* integrity
+    /// failures on the recovered data are retried per the driver's
+    /// [`RetryPolicy`]; each retry uses a fresh landing buffer.
     ///
     /// # Errors
     ///
-    /// [`DriverError::DmaFailed`] if the engine reports an error.
+    /// [`DriverError::DmaFailed`] if the engine keeps failing,
+    /// [`DriverError::IntegrityFailed`] if recovery keeps failing
+    /// verification.
     pub fn dma_from_device(
         &self,
         port: &mut dyn TlpPort,
@@ -208,17 +270,49 @@ impl XpuDriver {
         device_addr: u64,
         len: u64,
     ) -> Result<Vec<u8>, DriverError> {
-        let landing = stager.alloc_from_device(port, memory, len);
-        self.write_register(port, Reg::DmaSrc, device_addr);
-        self.write_register(port, Reg::DmaDst, landing.device_addr);
-        self.write_register(port, Reg::DmaLen, len);
-        self.write_register(port, Reg::DmaCtrl, 2); // D2H
+        let mut attempt = 0u32;
+        loop {
+            let landing = stager.alloc_from_device(port, memory, len);
+            self.write_register(port, Reg::DmaSrc, device_addr);
+            self.write_register(port, Reg::DmaDst, landing.device_addr);
+            self.write_register(port, Reg::DmaLen, len);
+            self.write_register(port, Reg::DmaCtrl, 2); // D2H
+            while port.pump(memory) > 0 {}
+            let failure = match self.read_register(port, Reg::DmaStatus)? {
+                2 => match stager.recover_from_device(port, memory, landing) {
+                    Ok(data) => return Ok(data),
+                    Err(_) => DriverError::IntegrityFailed,
+                },
+                _ => DriverError::DmaFailed,
+            };
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                return Err(failure);
+            }
+            self.quiesce_and_back_off(port, memory, stager, &landing, attempt);
+        }
+    }
+
+    /// Post-failure cleanup between DMA attempts: abort the engine, drain
+    /// in-flight traffic, let the staging layer invalidate the dead buffer
+    /// (rekeying on the confidential path), then idle for an exponentially
+    /// growing number of pump rounds — the simulation's stand-in for
+    /// backoff wall time.
+    fn quiesce_and_back_off(
+        &self,
+        port: &mut dyn TlpPort,
+        memory: &mut GuestMemory,
+        stager: &mut dyn DmaStager,
+        staged: &StagedBuffer,
+        attempt: u32,
+    ) {
+        self.retries.set(self.retries.get() + 1);
+        self.write_register(port, Reg::DmaCtrl, 0); // abort
         while port.pump(memory) > 0 {}
-        match self.read_register(port, Reg::DmaStatus)? {
-            2 => stager
-                .recover_from_device(port, memory, landing)
-                .map_err(|_| DriverError::IntegrityFailed),
-            _ => Err(DriverError::DmaFailed),
+        stager.transfer_failed(port, memory, staged);
+        let rounds = self.retry.backoff_base.saturating_pow(attempt).min(64);
+        for _ in 0..rounds {
+            let _ = port.pump(memory);
         }
     }
 

@@ -40,7 +40,7 @@ pub mod port;
 pub mod stacks;
 pub mod stager;
 
-pub use driver::{DriverError, XpuDriver};
+pub use driver::{DriverError, RetryPolicy, XpuDriver};
 pub use guest_memory::GuestMemory;
 pub use hypervisor::HostAdversary;
 pub use iommu::Iommu;

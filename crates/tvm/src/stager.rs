@@ -78,6 +78,21 @@ pub trait DmaStager: fmt::Debug {
         buffer: StagedBuffer,
     ) -> Result<Vec<u8>, IntegrityError>;
 
+    /// Notifies the stager that the transfer using `buffer` failed and is
+    /// about to be retried with a freshly staged buffer.
+    ///
+    /// Confidential implementations use this hook to rotate the stream key
+    /// (so the retransmit never reuses an IV) and to tell the PCIe-SC to do
+    /// the same; the vanilla kernel has nothing to clean up, so the default
+    /// is a no-op.
+    fn transfer_failed(
+        &mut self,
+        _port: &mut dyn TlpPort,
+        _memory: &mut GuestMemory,
+        _buffer: &StagedBuffer,
+    ) {
+    }
+
     /// Releases all staging allocations (end of task).
     fn release_all(&mut self);
 }

@@ -186,6 +186,13 @@ impl Xpu {
         match reg {
             Reg::DmaCtrl => {
                 let direction = match value {
+                    0 => {
+                        // Abort/reset: recover an engine stuck mid-transfer
+                        // after packet loss, without a full cold boot.
+                        self.dma.abort();
+                        self.sync_dma_status();
+                        return;
+                    }
                     1 => DmaDirection::HostToDevice,
                     2 => DmaDirection::DeviceToHost,
                     _ => return,
@@ -376,6 +383,10 @@ impl PcieDevice for Xpu {
     fn deliver_completion(&mut self, tlp: Tlp) {
         self.dma.deliver_completion(tlp, &mut self.memory);
         self.sync_dma_status();
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -228,6 +228,18 @@ impl DmaEngine {
         }
     }
 
+    /// Aborts the current transfer unconditionally: discards all pending
+    /// and in-flight work and returns to idle. Drivers use this to
+    /// recover an engine stuck `Busy` after a request or completion was
+    /// lost on the link. Completions for abandoned tags that arrive later
+    /// are ignored as stray (the tag is no longer in flight).
+    pub fn abort(&mut self) {
+        self.status = DmaStatus::Idle;
+        self.outbound.clear();
+        self.inflight.clear();
+        self.pending_reads.clear();
+    }
+
     /// Hard reset (cold boot): drops all state.
     pub fn wipe(&mut self) {
         self.status = DmaStatus::Idle;

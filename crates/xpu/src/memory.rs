@@ -162,6 +162,25 @@ impl DeviceMemory {
         self.next_free = 0;
     }
 
+    /// SHA-256 digest of the memory *content*: every non-zero 64 KiB
+    /// chunk hashed in address order as `base_be || bytes`. All-zero
+    /// chunks are skipped, so a wiped memory digests identically to one
+    /// that was never written — the differential check the
+    /// fault-injection suite uses to prove recovery is lossless.
+    pub fn content_digest(&self) -> [u8; 32] {
+        let mut hasher = ccai_crypto::Sha256::new();
+        for (base, chunk) in &self.chunks {
+            if chunk.iter().all(|&b| b == 0) {
+                continue;
+            }
+            hasher.update(&base.to_be_bytes());
+            hasher.update(chunk);
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(hasher.finalize().as_bytes());
+        out
+    }
+
     fn check(&self, addr: u64, len: u64) -> Result<(), MemoryError> {
         if addr.checked_add(len).is_none_or(|end| end > self.capacity) {
             return Err(MemoryError::OutOfBounds { addr, len });

@@ -5,13 +5,38 @@
 
 use ccai_core::filter::{L1Rule, L2Rule, PacketFilter, PolicyBlob, SecurityAction};
 use ccai_crypto::bignum::BigUint;
-use ccai_crypto::{AesGcm, Key};
+use ccai_crypto::scalar::ScalarAesGcm;
+use ccai_crypto::{AesGcm, Key, OpenError};
 use ccai_pcie::{Bdf, Tlp, TlpType};
 use ccai_xpu::DeviceMemory;
 use proptest::prelude::*;
 
 fn arb_bdf() -> impl Strategy<Value = Bdf> {
     (any::<u8>(), 0u8..32, 0u8..8).prop_map(|(b, d, f)| Bdf::new(b, d, f))
+}
+
+/// Either AES key width, uniformly — exercises both round counts.
+fn arb_key() -> impl Strategy<Value = Key> {
+    prop_oneof![
+        any::<[u8; 16]>().prop_map(Key::Aes128),
+        any::<[u8; 32]>().prop_map(Key::Aes256),
+    ]
+}
+
+/// A payload plus sorted, deduplicated cut points inside it: a random
+/// chunk split of the kind the Adaptor's staging path produces.
+fn arb_chunk_split() -> impl Strategy<Value = (Vec<u8>, Vec<usize>)> {
+    proptest::collection::vec(any::<u8>(), 0..2048).prop_flat_map(|payload| {
+        let len = payload.len();
+        (
+            Just(payload),
+            proptest::collection::vec(0usize..len + 1, 0..6).prop_map(|mut cuts| {
+                cuts.sort_unstable();
+                cuts.dedup();
+                cuts
+            }),
+        )
+    })
 }
 
 proptest! {
@@ -307,6 +332,99 @@ proptest! {
         use ccai_trust::keymgmt::StreamId;
         let record = TagRecord { stream: StreamId(stream), seq, tag };
         prop_assert_eq!(TagRecord::from_bytes(&record.to_bytes()), Some(record));
+    }
+
+    #[test]
+    fn fast_datapath_matches_scalar_oracle_chunk_by_chunk(
+        key in arb_key(),
+        nonce_base in any::<[u8; 12]>(),
+        split in arb_chunk_split(),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // The bench crate enables ccai-crypto's `scalar-oracle` feature,
+        // so the seed's byte-at-a-time AEAD is an independent reference
+        // for the optimized pipeline under every chunk geometry.
+        let (payload, cuts) = split;
+        let fast = AesGcm::new(&key);
+        let oracle = ScalarAesGcm::new(&key);
+        let bounds: Vec<usize> = std::iter::once(0)
+            .chain(cuts.iter().copied())
+            .chain(std::iter::once(payload.len()))
+            .collect();
+        for (i, pair) in bounds.windows(2).enumerate() {
+            let chunk = &payload[pair[0]..pair[1]];
+            // Per-chunk nonce, as on the staging datapath: base ‖ index.
+            let mut nonce = nonce_base;
+            nonce[8..].copy_from_slice(&(i as u32).to_be_bytes());
+            let fast_sealed = fast.seal(&nonce, chunk, &aad);
+            prop_assert_eq!(&fast_sealed, &oracle.seal(&nonce, chunk, &aad));
+            // Cross-open both ways.
+            prop_assert_eq!(oracle.open(&nonce, &fast_sealed, &aad).expect("authentic"), chunk.to_vec());
+            prop_assert_eq!(fast.open(&nonce, &fast_sealed, &aad).expect("authentic"), chunk.to_vec());
+        }
+    }
+
+    #[test]
+    fn fast_and_oracle_agree_on_injected_tag_faults(
+        key in arb_key(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 1..768),
+        fault_at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        // A single flipped bit anywhere in ciphertext or tag must be a
+        // TagMismatch on the fast path and a rejection on the oracle.
+        let fast = AesGcm::new(&key);
+        let oracle = ScalarAesGcm::new(&key);
+        let mut sealed = fast.seal(&nonce, &plaintext, b"hdr");
+        let idx = fault_at.index(sealed.len());
+        sealed[idx] ^= xor;
+        prop_assert_eq!(fast.open(&nonce, &sealed, b"hdr"), Err(OpenError::TagMismatch));
+        prop_assert_eq!(oracle.open(&nonce, &sealed, b"hdr"), Err(()));
+    }
+
+    #[test]
+    fn fast_and_oracle_agree_on_truncated_inputs(
+        key in arb_key(),
+        nonce in any::<[u8; 12]>(),
+        keep in 0usize..16,
+    ) {
+        // Shorter than one tag: a distinct Truncated error, never a
+        // plaintext, and the oracle rejects the same inputs.
+        let fast = AesGcm::new(&key);
+        let oracle = ScalarAesGcm::new(&key);
+        let sealed = fast.seal(&nonce, b"payload", b"");
+        let truncated = &sealed[..keep];
+        prop_assert_eq!(fast.open(&nonce, truncated, b""), Err(OpenError::Truncated));
+        prop_assert_eq!(oracle.open(&nonce, truncated, b""), Err(()));
+    }
+
+    #[test]
+    fn detached_seal_matches_oracle_and_survives_tag_faults(
+        key in arb_key(),
+        nonce in any::<[u8; 12]>(),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..1024),
+        xor in 1u8..=255,
+    ) {
+        let fast = AesGcm::new(&key);
+        let oracle = ScalarAesGcm::new(&key);
+        let mut buf = plaintext.clone();
+        let tag = fast.seal_in_place_detached(&nonce, &mut buf, b"aad");
+        // Detached form ≡ the oracle's attached form.
+        let mut attached = buf.clone();
+        attached.extend_from_slice(&tag);
+        prop_assert_eq!(&attached, &oracle.seal(&nonce, &plaintext, b"aad"));
+        // Injected tag fault: rejected without touching the buffer.
+        let ciphertext = buf.clone();
+        let mut bad = tag;
+        bad[0] ^= xor;
+        prop_assert_eq!(
+            fast.open_in_place_detached(&nonce, &mut buf, &bad, b"aad"),
+            Err(OpenError::TagMismatch)
+        );
+        prop_assert_eq!(&buf, &ciphertext);
+        fast.open_in_place_detached(&nonce, &mut buf, &tag, b"aad").expect("authentic");
+        prop_assert_eq!(buf, plaintext);
     }
 
     #[test]

@@ -93,11 +93,24 @@ impl WireAttack for PacketDeleter {
 
 #[test]
 fn ccai_surfaces_packet_deletion_as_failure() {
+    // With retries disabled, a deleted ciphertext completion is a hard,
+    // visible failure — never a silent wrong result.
     let (weights, prompt) = secrets();
     let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system
+        .driver_mut()
+        .set_retry_policy(ccai_tvm::RetryPolicy { max_attempts: 1, backoff_base: 2 });
     system.fabric_mut().set_wire_attack(Box::new(PacketDeleter { dropped: 0 }));
     let verdict = system.run_workload(&weights, &prompt);
     assert!(verdict.is_err(), "missing data cannot silently succeed");
+
+    // Under the default retry policy the same one-shot deletion is
+    // transparently recovered — with a correct result, not a wrong one.
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.fabric_mut().set_wire_attack(Box::new(PacketDeleter { dropped: 0 }));
+    let result = system.run_workload(&weights, &prompt).expect("one drop is retried");
+    assert_eq!(result, CommandProcessor::surrogate_inference(&weights, &prompt));
+    assert!(system.driver().dma_retries() > 0, "recovery went through the retry path");
 }
 
 #[test]

@@ -3,8 +3,9 @@
 //! so failures reproduce.
 
 use ccai_core::system::{ConfidentialSystem, SystemMode};
-use ccai_pcie::BusAdversary;
+use ccai_pcie::{BusAdversary, FaultPlan};
 use ccai_sim::SimRng;
+use ccai_tvm::RetryPolicy;
 use ccai_xpu::{CommandProcessor, XpuSpec};
 
 #[test]
@@ -43,6 +44,73 @@ fn fifty_randomized_workloads_stay_clean() {
     assert_eq!(sc.alerts().len(), 0, "clean soak must raise no alerts");
     assert_eq!(sc.replays_blocked(), 0);
     assert!(system.adaptor_counters().bytes_encrypted > 500_000);
+}
+
+/// Fault-schedule soak: N randomized workloads × M seeded fault plans.
+///
+/// Every (workload, plan) pair must converge to the fault-free outcome —
+/// identical inference result AND byte-identical post-run xPU memory —
+/// within the retry policy's bound. Everything is derived from
+/// `MASTER_SEED`, and every assertion message carries the plan seed, so a
+/// failure reproduces with a single constant.
+#[test]
+fn seeded_fault_schedules_never_diverge() {
+    const MASTER_SEED: u64 = 0xFA_17_5C_ED;
+    const POLICY: RetryPolicy = RetryPolicy { max_attempts: 8, backoff_base: 2 };
+    // 3 transfers per workload, at most (max_attempts - 1) retries each.
+    const RETRY_BOUND: u64 = 3 * (POLICY.max_attempts as u64 - 1);
+
+    let mut rng = SimRng::seed_from(MASTER_SEED);
+    let workloads: Vec<(Vec<u8>, Vec<u8>)> = (0..3)
+        .map(|_| {
+            let w_len = rng.next_range(1_000, 24_000) as usize;
+            let i_len = rng.next_range(100, 8_000) as usize;
+            (rng.bytes(w_len), rng.bytes(i_len))
+        })
+        .collect();
+
+    for (wi, (weights, input)) in workloads.iter().enumerate() {
+        // Fault-free baseline for this workload shape.
+        let mut baseline = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+        baseline.driver_mut().set_retry_policy(POLICY);
+        let expected = baseline
+            .run_workload(weights, input)
+            .unwrap_or_else(|e| panic!("workload {wi}: fault-free baseline failed: {e}"));
+        assert_eq!(expected, CommandProcessor::surrogate_inference(weights, input));
+        let expected_digest = baseline.xpu_memory_digest();
+
+        let seed = MASTER_SEED.wrapping_mul(wi as u64 + 1);
+        let plans = [
+            ("light", FaultPlan::light(seed)),
+            ("drop", FaultPlan::drop_only(seed, 12)),
+            ("corrupt", FaultPlan::corrupt_only(seed, 20)),
+            ("dup+reorder", FaultPlan::duplicate_reorder(seed, 48)),
+            ("delay", FaultPlan::delay_only(seed, 128)),
+            ("flap", FaultPlan::flap_only(seed, 6, 2)),
+        ];
+        for (name, plan) in plans {
+            let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+            system.driver_mut().set_retry_policy(POLICY);
+            system.inject_faults(plan);
+            let result = system.run_workload(weights, input).unwrap_or_else(|e| {
+                panic!("workload {wi}, plan {name} (seed {seed:#x}): {e}")
+            });
+            assert_eq!(
+                result, expected,
+                "workload {wi}, plan {name} (seed {seed:#x}): result diverged"
+            );
+            assert_eq!(
+                system.xpu_memory_digest(),
+                expected_digest,
+                "workload {wi}, plan {name} (seed {seed:#x}): xPU memory diverged"
+            );
+            let retries = system.driver().dma_retries();
+            assert!(
+                retries <= RETRY_BOUND,
+                "workload {wi}, plan {name} (seed {seed:#x}): {retries} retries exceed bound {RETRY_BOUND}"
+            );
+        }
+    }
 }
 
 #[test]

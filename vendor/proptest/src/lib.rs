@@ -2,9 +2,10 @@
 //!
 //! The build environment has no crates.io access, so this crate implements
 //! the slice of the proptest API the ccAI test suite uses: the `proptest!`
-//! macro, `Strategy` (ranges, tuples, `any`, `prop_map`),
-//! `collection::vec`, `prop::sample::Index`, `ProptestConfig`, and the
-//! `prop_assert*` / `prop_assume!` macros.
+//! macro, `Strategy` (ranges, tuples, `any`, `prop_map`, `prop_flat_map`,
+//! `boxed`), `Just`, `Union` / `prop_oneof!`, `collection::vec`,
+//! `prop::sample::Index`, `ProptestConfig`, and the `prop_assert*` /
+//! `prop_assume!` macros.
 //!
 //! Inputs are generated from a deterministic per-test xorshift stream, so
 //! failures reproduce bit-for-bit across runs and machines. Shrinking and
@@ -89,6 +90,93 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Builds a dependent strategy from each generated value: `f` turns
+    /// the draw into a second strategy which is then drawn from. This is
+    /// how "a buffer plus valid indices into it" shapes are generated.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type, so strategies of different
+    /// shapes (but the same `Value`) can share a signature or be mixed
+    /// by [`Union`] / [`prop_oneof!`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between several strategies of the same value type
+/// (usually [`BoxedStrategy`]s built by [`prop_oneof!`]).
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Builds a union over `options`. Panics if `options` is empty.
+    pub fn new(options: impl IntoIterator<Item = S>) -> Union<S> {
+        let options: Vec<S> = options.into_iter().collect();
+        assert!(!options.is_empty(), "Union of zero strategies");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let pick = rng.next_u64() as usize % self.options.len();
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Draws from one of several strategies, chosen uniformly per case. The
+/// arms may have different concrete types as long as they generate the
+/// same `Value`; each arm is boxed.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
 }
 
 /// Strategy adapter produced by [`Strategy::prop_map`].
@@ -248,8 +336,8 @@ pub mod prelude {
     //! One-stop import mirroring `proptest::prelude`.
 
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
-        Arbitrary, ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union,
     };
 }
 
