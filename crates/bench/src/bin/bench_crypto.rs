@@ -6,9 +6,18 @@
 //!
 //! Run with `cargo run --release -p ccai-bench --bin bench_crypto`.
 //! Pass an output path as the first argument to override the default.
+//!
+//! Besides raw crypto throughput, the runner drives one fixed-seed
+//! confidential workload through the functional datapath and embeds the
+//! telemetry snapshot — the per-hop latency breakdown (adaptor staging,
+//! adaptor crypt, SC filter, SC crypt, link, DMA), event counters, and
+//! the deterministic trace digest — under the `telemetry` key.
 
+use ccai_core::system::{ConfidentialSystem, SystemMode};
+use ccai_core::TelemetrySnapshot;
 use ccai_crypto::scalar::ScalarAesGcm;
 use ccai_crypto::{AesGcm, Key};
+use ccai_xpu::XpuSpec;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -115,7 +124,21 @@ fn run() -> Vec<Sample> {
     samples
 }
 
-fn to_json(samples: &[Sample]) -> String {
+/// Runs one fixed-seed confidential inference through the functional
+/// datapath and returns its telemetry snapshot. Every input is
+/// deterministic, so the snapshot's trace digest is reproducible
+/// run-to-run.
+fn confidential_workload_snapshot() -> TelemetrySnapshot {
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let weights = patterned(96 * 1024);
+    let input = patterned(8 * 1024);
+    system
+        .run_workload(&weights, &input)
+        .expect("fixed-seed workload succeeds");
+    system.telemetry_snapshot()
+}
+
+fn to_json(samples: &[Sample], telemetry: &TelemetrySnapshot) -> String {
     let mut out = String::from("{\n  \"benchmark\": \"crypto_throughput\",\n  \"unit\": \"GiB/s\",\n  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
@@ -128,7 +151,10 @@ fn to_json(samples: &[Sample]) -> String {
     }
     out.push_str("  ],\n");
     let speedup = speedup_64k(samples);
-    writeln!(out, "  \"speedup_table_vs_scalar_seal_64KiB\": {speedup:.1}").expect("write");
+    writeln!(out, "  \"speedup_table_vs_scalar_seal_64KiB\": {speedup:.1},").expect("write");
+    out.push_str("  \"telemetry\": ");
+    out.push_str(telemetry.to_json().trim_end());
+    out.push('\n');
     out.push('}');
     out.push('\n');
     out
@@ -162,7 +188,17 @@ fn main() {
         );
     }
     println!("table vs scalar seal @64KiB: {:.1}x", speedup_64k(&samples));
-    let json = to_json(&samples);
+    let snapshot = confidential_workload_snapshot();
+    println!("fixed-seed workload trace digest: {}", snapshot.digest_hex());
+    for hop in &snapshot.hops {
+        println!(
+            "{:>14}  count {:>5}  total {}",
+            hop.hop.as_str(),
+            hop.count,
+            hop.total
+        );
+    }
+    let json = to_json(&samples, &snapshot);
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);

@@ -24,6 +24,7 @@ use crate::perf::OptimizationConfig;
 use crate::sc::{regs, status_bits, MMIO_STREAM, ENV_POLICY_RECORD_LEN, STREAM_MAP_RECORD_LEN};
 use ccai_pcie::{Bdf, Fabric, HostMemory, Tlp, TlpType};
 use ccai_crypto::{hkdf, Key};
+use ccai_sim::{Hop, Severity, Telemetry};
 use ccai_trust::keymgmt::StreamId;
 use ccai_trust::WorkloadKeyManager;
 use ccai_tvm::stager::IntegrityError;
@@ -160,9 +161,14 @@ struct AdaptorState {
     stream_of: Vec<(u64, StreamId)>,
     tag_cursor: u64,
     mmio_seq: u64,
+    telemetry: Option<Telemetry>,
 }
 
 impl AdaptorState {
+    fn tenant(&self) -> Option<u32> {
+        Some(u32::from(self.config.tvm_bdf.to_u16()))
+    }
+
     fn stream_key(&mut self, id: StreamId) -> Key {
         if self.keys.stream_key(id).is_err() {
             self.keys.provision_stream(id, u64::MAX - 1);
@@ -243,9 +249,16 @@ impl Adaptor {
             stream_of: Vec::new(),
             tag_cursor: 0,
             mmio_seq: 0,
+            telemetry: None,
         };
         state.keys.provision_stream(MMIO_STREAM, u64::MAX - 1);
         Adaptor { state: Rc::new(RefCell::new(state)) }
+    }
+
+    /// Connects the Adaptor to the telemetry hub: staging and crypto work
+    /// become per-hop spans, retries and rekeys become trace events.
+    pub fn set_telemetry(&self, telemetry: Telemetry) {
+        self.state.borrow_mut().telemetry = Some(telemetry);
     }
 
     /// Derives the SC-compatible config key from the same master secret.
@@ -556,6 +569,30 @@ impl DmaStager for Adaptor {
                     ));
                 }
             }
+            if let Some(telemetry) = state.telemetry.clone() {
+                let tenant = state.tenant();
+                let stream_tag = Some(u64::from(stream.0));
+                telemetry.advance_span(
+                    Hop::AdaptorCrypt,
+                    tenant,
+                    stream_tag,
+                    state.config.opts.crypto_bandwidth().transfer_time(data.len() as u64),
+                );
+                telemetry.advance_span(
+                    Hop::AdaptorStage,
+                    tenant,
+                    stream_tag,
+                    crate::perf::MMIO_POSTED_WRITE * control_tlps.len() as u64
+                        + crate::perf::MMIO_ROUND_TRIP * metadata_reads.len() as u64,
+                );
+                telemetry.record(
+                    Severity::Info,
+                    "adaptor.stage",
+                    tenant,
+                    stream_tag,
+                    format!("bytes={} chunks={chunk_count}", data.len()),
+                );
+            }
             (control_tlps, metadata_reads, base, data.len() as u64)
         };
 
@@ -586,6 +623,14 @@ impl DmaStager for Adaptor {
             state.pending_d2h.push((base, stream, chunks));
             let tlp =
                 state.stream_map_record(stream, StreamDirection::DeviceToHost, base, len, 0);
+            if let Some(telemetry) = state.telemetry.clone() {
+                telemetry.advance_span(
+                    Hop::AdaptorStage,
+                    state.tenant(),
+                    Some(u64::from(stream.0)),
+                    crate::perf::MMIO_POSTED_WRITE,
+                );
+            }
             (tlp, base)
         };
         port.request(map_tlp);
@@ -630,15 +675,45 @@ impl DmaStager for Adaptor {
             let tag = tags.remove(&(stream, i)).ok_or_else(|| IntegrityError {
                 reason: format!("missing tag for chunk {i}"),
             })?;
-            state
+            if state
                 .engine
                 .open_in_place_detached(&key, &chunk_ref.nonce(), chunk, &tag, &chunk_ref.aad())
-                .map_err(|()| IntegrityError {
+                .is_err()
+            {
+                if let Some(telemetry) = state.telemetry.clone() {
+                    telemetry.record(
+                        Severity::Warn,
+                        "adaptor.integrity_fail",
+                        state.tenant(),
+                        Some(u64::from(stream.0)),
+                        format!("chunk={i}"),
+                    );
+                    telemetry.counter_add("adaptor.integrity_failures", 1);
+                }
+                return Err(IntegrityError {
                     reason: format!("authentication failed for chunk {i}"),
-                })?;
+                });
+            }
             state.counters.chunks_recovered += 1;
         }
         state.counters.bytes_decrypted += plaintext.len() as u64;
+        if let Some(telemetry) = state.telemetry.clone() {
+            let tenant = state.tenant();
+            let stream_tag = Some(u64::from(stream.0));
+            telemetry.advance_span(
+                Hop::AdaptorCrypt,
+                tenant,
+                stream_tag,
+                state.config.opts.crypto_bandwidth().transfer_time(buffer.len),
+            );
+            telemetry.record(
+                Severity::Info,
+                "adaptor.recover",
+                tenant,
+                stream_tag,
+                format!("bytes={}", plaintext.len()),
+            );
+        }
         Ok(plaintext)
     }
 
@@ -663,10 +738,30 @@ impl DmaStager for Adaptor {
                 .rev()
                 .find(|(base, _)| *base == buffer.device_addr)
                 .map(|&(_, stream)| stream);
+            if let Some(telemetry) = state.telemetry.clone() {
+                telemetry.record(
+                    Severity::Warn,
+                    "adaptor.retry",
+                    state.tenant(),
+                    stream.map(|s| u64::from(s.0)),
+                    format!("buffer={:#x}", buffer.device_addr),
+                );
+                telemetry.counter_add("adaptor.transfer_retries", 1);
+            }
             match stream {
                 Some(stream) => {
                     let _ = state.keys.rotate(stream);
                     state.counters.rekeys += 1;
+                    if let Some(telemetry) = state.telemetry.clone() {
+                        telemetry.record(
+                            Severity::Warn,
+                            "adaptor.rekey",
+                            state.tenant(),
+                            Some(u64::from(stream.0)),
+                            String::new(),
+                        );
+                        telemetry.counter_add("adaptor.rekeys", 1);
+                    }
                     Some(state.control_write(
                         regs::REKEY,
                         u64::from(stream.0).to_le_bytes().to_vec(),

@@ -60,3 +60,8 @@ pub use filter::{L1Rule, L2Rule, PacketFilter, SecurityAction};
 pub use perf::{OptimizationConfig, PerfModel};
 pub use sc::PcieSc;
 pub use system::{ConfidentialSystem, SystemMode, WorkloadError};
+
+/// The deterministic telemetry subsystem (re-exported from `ccai-sim` so
+/// observability consumers need only this crate).
+pub use ccai_sim::telemetry;
+pub use ccai_sim::{Hop, Severity, Telemetry, TelemetryEvent, TelemetrySnapshot};

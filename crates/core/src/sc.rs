@@ -18,8 +18,10 @@ use crate::handler::{
     ChunkRef, CryptoEngine, EnvGuard, MmioPolicy, ParamsManager, StreamDirection, TagManager,
     TagRecord,
 };
+use crate::perf::{AES_NI_RATE, SC_PIPELINE_LATENCY};
 use ccai_pcie::{Bdf, CplStatus, Interposer, InterposeOutcome, Tlp, TlpType};
 use ccai_crypto::{hkdf, Key};
+use ccai_sim::{Bandwidth, Hop, Severity, Telemetry};
 use ccai_trust::keymgmt::StreamId;
 use ccai_trust::WorkloadKeyManager;
 use serde::{Deserialize, Serialize};
@@ -242,6 +244,7 @@ pub struct PcieSc {
     pending_host_writes: Vec<Tlp>,
     expected_reset_addr: Option<u64>,
     quarantine_threshold: u32,
+    telemetry: Option<Telemetry>,
 }
 
 impl fmt::Debug for PcieSc {
@@ -280,7 +283,41 @@ impl PcieSc {
             pending_host_writes: Vec::new(),
             expected_reset_addr: None,
             quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
+            telemetry: None,
         }
+    }
+
+    /// Attaches the telemetry hub. Filter decisions, crypt operations,
+    /// and quarantine trips become spans/events/counters on it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Telemetry tenant tag for a bound tenant (its TVM requester id).
+    fn tenant_tag(&self, tenant: usize) -> Option<u32> {
+        Some(u32::from(self.tenants[tenant].tvm_bdf.to_u16()))
+    }
+
+    /// Prices one Packet Filter classification and counts the decision
+    /// under its security action (A1–A4).
+    fn note_filter_decision(&self, action: SecurityAction, tenant: Option<u32>) {
+        if let Some(telemetry) = self.telemetry.clone() {
+            telemetry.advance_span(Hop::ScFilter, tenant, None, SC_PIPELINE_LATENCY);
+            let counter = match action {
+                SecurityAction::Disallow => "sc.a1_disallow",
+                SecurityAction::CryptProtect => "sc.a2_crypt",
+                SecurityAction::WriteProtect => "sc.a3_writeprot",
+                SecurityAction::PassThrough => "sc.a4_pass",
+            };
+            telemetry.counter_add(counter, 1);
+        }
+    }
+
+    /// Telemetry tag for whichever tenant the requester resolves to.
+    fn requester_tag(&self, requester: Bdf) -> Option<u32> {
+        self.tenant_by_tvm(requester)
+            .or_else(|| self.tenant_by_xpu(requester))
+            .and_then(|t| self.tenant_tag(t))
     }
 
     /// Overrides [`DEFAULT_QUARANTINE_THRESHOLD`].
@@ -567,6 +604,16 @@ impl PcieSc {
             Ok(plain) => {
                 self.counters.chunks_decrypted += 1;
                 self.tenants[tenant].consecutive_crypt_failures = 0;
+                if let Some(telemetry) = self.telemetry.clone() {
+                    telemetry.advance_span(
+                        Hop::ScCrypt,
+                        self.tenant_tag(tenant),
+                        Some(u64::from(chunk.stream.0)),
+                        Bandwidth::from_bytes_per_sec(AES_NI_RATE)
+                            .transfer_time(plain.len() as u64),
+                    );
+                    telemetry.counter_add("sc.chunks_decrypted", 1);
+                }
                 InterposeOutcome::pass(tlp.with_payload(plain))
             }
             Err(()) => {
@@ -583,15 +630,38 @@ impl PcieSc {
             seq: chunk.seq,
             reason: reason.to_string(),
         });
+        let tag = self.tenant_tag(tenant);
+        if let Some(telemetry) = self.telemetry.clone() {
+            telemetry.record(
+                Severity::Warn,
+                "sc.crypt_fail",
+                tag,
+                Some(u64::from(chunk.stream.0)),
+                format!("seq={} reason={reason}", chunk.seq),
+            );
+            telemetry.counter_add("sc.crypt_failures", 1);
+        }
         let threshold = self.quarantine_threshold;
         let ctx = &mut self.tenants[tenant];
         ctx.consecutive_crypt_failures += 1;
         if !ctx.quarantined && ctx.consecutive_crypt_failures >= threshold {
             ctx.quarantined = true;
+            let xpu = ctx.xpu_bdf.to_string();
+            let failures = ctx.consecutive_crypt_failures;
             self.alerts.push(ScAlert::ChannelQuarantined {
-                xpu: ctx.xpu_bdf.to_string(),
-                failures: ctx.consecutive_crypt_failures,
+                xpu: xpu.clone(),
+                failures,
             });
+            if let Some(telemetry) = self.telemetry.clone() {
+                telemetry.record(
+                    Severity::Error,
+                    "sc.quarantine",
+                    tag,
+                    Some(u64::from(chunk.stream.0)),
+                    format!("xpu={xpu} failures={failures}"),
+                );
+                telemetry.counter_add("sc.quarantines", 1);
+            }
         }
     }
 
@@ -607,6 +677,15 @@ impl PcieSc {
                 .seal_detached(&key, &chunk.nonce(), tlp.payload(), &chunk.aad());
         self.counters.chunks_encrypted += 1;
         self.tenants[tenant].consecutive_crypt_failures = 0;
+        if let Some(telemetry) = self.telemetry.clone() {
+            telemetry.advance_span(
+                Hop::ScCrypt,
+                self.tenant_tag(tenant),
+                Some(u64::from(chunk.stream.0)),
+                Bandwidth::from_bytes_per_sec(AES_NI_RATE).transfer_time(ct.len() as u64),
+            );
+            telemetry.counter_add("sc.chunks_encrypted", 1);
+        }
         let mut outcome = InterposeOutcome::pass(tlp.with_payload(ct));
         let ctx = &mut self.tenants[tenant];
         if let Some(landing) = ctx.tag_landing {
@@ -677,6 +756,15 @@ impl PcieSc {
         });
     }
 
+    /// Counts an A1 deny issued because the tenant's channel is
+    /// quarantined (keyed per tenant so starvation is attributable).
+    fn note_quarantine_deny(&self, tenant: usize) {
+        if let Some(telemetry) = self.telemetry.clone() {
+            let tag = self.tenant_tag(tenant).unwrap_or(0);
+            telemetry.counter_add(&format!("sc.quarantine_deny.{tag}"), 1);
+        }
+    }
+
     fn block_a1(&mut self, tlp: &Tlp) -> InterposeOutcome {
         self.counters.packets_blocked += 1;
         self.alerts.push(ScAlert::PacketBlocked { summary: tlp.to_string() });
@@ -736,6 +824,7 @@ impl Interposer for PcieSc {
             .or_else(|| self.tenant_by_xpu(header.requester()))
         {
             if self.tenants[tenant].quarantined {
+                self.note_quarantine_deny(tenant);
                 return self.block_a1(&tlp);
             }
         }
@@ -761,7 +850,9 @@ impl Interposer for PcieSc {
             return InterposeOutcome::pass(tlp);
         }
 
-        match self.filter.classify(&header) {
+        let action = self.filter.classify(&header);
+        self.note_filter_decision(action, self.requester_tag(header.requester()));
+        match action {
             SecurityAction::Disallow => self.block_a1(&tlp),
             SecurityAction::CryptProtect => {
                 // Downstream A2 (aperture writes into sensitive device
@@ -784,6 +875,7 @@ impl Interposer for PcieSc {
             .or_else(|| self.tenant_by_tvm(header.requester()))
         {
             if self.tenants[tenant].quarantined {
+                self.note_quarantine_deny(tenant);
                 return self.block_a1(&tlp);
             }
         }
@@ -800,7 +892,9 @@ impl Interposer for PcieSc {
             }
         }
 
-        let mut outcome = match self.filter.classify(&header) {
+        let action = self.filter.classify(&header);
+        self.note_filter_decision(action, self.requester_tag(header.requester()));
+        let mut outcome = match action {
             SecurityAction::Disallow => self.block_a1(&tlp),
             SecurityAction::CryptProtect => {
                 if header.tlp_type() == TlpType::MemWrite {

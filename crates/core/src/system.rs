@@ -12,6 +12,7 @@ use crate::perf::OptimizationConfig;
 use crate::sc::{regs, PcieSc, ScConfig, ScCounters};
 use ccai_crypto::{DhGroup, DhKeyPair};
 use ccai_pcie::{Bdf, Fabric, FaultEvent, FaultInjector, FaultPlan, PortId, Tlp};
+use ccai_sim::{Telemetry, TelemetrySnapshot};
 use ccai_tvm::{DmaStager, DriverError, GuestMemory, IdentityStager, TlpPort, XpuDriver};
 use ccai_xpu::{Reg, Xpu, XpuSpec, registers::RESET_MAGIC};
 use std::fmt;
@@ -113,6 +114,7 @@ pub struct ConfidentialSystem {
     reset_reg_addr: u64,
     xpu_port: PortId,
     tvm_bdf: Bdf,
+    telemetry: Telemetry,
 }
 
 impl fmt::Debug for ConfidentialSystem {
@@ -135,8 +137,15 @@ impl ConfidentialSystem {
         let xpu_bdf = Bdf::new(layout::XPU_BDF.0, layout::XPU_BDF.1, layout::XPU_BDF.2);
         let sc_bdf = Bdf::new(layout::SC_BDF.0, layout::SC_BDF.1, layout::SC_BDF.2);
 
-        let xpu = Xpu::new(spec, xpu_bdf, layout::XPU_BAR_BASE);
-        let driver = XpuDriver::for_xpu(tvm_bdf, &xpu);
+        // One telemetry hub per platform: every layer on the TLP path
+        // charges its spans against the hub's sim clock, so per-hop
+        // durations plus idle time account for the full elapsed time.
+        let telemetry = Telemetry::new(Telemetry::DEFAULT_CAPACITY);
+
+        let mut xpu = Xpu::new(spec, xpu_bdf, layout::XPU_BAR_BASE);
+        xpu.set_telemetry(telemetry.clone());
+        let mut driver = XpuDriver::for_xpu(tvm_bdf, &xpu);
+        driver.set_telemetry(telemetry.clone());
         let xpu_window = xpu.address_window();
         let bar0 = xpu.bar0_base()..xpu.bar0_base() + ccai_xpu::device::BAR0_SIZE;
         let bar1 = xpu.bar1_base()..xpu.bar1_base() + ccai_xpu::device::BAR1_SIZE;
@@ -144,6 +153,7 @@ impl ConfidentialSystem {
 
         let xpu_port = PortId(0);
         let mut fabric = Fabric::new();
+        fabric.set_telemetry(telemetry.clone());
         fabric.attach(xpu_port, Box::new(xpu));
         fabric.map_range(xpu_window, xpu_port);
         fabric.map_range(
@@ -167,7 +177,7 @@ impl ConfidentialSystem {
             let master = tvm_kp.agree(sc_kp.public()).expect("valid exchange");
             debug_assert_eq!(master, sc_kp.agree(tvm_kp.public()).expect("valid exchange"));
 
-            let sc = PcieSc::new(
+            let mut sc = PcieSc::new(
                 ScConfig {
                     sc_bdf,
                     region_base: layout::SC_REGION,
@@ -178,9 +188,10 @@ impl ConfidentialSystem {
                 },
                 master,
             );
+            sc.set_telemetry(telemetry.clone());
             fabric.interpose(xpu_port, Box::new(sc));
 
-            Some(Adaptor::new(
+            let adaptor = Adaptor::new(
                 AdaptorConfig {
                     tvm_bdf,
                     xpu_bdf,
@@ -195,7 +206,9 @@ impl ConfidentialSystem {
                     opts: mode.opts(),
                 },
                 master,
-            ))
+            );
+            adaptor.set_telemetry(telemetry.clone());
+            Some(adaptor)
         } else {
             None
         };
@@ -211,7 +224,21 @@ impl ConfidentialSystem {
             reset_reg_addr,
             xpu_port,
             tvm_bdf,
+            telemetry,
         }
+    }
+
+    /// The platform's telemetry hub (shared by every layer on the TLP
+    /// path).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A point-in-time snapshot of the telemetry state: trace digest,
+    /// counters, per-hop latency summaries, and the span/idle time
+    /// accounting.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// The protection mode.

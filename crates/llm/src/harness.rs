@@ -20,8 +20,8 @@
 use crate::kv_cache::KvCache;
 use crate::metrics::Metrics;
 use crate::workload::InferenceWorkload;
-use ccai_core::perf::{OptimizationConfig, PerfModel};
-use ccai_sim::{Clock, SimDuration};
+use ccai_core::perf::{CostBreakdown, OptimizationConfig, PerfModel};
+use ccai_sim::{Clock, Hop, Severity, SimDuration, Telemetry, TelemetrySnapshot};
 use ccai_xpu::XpuSpec;
 
 /// Per-request confidential session setup cost (ccAI only).
@@ -61,6 +61,66 @@ pub fn run_with_kv(
     mode: Mode,
     kv: &KvCache,
 ) -> Metrics {
+    run_instrumented(workload, device, mode, kv, None)
+}
+
+/// Runs a workload and exports a per-hop latency breakdown next to the
+/// §8.3 metrics: each priced cost component is charged to its hop on a
+/// fresh telemetry hub (payload + tag wire time → link, driver/SC MMIO →
+/// adaptor staging, Adaptor crypto → adaptor crypt, SC pipeline → SC
+/// filter; SC crypt is line-rate pipelined, so its exposed latency is
+/// zero). Compute and session setup are accounted as idle time, so the
+/// snapshot's `span_total + idle_total` equals the measured E2E exactly.
+pub fn run_with_telemetry(
+    workload: &InferenceWorkload,
+    device: &XpuSpec,
+    mode: Mode,
+) -> (Metrics, TelemetrySnapshot) {
+    run_with_kv_telemetry(workload, device, mode, &KvCache::resident())
+}
+
+/// [`run_with_telemetry`] under a KV-cache residency constraint.
+pub fn run_with_kv_telemetry(
+    workload: &InferenceWorkload,
+    device: &XpuSpec,
+    mode: Mode,
+    kv: &KvCache,
+) -> (Metrics, TelemetrySnapshot) {
+    let telemetry = Telemetry::new(Telemetry::DEFAULT_CAPACITY);
+    let metrics = run_instrumented(workload, device, mode, kv, Some(&telemetry));
+    (metrics, telemetry.snapshot())
+}
+
+/// Charges one priced burst (scaled by `scale` repetitions) onto the hub.
+fn charge_breakdown(
+    telemetry: &Telemetry,
+    cost: &CostBreakdown,
+    chunks: u64,
+    protected: bool,
+    scale: u64,
+) {
+    telemetry.advance_span(Hop::Link, None, None, cost.base_transfer * scale);
+    telemetry.advance_span(Hop::AdaptorStage, None, None, cost.base_mmio * scale);
+    if protected {
+        telemetry.advance_span(Hop::AdaptorCrypt, None, None, cost.crypto * scale);
+        telemetry.advance_span(Hop::Link, None, None, cost.tag_traffic * scale);
+        telemetry.advance_span(Hop::AdaptorStage, None, None, cost.sc_interaction * scale);
+        telemetry.advance_span(Hop::ScFilter, None, None, cost.sc_pipeline * scale);
+        // The SC's crypt engine runs at line rate, fully overlapped with
+        // the wire: the hop shows up in the report with zero exposed
+        // latency.
+        telemetry.advance_span(Hop::ScCrypt, None, None, SimDuration::ZERO);
+        telemetry.counter_add("llm.chunks", chunks * scale);
+    }
+}
+
+fn run_instrumented(
+    workload: &InferenceWorkload,
+    device: &XpuSpec,
+    mode: Mode,
+    kv: &KvCache,
+    telemetry: Option<&Telemetry>,
+) -> Metrics {
     let mut clock = Clock::new();
     let opts = match mode {
         Mode::Vanilla => OptimizationConfig::all_on(), // unused for pricing base
@@ -72,14 +132,36 @@ pub fn run_with_kv(
     // ---- prefill / TTFT ----
     if protected {
         clock.advance(SESSION_SETUP);
+        if let Some(t) = telemetry {
+            t.advance_idle(None, SESSION_SETUP);
+            t.record(
+                Severity::Info,
+                "llm.session_setup",
+                None,
+                None,
+                format!("device={}", device.name()),
+            );
+        }
     }
     clock.advance(workload.prefill_time(device));
-    let prefill_cost = model.price(&workload.prefill_profile());
+    let prefill_profile = workload.prefill_profile();
+    let prefill_cost = model.price(&prefill_profile);
     clock.advance(if protected {
         prefill_cost.ccai_total()
     } else {
         prefill_cost.vanilla_total()
     });
+    if let Some(t) = telemetry {
+        t.advance_idle(None, workload.prefill_time(device));
+        charge_breakdown(t, &prefill_cost, prefill_profile.chunks(), protected, 1);
+        t.record(
+            Severity::Info,
+            "llm.prefill",
+            None,
+            None,
+            format!("input_tokens={}", workload.input_tokens),
+        );
+    }
     let ttft = clock.now().duration_since(ccai_sim::SimTime::ZERO);
 
     // ---- decode ----
@@ -100,6 +182,18 @@ pub fn run_with_kv(
         step_cost.vanilla_total()
     };
     clock.advance((step_compute + step_total) * workload.output_tokens as u64);
+    if let Some(t) = telemetry {
+        let tokens = u64::from(workload.output_tokens);
+        t.advance_idle(None, step_compute * tokens);
+        charge_breakdown(t, &step_cost, step_profile.chunks(), protected, tokens);
+        t.record(
+            Severity::Info,
+            "llm.decode",
+            None,
+            None,
+            format!("output_tokens={tokens}"),
+        );
+    }
 
     Metrics {
         e2e: clock.now().duration_since(ccai_sim::SimTime::ZERO),
@@ -189,6 +283,32 @@ mod tests {
             "Fig. 11 reduction {reduction}"
         );
         assert!(ccai.e2e_overhead_vs(&vanilla) < 0.02);
+    }
+
+    #[test]
+    fn telemetry_breakdown_accounts_for_full_e2e() {
+        let w = InferenceWorkload::chat(LlmSpec::llama2_7b(), 128, 1);
+        let (m, snap) = run_with_telemetry(&w, &a100(), Mode::ccai());
+        assert_eq!(
+            snap.span_total + snap.idle_total,
+            m.e2e,
+            "per-hop spans + idle time must account for the full E2E"
+        );
+        let hop_total = |name: &str| {
+            snap.hops
+                .iter()
+                .find(|h| h.hop.as_str() == name)
+                .map(|h| (h.count, h.total))
+                .unwrap()
+        };
+        assert!(hop_total("link").1 > SimDuration::ZERO);
+        assert!(hop_total("adaptor_stage").1 > SimDuration::ZERO);
+        assert!(hop_total("adaptor_crypt").1 > SimDuration::ZERO);
+        assert!(hop_total("sc_filter").1 > SimDuration::ZERO);
+        assert!(hop_total("sc_crypt").0 > 0, "SC crypt hop reported even when pipelined");
+        // Deterministic: the same workload yields the same trace digest.
+        let (_, snap2) = run_with_telemetry(&w, &a100(), Mode::ccai());
+        assert_eq!(snap.digest, snap2.digest);
     }
 
     #[test]

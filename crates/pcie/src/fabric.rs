@@ -15,8 +15,10 @@
 
 use crate::device::{HostMemory, PcieDevice};
 use crate::fault::{CompletionVerdict, FaultEvent, FaultInjector, FaultPlan};
+use crate::link::{LinkConfig, LinkSpeed};
 use crate::tlp::{CplStatus, Tlp, TlpType};
 use crate::Bdf;
+use ccai_sim::{Hop, Telemetry};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -120,6 +122,9 @@ pub struct Fabric {
     /// Read completions held back by a `DelayCompletion` fault, flushed
     /// (and counted as moved) at the start of the next pump cycle.
     delayed: Vec<(PortId, Tlp)>,
+    /// Telemetry hub; when set, every TLP crossing the exposed bus
+    /// segment charges link-transit time as a [`Hop::Link`] span.
+    telemetry: Option<Telemetry>,
 }
 
 impl Fabric {
@@ -197,10 +202,23 @@ impl Fabric {
         self.wire_attack.take()
     }
 
+    /// Connects the fabric (and any present or future fault injector) to
+    /// the telemetry hub.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(injector) = &mut self.fault {
+            injector.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = Some(telemetry);
+    }
+
     /// Installs a seeded fault injector on the upstream link segment.
     /// Replaces any previous injector (and its trace).
     pub fn inject_faults(&mut self, plan: FaultPlan) {
-        self.fault = Some(FaultInjector::new(plan));
+        let mut injector = FaultInjector::new(plan);
+        if let Some(telemetry) = &self.telemetry {
+            injector.set_telemetry(telemetry.clone());
+        }
+        self.fault = Some(injector);
     }
 
     /// Removes the fault injector, returning it (with its trace).
@@ -217,6 +235,11 @@ impl Fabric {
     }
 
     fn wire(&mut self, tlp: Tlp, downstream: bool) -> Option<Tlp> {
+        if let Some(telemetry) = &self.telemetry {
+            let wire_bytes = (tlp.payload().len() as u64).max(32);
+            let link = LinkConfig::new(LinkSpeed::Gen4, 16);
+            telemetry.advance_span(Hop::Link, None, None, link.dma_time(wire_bytes));
+        }
         self.tap_all(&tlp, downstream);
         match &mut self.wire_attack {
             Some(attack) => attack.mangle(tlp, downstream),

@@ -32,7 +32,7 @@
 
 use crate::link::{LinkConfig, LinkSpeed};
 use crate::tlp::{Tlp, TlpType};
-use ccai_sim::{Clock, SimRng, SimTime};
+use ccai_sim::{Clock, Severity, SimRng, SimTime, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// One fault class, as recorded in the trace.
@@ -50,6 +50,20 @@ pub enum FaultKind {
     LinkFlap,
     /// A completion was held back one pump cycle.
     DelayCompletion,
+}
+
+impl FaultKind {
+    /// Stable telemetry event kind for this fault class.
+    pub fn event_kind(self) -> &'static str {
+        match self {
+            FaultKind::Corrupt => "fault.corrupt",
+            FaultKind::Drop => "fault.drop",
+            FaultKind::Duplicate => "fault.duplicate",
+            FaultKind::Reorder => "fault.reorder",
+            FaultKind::LinkFlap => "fault.link_flap",
+            FaultKind::DelayCompletion => "fault.delay_completion",
+        }
+    }
 }
 
 /// A seeded schedule of fault probabilities. Rates are per-packet odds
@@ -194,6 +208,7 @@ pub struct FaultInjector {
     packet_index: u64,
     flap_remaining: u32,
     trace: Vec<FaultEvent>,
+    telemetry: Option<Telemetry>,
 }
 
 impl FaultInjector {
@@ -207,7 +222,13 @@ impl FaultInjector {
             packet_index: 0,
             flap_remaining: 0,
             trace: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Mirrors every injected fault into the telemetry event stream.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The plan this injector runs.
@@ -237,6 +258,21 @@ impl FaultInjector {
             tlp_type: tlp.header().tlp_type(),
             address: tlp.header().address(),
         });
+        if let Some(t) = &self.telemetry {
+            t.record(
+                Severity::Warn,
+                kind.event_kind(),
+                None,
+                None,
+                format!(
+                    "packet={} type={:?} addr={:?}",
+                    self.packet_index,
+                    tlp.header().tlp_type(),
+                    tlp.header().address()
+                ),
+            );
+            t.counter_add("fault.injected", 1);
+        }
     }
 
     /// Charges link time for one packet and bumps the arrival counter.

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod rate;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use clock::Clock;
@@ -45,4 +46,5 @@ pub use engine::{EventId, Scheduler};
 pub use rate::Bandwidth;
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};
+pub use telemetry::{Hop, Severity, Telemetry, TelemetryEvent, TelemetrySnapshot};
 pub use time::{SimDuration, SimTime};

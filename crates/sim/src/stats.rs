@@ -40,6 +40,28 @@ impl Summary {
             samples.iter().all(|x| x.is_finite()),
             "summary requires finite samples"
         );
+        Self::compute(samples)
+    }
+
+    /// Fallible variant of [`Summary::from_samples`]: returns `None` for an
+    /// empty slice or one containing non-finite values instead of
+    /// panicking, so aggregating a series with zero completed measurements
+    /// (e.g. a tenant that never finished a transfer) cannot abort a
+    /// report.
+    pub fn try_from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() || samples.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        Some(Self::compute(samples))
+    }
+
+    /// Fallible variant of [`Summary::from_durations`].
+    pub fn try_from_durations(samples: &[SimDuration]) -> Option<Self> {
+        let secs: Vec<f64> = samples.iter().map(|d| d.as_secs_f64()).collect();
+        Self::try_from_samples(&secs)
+    }
+
+    fn compute(samples: &[f64]) -> Self {
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
@@ -240,6 +262,15 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn summary_rejects_nan() {
         let _ = Summary::from_samples(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn try_from_samples_handles_empty_and_nan() {
+        assert!(Summary::try_from_samples(&[]).is_none());
+        assert!(Summary::try_from_samples(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::try_from_durations(&[]).is_none());
+        let s = Summary::try_from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s, Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]));
     }
 
     #[test]

@@ -1,0 +1,667 @@
+//! Deterministic, sim-clock-stamped telemetry.
+//!
+//! Every component on the TLP path (adaptor staging, PCIe-SC filter/crypto,
+//! link transit, xPU DMA, driver retry/backoff) reports into one shared
+//! [`Telemetry`] hub:
+//!
+//! * a **structured event stream** — a bounded ring of [`TelemetryEvent`]s
+//!   with severity and per-tenant/per-stream tags, stamped with the hub's
+//!   own virtual clock;
+//! * a **metric registry** — monotonic counters plus per-hop sim-time
+//!   latency statistics (total, count, histogram, summary);
+//! * a **running trace digest** — a 64-bit FNV-1a fold over every event at
+//!   record time, so the digest covers the full event sequence even after
+//!   the ring has evicted old entries. Two runs with the same seed must
+//!   produce the same digest; this is what the golden-trace suite pins.
+//!
+//! The hub owns the virtual clock for the functional datapath, and time can
+//! only move through [`Telemetry::advance_span`] (attributed to a [`Hop`])
+//! or [`Telemetry::advance_idle`] (attributed to backoff/starvation). As a
+//! consequence the invariant
+//!
+//! ```text
+//! Σ span durations + Σ idle durations == clock.now()
+//! ```
+//!
+//! holds *by construction*, which the metric-invariant tests exploit.
+//!
+//! Cloning a [`Telemetry`] clones a handle to the same hub (the simulation
+//! is single-threaded; the handle is deliberately not `Send`).
+
+use crate::stats::{Histogram, Summary};
+use crate::time::{SimDuration, SimTime};
+use crate::Clock;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Severity of a telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Fine-grained diagnostic detail.
+    Debug,
+    /// Normal datapath progress.
+    Info,
+    /// Recoverable anomaly (injected fault, retry, crypt failure).
+    Warn,
+    /// Security-relevant or unrecoverable condition (quarantine, abort).
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name, used in JSON output and the trace digest.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A datapath stage that latency spans are attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Hop {
+    /// Adaptor: staging-buffer management, doorbells, tag/metadata MMIO.
+    AdaptorStage,
+    /// Adaptor: AES-GCM seal/open of transfer chunks.
+    AdaptorCrypt,
+    /// PCIe-SC: per-TLP filter classification (actions A1–A4).
+    ScFilter,
+    /// PCIe-SC: inline decrypt/encrypt of protected traffic.
+    ScCrypt,
+    /// PCIe link transit time for TLPs crossing the fabric.
+    Link,
+    /// xPU DMA engine moving payload into/out of device memory.
+    Dma,
+}
+
+/// All hops, in snapshot order.
+pub const ALL_HOPS: [Hop; 6] = [
+    Hop::AdaptorStage,
+    Hop::AdaptorCrypt,
+    Hop::ScFilter,
+    Hop::ScCrypt,
+    Hop::Link,
+    Hop::Dma,
+];
+
+impl Hop {
+    /// Stable snake_case name, used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Hop::AdaptorStage => "adaptor_stage",
+            Hop::AdaptorCrypt => "adaptor_crypt",
+            Hop::ScFilter => "sc_filter",
+            Hop::ScCrypt => "sc_crypt",
+            Hop::Link => "link",
+            Hop::Dma => "dma",
+        }
+    }
+}
+
+impl fmt::Display for Hop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured, sim-clock-stamped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// Monotonic sequence number (never reused, survives ring eviction).
+    pub seq: u64,
+    /// Hub clock time at record.
+    pub at: SimTime,
+    /// Event severity.
+    pub severity: Severity,
+    /// Stable event kind, e.g. `"adaptor.retry"` or `"sc.quarantine"`.
+    pub kind: &'static str,
+    /// Owning tenant (encoded BDF), if attributable.
+    pub tenant: Option<u32>,
+    /// Owning stream id, if attributable.
+    pub stream: Option<u64>,
+    /// Free-form detail (deterministic content only).
+    pub detail: String,
+}
+
+/// Per-hop latency accounting.
+#[derive(Debug, Clone)]
+struct HopStats {
+    count: u64,
+    total: SimDuration,
+    /// Span durations in microseconds, feeding the snapshot `Summary`.
+    samples_us: Vec<f64>,
+    hist_us: Histogram,
+}
+
+impl HopStats {
+    fn new() -> Self {
+        HopStats {
+            count: 0,
+            total: SimDuration::ZERO,
+            samples_us: Vec::new(),
+            hist_us: Histogram::new(0.0, 5_000.0, 50),
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv1a_u64(h: u64, v: u64) -> u64 {
+    fnv1a(h, &v.to_le_bytes())
+}
+
+struct TelemetryInner {
+    clock: Clock,
+    capacity: usize,
+    events: VecDeque<TelemetryEvent>,
+    events_recorded: u64,
+    events_dropped: u64,
+    digest: u64,
+    counters: BTreeMap<String, u64>,
+    hops: BTreeMap<Hop, HopStats>,
+    idle_total: SimDuration,
+    idle_by_tenant: BTreeMap<u32, SimDuration>,
+}
+
+/// Shared handle to the telemetry hub. Cheap to clone; all clones observe
+/// and advance the same clock, event ring, and metric registry.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Rc<RefCell<TelemetryInner>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Telemetry")
+            .field("now", &inner.clock.now())
+            .field("events_recorded", &inner.events_recorded)
+            .field("digest", &format_args!("{:016x}", inner.digest))
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(Telemetry::DEFAULT_CAPACITY)
+    }
+}
+
+impl Telemetry {
+    /// Default event-ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a hub whose event ring keeps the most recent `capacity`
+    /// events (older ones are evicted but still counted and digested).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "telemetry ring needs capacity");
+        Telemetry {
+            inner: Rc::new(RefCell::new(TelemetryInner {
+                clock: Clock::new(),
+                capacity,
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                events_recorded: 0,
+                events_dropped: 0,
+                digest: FNV_OFFSET,
+                counters: BTreeMap::new(),
+                hops: BTreeMap::new(),
+                idle_total: SimDuration::ZERO,
+                idle_by_tenant: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Current hub virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().clock.now()
+    }
+
+    /// Records a structured event, stamped with the hub clock, and folds it
+    /// into the running trace digest.
+    pub fn record(
+        &self,
+        severity: Severity,
+        kind: &'static str,
+        tenant: Option<u32>,
+        stream: Option<u64>,
+        detail: impl Into<String>,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        let event = TelemetryEvent {
+            seq: inner.events_recorded,
+            at: inner.clock.now(),
+            severity,
+            kind,
+            tenant,
+            stream,
+            detail: detail.into(),
+        };
+        let mut h = inner.digest;
+        h = fnv1a_u64(h, event.seq);
+        h = fnv1a_u64(h, event.at.as_picos());
+        h = fnv1a(h, event.severity.as_str().as_bytes());
+        h = fnv1a(h, event.kind.as_bytes());
+        h = fnv1a_u64(h, event.tenant.map_or(0, |t| u64::from(t) + 1));
+        h = fnv1a_u64(h, event.stream.map_or(0, |s| s.wrapping_add(1)));
+        h = fnv1a(h, event.detail.as_bytes());
+        inner.digest = h;
+        inner.events_recorded += 1;
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+            inner.events_dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+
+    /// Adds `delta` to the named monotonic counter (created at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.borrow_mut();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                inner.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, in deterministic (lexicographic) order.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Advances the hub clock by `d`, attributing the time to `hop`.
+    pub fn advance_span(
+        &self,
+        hop: Hop,
+        _tenant: Option<u32>,
+        _stream: Option<u64>,
+        d: SimDuration,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        inner.clock.advance(d);
+        let stats = inner.hops.entry(hop).or_insert_with(HopStats::new);
+        stats.count += 1;
+        stats.total += d;
+        let us = d.as_secs_f64() * 1e6;
+        stats.samples_us.push(us);
+        stats.hist_us.record(us);
+    }
+
+    /// Advances the hub clock by `d`, attributing the time to idle/backoff
+    /// (charged against `tenant` when given).
+    pub fn advance_idle(&self, tenant: Option<u32>, d: SimDuration) {
+        let mut inner = self.inner.borrow_mut();
+        inner.clock.advance(d);
+        inner.idle_total += d;
+        if let Some(t) = tenant {
+            *inner.idle_by_tenant.entry(t).or_insert(SimDuration::ZERO) += d;
+        }
+    }
+
+    /// Idles until `deadline` (no-op if already past), charging the wait as
+    /// idle time against `tenant`. Returns the time actually waited.
+    pub fn idle_until(&self, deadline: SimTime, tenant: Option<u32>) -> SimDuration {
+        let waited = {
+            let mut inner = self.inner.borrow_mut();
+            inner.clock.advance_to(deadline)
+        };
+        if !waited.is_zero() {
+            let mut inner = self.inner.borrow_mut();
+            inner.idle_total += waited;
+            if let Some(t) = tenant {
+                *inner.idle_by_tenant.entry(t).or_insert(SimDuration::ZERO) += waited;
+            }
+        }
+        waited
+    }
+
+    /// Running FNV-1a digest over the full event sequence.
+    pub fn digest(&self) -> u64 {
+        self.inner.borrow().digest
+    }
+
+    /// Digest as a fixed-width hex string.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
+    /// Events currently held in the ring (oldest first).
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn events_recorded(&self) -> u64 {
+        self.inner.borrow().events_recorded
+    }
+
+    /// Events evicted from the ring.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.borrow().events_dropped
+    }
+
+    /// Sum of all span durations across hops.
+    pub fn span_total(&self) -> SimDuration {
+        self.inner
+            .borrow()
+            .hops
+            .values()
+            .map(|s| s.total)
+            .sum()
+    }
+
+    /// Total idle/backoff time.
+    pub fn idle_total(&self) -> SimDuration {
+        self.inner.borrow().idle_total
+    }
+
+    /// Idle/backoff time charged against one tenant.
+    pub fn idle_for_tenant(&self, tenant: u32) -> SimDuration {
+        self.inner
+            .borrow()
+            .idle_by_tenant
+            .get(&tenant)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Latency histogram (microseconds) for one hop, if it has samples.
+    pub fn hop_histogram(&self, hop: Hop) -> Option<Histogram> {
+        self.inner.borrow().hops.get(&hop).map(|s| s.hist_us.clone())
+    }
+
+    /// Point-in-time copy of the metric registry and trace digest.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.inner.borrow();
+        let hops = ALL_HOPS
+            .iter()
+            .map(|&hop| match inner.hops.get(&hop) {
+                Some(s) => HopReport {
+                    hop,
+                    count: s.count,
+                    total: s.total,
+                    summary_us: Summary::try_from_samples(&s.samples_us),
+                },
+                None => HopReport {
+                    hop,
+                    count: 0,
+                    total: SimDuration::ZERO,
+                    summary_us: None,
+                },
+            })
+            .collect();
+        TelemetrySnapshot {
+            now: inner.clock.now(),
+            digest: inner.digest,
+            events_recorded: inner.events_recorded,
+            events_dropped: inner.events_dropped,
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            hops,
+            span_total: inner.hops.values().map(|s| s.total).sum(),
+            idle_total: inner.idle_total,
+            idle_by_tenant: inner
+                .idle_by_tenant
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+        }
+    }
+}
+
+/// Per-hop latency report inside a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopReport {
+    /// Which datapath stage.
+    pub hop: Hop,
+    /// Number of spans attributed to the hop.
+    pub count: u64,
+    /// Total sim time attributed to the hop.
+    pub total: SimDuration,
+    /// Latency summary over span durations in microseconds; `None` when the
+    /// hop saw no spans (a tenant with zero completed transfers must not
+    /// abort the report).
+    pub summary_us: Option<Summary>,
+}
+
+/// Schema identifier written into every snapshot JSON document.
+pub const SNAPSHOT_SCHEMA: &str = "ccai.telemetry.v1";
+
+/// Point-in-time export of the telemetry registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Hub clock at snapshot time (equals measured end-to-end time).
+    pub now: SimTime,
+    /// Running trace digest at snapshot time.
+    pub digest: u64,
+    /// Total events recorded.
+    pub events_recorded: u64,
+    /// Events evicted from the ring.
+    pub events_dropped: u64,
+    /// Monotonic counters, lexicographically ordered.
+    pub counters: Vec<(String, u64)>,
+    /// Per-hop latency reports, in [`ALL_HOPS`] order.
+    pub hops: Vec<HopReport>,
+    /// Sum of all hop totals.
+    pub span_total: SimDuration,
+    /// Total idle/backoff time.
+    pub idle_total: SimDuration,
+    /// Idle/backoff time per tenant (encoded BDF), ordered by tenant.
+    pub idle_by_tenant: Vec<(u32, SimDuration)>,
+}
+
+impl TelemetrySnapshot {
+    /// Trace digest as a fixed-width hex string.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest)
+    }
+
+    /// Renders the snapshot as a JSON document.
+    ///
+    /// The vendored `serde` stand-in is a no-op, so — like the benchmark
+    /// runners — this serializer is written by hand. The key set is pinned
+    /// by the snapshot-schema CI check.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SNAPSHOT_SCHEMA}\",");
+        let _ = writeln!(out, "  \"now_picos\": {},", self.now.as_picos());
+        let _ = writeln!(out, "  \"trace_digest\": \"{}\",", self.digest_hex());
+        let _ = writeln!(out, "  \"events_recorded\": {},", self.events_recorded);
+        let _ = writeln!(out, "  \"events_dropped\": {},", self.events_dropped);
+        let _ = writeln!(out, "  \"counters\": {{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{name}\": {value}{comma}");
+        }
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"hops\": [");
+        for (i, hop) in self.hops.iter().enumerate() {
+            let comma = if i + 1 < self.hops.len() { "," } else { "" };
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"hop\": \"{}\",", hop.hop);
+            let _ = writeln!(out, "      \"count\": {},", hop.count);
+            let _ = writeln!(out, "      \"total_picos\": {},", hop.total.as_picos());
+            match &hop.summary_us {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        "      \"latency_us\": {{\"mean\": {:.6}, \"min\": {:.6}, \"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"max\": {:.6}}}",
+                        s.mean(),
+                        s.min(),
+                        s.p50(),
+                        s.p95(),
+                        s.p99(),
+                        s.max()
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "      \"latency_us\": null");
+                }
+            }
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"span_total_picos\": {},", self.span_total.as_picos());
+        let _ = writeln!(out, "  \"idle_total_picos\": {},", self.idle_total.as_picos());
+        let _ = writeln!(out, "  \"idle_by_tenant\": {{");
+        for (i, (tenant, idle)) in self.idle_by_tenant.iter().enumerate() {
+            let comma = if i + 1 < self.idle_by_tenant.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{tenant}\": {}{comma}", idle.as_picos());
+        }
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(t: &Telemetry) {
+        t.record(Severity::Info, "test.start", None, None, "");
+        t.advance_span(Hop::AdaptorCrypt, Some(1), Some(7), SimDuration::from_micros(12));
+        t.counter_add("test.blocks", 3);
+        t.record(Severity::Warn, "test.retry", Some(1), Some(7), "attempt=1");
+        t.advance_idle(Some(1), SimDuration::from_micros(50));
+        t.advance_span(Hop::Dma, Some(1), None, SimDuration::from_micros(8));
+        t.record(Severity::Info, "test.done", Some(1), None, "");
+    }
+
+    #[test]
+    fn identical_sequences_produce_identical_digests() {
+        let a = Telemetry::new(64);
+        let b = Telemetry::new(64);
+        drive(&a);
+        drive(&b);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest_hex(), b.digest_hex());
+    }
+
+    #[test]
+    fn any_field_change_perturbs_the_digest() {
+        let a = Telemetry::new(64);
+        let b = Telemetry::new(64);
+        a.record(Severity::Info, "k", Some(1), None, "x");
+        b.record(Severity::Info, "k", Some(2), None, "x");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn ring_eviction_does_not_change_the_digest() {
+        let small = Telemetry::new(2);
+        let large = Telemetry::new(1024);
+        for t in [&small, &large] {
+            for i in 0..10 {
+                t.record(Severity::Debug, "evict.me", None, Some(i), "");
+            }
+        }
+        assert_eq!(small.digest(), large.digest());
+        assert_eq!(small.events().len(), 2);
+        assert_eq!(small.events_dropped(), 8);
+        assert_eq!(small.events_recorded(), 10);
+    }
+
+    #[test]
+    fn spans_plus_idle_equal_elapsed_time() {
+        let t = Telemetry::new(64);
+        drive(&t);
+        assert_eq!(t.span_total() + t.idle_total(), t.now().duration_since(SimTime::ZERO));
+        assert_eq!(t.idle_for_tenant(1), SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn idle_until_charges_only_forward_waits() {
+        let t = Telemetry::new(64);
+        t.advance_span(Hop::Link, None, None, SimDuration::from_micros(10));
+        let deadline = SimTime::ZERO + SimDuration::from_micros(25);
+        assert_eq!(t.idle_until(deadline, Some(9)), SimDuration::from_micros(15));
+        assert_eq!(t.idle_until(deadline, Some(9)), SimDuration::ZERO);
+        assert_eq!(t.idle_for_tenant(9), SimDuration::from_micros(15));
+        assert_eq!(t.now(), deadline);
+    }
+
+    #[test]
+    fn counters_are_create_on_write_and_ordered() {
+        let t = Telemetry::new(64);
+        t.counter_add("z.last", 1);
+        t.counter_add("a.first", 2);
+        t.counter_add("a.first", 3);
+        assert_eq!(t.counter("a.first"), 5);
+        assert_eq!(t.counter("missing"), 0);
+        let names: Vec<String> = t.counters().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a.first".to_string(), "z.last".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_reports_every_hop_and_serializes() {
+        let t = Telemetry::new(64);
+        drive(&t);
+        let snap = t.snapshot();
+        assert_eq!(snap.hops.len(), ALL_HOPS.len());
+        let crypt = snap.hops.iter().find(|h| h.hop == Hop::AdaptorCrypt).unwrap();
+        assert_eq!(crypt.count, 1);
+        assert!(crypt.summary_us.is_some());
+        let link = snap.hops.iter().find(|h| h.hop == Hop::Link).unwrap();
+        assert_eq!(link.count, 0);
+        assert!(link.summary_us.is_none(), "empty hop must not abort the report");
+        let json = snap.to_json();
+        for key in [
+            "\"schema\"",
+            "\"trace_digest\"",
+            "\"counters\"",
+            "\"hops\"",
+            "\"span_total_picos\"",
+            "\"idle_total_picos\"",
+            "\"idle_by_tenant\"",
+            "\"latency_us\"",
+        ] {
+            assert!(json.contains(key), "snapshot JSON missing {key}");
+        }
+        assert!(json.contains(SNAPSHOT_SCHEMA));
+    }
+
+    #[test]
+    fn hop_histogram_records_microseconds() {
+        let t = Telemetry::new(64);
+        t.advance_span(Hop::ScCrypt, None, None, SimDuration::from_micros(100));
+        let h = t.hop_histogram(Hop::ScCrypt).unwrap();
+        assert_eq!(h.total(), 1);
+        assert!(t.hop_histogram(Hop::Dma).is_none());
+    }
+}

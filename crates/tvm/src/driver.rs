@@ -20,6 +20,7 @@ use crate::guest_memory::GuestMemory;
 use crate::port::TlpPort;
 use crate::stager::{DmaStager, StagedBuffer};
 use ccai_pcie::{Bdf, PcieDevice, Tlp};
+use ccai_sim::{Severity, SimDuration, Telemetry};
 use ccai_xpu::{Reg, RegisterFile};
 use std::cell::Cell;
 use std::fmt;
@@ -68,14 +69,38 @@ impl std::error::Error for DriverError {}
 pub struct RetryPolicy {
     /// Total attempts per transfer (first try included). Must be ≥ 1.
     pub max_attempts: u32,
-    /// Base of the exponential backoff: attempt `n` idles the port for
-    /// `backoff_base^n` pump rounds before re-staging.
+    /// Base of the exponential backoff: attempt `n` waits for
+    /// `backoff_unit × min(backoff_base^n, 64)` before re-staging.
     pub backoff_base: u32,
+    /// Sim-time length of one backoff round. With a telemetry hub
+    /// attached the wait is a measured sim-time deadline charged as idle
+    /// time against the driver's tenant; without one it degrades to the
+    /// same number of idle pump rounds.
+    pub backoff_unit: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Default sim-time length of one backoff round.
+    pub const DEFAULT_BACKOFF_UNIT: SimDuration = SimDuration::from_micros(50);
+
+    /// Hard cap on `backoff_base^attempt`, bounding the longest wait.
+    pub const MAX_BACKOFF_ROUNDS: u32 = 64;
+
+    /// Backoff rounds for the given attempt: `min(base^attempt, 64)`.
+    pub fn rounds_for_attempt(&self, attempt: u32) -> u32 {
+        self.backoff_base
+            .saturating_pow(attempt)
+            .min(Self::MAX_BACKOFF_ROUNDS)
+    }
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_attempts: 4, backoff_base: 2 }
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: 2,
+            backoff_unit: Self::DEFAULT_BACKOFF_UNIT,
+        }
     }
 }
 
@@ -94,6 +119,7 @@ pub struct XpuDriver {
     pub bar1: u64,
     retry: RetryPolicy,
     retries: Cell<u64>,
+    telemetry: Option<Telemetry>,
 }
 
 impl fmt::Debug for XpuDriver {
@@ -124,7 +150,16 @@ impl XpuDriver {
             bar1,
             retry: RetryPolicy::default(),
             retries: Cell::new(0),
+            telemetry: None,
         }
+    }
+
+    /// Connects the driver to the telemetry hub: retries become trace
+    /// events and backoff becomes a sim-time deadline charged as idle
+    /// time against this driver's TVM (so per-tenant starvation under
+    /// sustained faults is a measured quantity).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Replaces the DMA retry policy.
@@ -295,9 +330,13 @@ impl XpuDriver {
 
     /// Post-failure cleanup between DMA attempts: abort the engine, drain
     /// in-flight traffic, let the staging layer invalidate the dead buffer
-    /// (rekeying on the confidential path), then idle for an exponentially
-    /// growing number of pump rounds — the simulation's stand-in for
-    /// backoff wall time.
+    /// (rekeying on the confidential path), then back off exponentially.
+    ///
+    /// With a telemetry hub attached, backoff is a **sim-time deadline**:
+    /// the driver idles until `now + backoff_unit × min(base^attempt, 64)`
+    /// and the wait is charged as idle time against its tenant, making
+    /// starvation under sustained faults measurable. Without telemetry the
+    /// wait degrades to the same number of idle pump rounds.
     fn quiesce_and_back_off(
         &self,
         port: &mut dyn TlpPort,
@@ -307,12 +346,39 @@ impl XpuDriver {
         attempt: u32,
     ) {
         self.retries.set(self.retries.get() + 1);
+        let tenant = Some(u32::from(self.tvm_bdf.to_u16()));
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record(
+                Severity::Warn,
+                "driver.retry",
+                tenant,
+                None,
+                format!("attempt={attempt} device={}", self.device_bdf),
+            );
+            telemetry.counter_add("driver.retries", 1);
+        }
         self.write_register(port, Reg::DmaCtrl, 0); // abort
         while port.pump(memory) > 0 {}
         stager.transfer_failed(port, memory, staged);
-        let rounds = self.retry.backoff_base.saturating_pow(attempt).min(64);
-        for _ in 0..rounds {
-            let _ = port.pump(memory);
+        let rounds = self.retry.rounds_for_attempt(attempt);
+        match &self.telemetry {
+            Some(telemetry) => {
+                let deadline =
+                    telemetry.now() + self.retry.backoff_unit * u64::from(rounds);
+                let waited = telemetry.idle_until(deadline, tenant);
+                telemetry.record(
+                    Severity::Info,
+                    "driver.backoff",
+                    tenant,
+                    None,
+                    format!("attempt={attempt} waited_picos={}", waited.as_picos()),
+                );
+            }
+            None => {
+                for _ in 0..rounds {
+                    let _ = port.pump(memory);
+                }
+            }
         }
     }
 

@@ -23,6 +23,7 @@ use ccai_crypto::{DhGroup, SchnorrKeyPair};
 use ccai_pcie::{
     device::handle_config_access, Bdf, ConfigSpace, CplStatus, PcieDevice, Tlp, TlpType,
 };
+use ccai_sim::{Hop, Severity, Telemetry};
 use std::fmt;
 
 /// BAR0 (register window) size.
@@ -45,6 +46,7 @@ pub struct Xpu {
     firmware: Firmware,
     interrupts_sent: u64,
     cold_boots: u64,
+    telemetry: Option<Telemetry>,
 }
 
 impl fmt::Debug for Xpu {
@@ -99,7 +101,14 @@ impl Xpu {
             firmware,
             interrupts_sent: 0,
             cold_boots: 0,
+            telemetry: None,
         }
+    }
+
+    /// Reports DMA completions (and errors) into the telemetry hub,
+    /// charging device-memory transfer time as a [`Hop::Dma`] span.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The device spec.
@@ -246,13 +255,50 @@ impl Xpu {
     }
 
     fn sync_dma_status(&mut self) {
-        self.registers
-            .write(Reg::DmaStatus, self.dma.status().to_code());
+        let prev_code = self.registers.read(Reg::DmaStatus);
+        let status = self.dma.status();
+        self.registers.write(Reg::DmaStatus, status.to_code());
         if matches!(
-            self.dma.status(),
+            status,
             crate::dma::DmaStatus::Done | crate::dma::DmaStatus::Error
         ) {
             self.raise_interrupt();
+            // Telemetry only on the edge, not on every re-poll of a
+            // finished engine.
+            if prev_code != status.to_code() {
+                if let Some(telemetry) = &self.telemetry {
+                    let bytes = self.dma.bytes_moved();
+                    let tenant = Some(u32::from(self.bdf.to_u16()));
+                    telemetry.advance_span(
+                        Hop::Dma,
+                        tenant,
+                        None,
+                        self.spec.memory_bandwidth().transfer_time(bytes),
+                    );
+                    match status {
+                        crate::dma::DmaStatus::Done => {
+                            telemetry.record(
+                                Severity::Info,
+                                "xpu.dma.complete",
+                                tenant,
+                                None,
+                                format!("bytes={bytes}"),
+                            );
+                            telemetry.counter_add("xpu.dma.completions", 1);
+                        }
+                        _ => {
+                            telemetry.record(
+                                Severity::Warn,
+                                "xpu.dma.error",
+                                tenant,
+                                None,
+                                format!("bytes={bytes}"),
+                            );
+                            telemetry.counter_add("xpu.dma.errors", 1);
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -37,7 +37,7 @@ fn run_with_plan(plan: Option<FaultPlan>) -> RunOutcome {
     let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
     system
         .driver_mut()
-        .set_retry_policy(RetryPolicy { max_attempts: 6, backoff_base: 2 });
+        .set_retry_policy(RetryPolicy { max_attempts: 6, backoff_base: 2, ..Default::default() });
     if let Some(plan) = plan {
         system.inject_faults(plan);
     }
@@ -110,7 +110,7 @@ fn lossy_faults_exercise_the_retry_and_rekey_path() {
     let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
     system
         .driver_mut()
-        .set_retry_policy(RetryPolicy { max_attempts: 8, backoff_base: 2 });
+        .set_retry_policy(RetryPolicy { max_attempts: 8, backoff_base: 2, ..Default::default() });
     system.inject_faults(FaultPlan::corrupt_only(5, 96));
     let (weights, input) = workload();
     let result = system.run_workload(&weights, &input).expect("recoverable plan");
@@ -141,7 +141,7 @@ fn clearing_faults_restores_a_clean_channel() {
     let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
     system
         .driver_mut()
-        .set_retry_policy(RetryPolicy { max_attempts: 8, backoff_base: 2 });
+        .set_retry_policy(RetryPolicy { max_attempts: 8, backoff_base: 2, ..Default::default() });
     system.inject_faults(FaultPlan::light(3));
     let (weights, input) = workload();
     system.run_workload(&weights, &input).expect("light plan is recoverable");
@@ -202,7 +202,7 @@ fn quarantine_spares_healthy_runs() {
     let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
     system
         .driver_mut()
-        .set_retry_policy(RetryPolicy { max_attempts: 8, backoff_base: 2 });
+        .set_retry_policy(RetryPolicy { max_attempts: 8, backoff_base: 2, ..Default::default() });
     system.inject_faults(FaultPlan::corrupt_only(5, 96));
     let (weights, input) = workload();
     system.run_workload(&weights, &input).expect("recoverable");

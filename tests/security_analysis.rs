@@ -99,7 +99,7 @@ fn ccai_surfaces_packet_deletion_as_failure() {
     let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
     system
         .driver_mut()
-        .set_retry_policy(ccai_tvm::RetryPolicy { max_attempts: 1, backoff_base: 2 });
+        .set_retry_policy(ccai_tvm::RetryPolicy { max_attempts: 1, backoff_base: 2, ..Default::default() });
     system.fabric_mut().set_wire_attack(Box::new(PacketDeleter { dropped: 0 }));
     let verdict = system.run_workload(&weights, &prompt);
     assert!(verdict.is_err(), "missing data cannot silently succeed");

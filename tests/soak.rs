@@ -56,7 +56,11 @@ fn fifty_randomized_workloads_stay_clean() {
 #[test]
 fn seeded_fault_schedules_never_diverge() {
     const MASTER_SEED: u64 = 0xFA_17_5C_ED;
-    const POLICY: RetryPolicy = RetryPolicy { max_attempts: 8, backoff_base: 2 };
+    const POLICY: RetryPolicy = RetryPolicy {
+        max_attempts: 8,
+        backoff_base: 2,
+        backoff_unit: RetryPolicy::DEFAULT_BACKOFF_UNIT,
+    };
     // 3 transfers per workload, at most (max_attempts - 1) retries each.
     const RETRY_BOUND: u64 = 3 * (POLICY.max_attempts as u64 - 1);
 

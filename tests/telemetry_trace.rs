@@ -1,0 +1,123 @@
+//! Golden-trace tests for the telemetry subsystem.
+//!
+//! The event stream is stamped exclusively with the hub's sim clock and
+//! every input to a workload run is deterministic, so the running trace
+//! digest is a replayable fingerprint of *everything observable* on the
+//! TLP path: the same seed must produce bit-identical traces, with and
+//! without an armed fault plan.
+//!
+//! When `CCAI_TRACE_DIGEST_OUT` names a file, the golden test also dumps
+//! the digests it computed so CI can diff two consecutive runs.
+
+use ccai_core::{ConfidentialSystem, SystemMode, TelemetryEvent};
+use ccai_pcie::FaultPlan;
+use ccai_tvm::RetryPolicy;
+use ccai_xpu::XpuSpec;
+
+const WEIGHTS_LEN: usize = 20_000;
+const INPUT_LEN: usize = 6_000;
+
+fn workload() -> (Vec<u8>, Vec<u8>) {
+    let weights: Vec<u8> = (0..WEIGHTS_LEN).map(|i| (i * 131 % 251) as u8).collect();
+    let input: Vec<u8> = (0..INPUT_LEN).map(|i| (i * 17 % 241) as u8).collect();
+    (weights, input)
+}
+
+/// Runs one fixed-seed workload and returns (digest hex, event trace).
+fn run_traced(plan: Option<FaultPlan>) -> (String, Vec<TelemetryEvent>) {
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system
+        .driver_mut()
+        .set_retry_policy(RetryPolicy { max_attempts: 6, backoff_base: 2, ..Default::default() });
+    if let Some(plan) = plan {
+        system.inject_faults(plan);
+    }
+    let (weights, input) = workload();
+    system.run_workload(&weights, &input).expect("fixed-seed workload succeeds");
+    let telemetry = system.telemetry();
+    (telemetry.digest_hex(), telemetry.events())
+}
+
+fn faulted_plan() -> FaultPlan {
+    FaultPlan::corrupt_only(5, 96)
+}
+
+#[test]
+fn same_seed_produces_identical_trace() {
+    let (digest_a, events_a) = run_traced(None);
+    let (digest_b, events_b) = run_traced(None);
+    assert_eq!(digest_a, digest_b, "fault-free trace must replay bit-identically");
+    assert_eq!(events_a, events_b, "the full event sequence must replay");
+    assert!(!events_a.is_empty(), "a workload run must leave a trace");
+
+    let (faulted_a, f_events_a) = run_traced(Some(faulted_plan()));
+    let (faulted_b, f_events_b) = run_traced(Some(faulted_plan()));
+    assert_eq!(faulted_a, faulted_b, "same fault seed, same trace digest");
+    assert_eq!(f_events_a, f_events_b);
+    assert_ne!(
+        digest_a, faulted_a,
+        "injected faults must be visible in the trace digest"
+    );
+
+    // CI hook: dump the digests so two consecutive suite runs can be
+    // diffed without parsing test output.
+    if let Ok(path) = std::env::var("CCAI_TRACE_DIGEST_OUT") {
+        let dump = format!("fault_free={digest_a}\nfaulted={faulted_a}\n");
+        std::fs::write(&path, dump).expect("write digest dump");
+    }
+}
+
+#[test]
+fn fault_events_appear_in_the_trace() {
+    let (_, events) = run_traced(Some(faulted_plan()));
+    assert!(
+        events.iter().any(|e| e.kind.starts_with("fault.")),
+        "armed injector must leave fault events in the trace"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == "adaptor.retry"),
+        "corruption must surface as adaptor retries"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == "driver.backoff"),
+        "retries must go through the sim-time backoff path"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == "sc.crypt_fail"),
+        "the SC must record the corrupted chunks"
+    );
+}
+
+#[test]
+fn trace_is_ordered_and_stamped_monotonically() {
+    let (_, events) = run_traced(Some(faulted_plan()));
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "sequence numbers strictly increase");
+        assert!(pair[0].at <= pair[1].at, "timestamps never go backwards");
+    }
+}
+
+#[test]
+fn snapshot_serializes_with_the_pinned_schema() {
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let (weights, input) = workload();
+    system.run_workload(&weights, &input).expect("workload");
+    let json = system.telemetry_snapshot().to_json();
+    for key in [
+        "\"schema\": \"ccai.telemetry.v1\"",
+        "\"now_picos\"",
+        "\"trace_digest\"",
+        "\"events_recorded\"",
+        "\"events_dropped\"",
+        "\"counters\"",
+        "\"hops\"",
+        "\"span_total_picos\"",
+        "\"idle_total_picos\"",
+        "\"idle_by_tenant\"",
+    ] {
+        assert!(json.contains(key), "snapshot JSON missing {key}: {json}");
+    }
+    for hop in ["adaptor_stage", "adaptor_crypt", "sc_filter", "sc_crypt", "link", "dma"] {
+        assert!(json.contains(&format!("\"hop\": \"{hop}\"")), "snapshot missing hop {hop}");
+    }
+}
