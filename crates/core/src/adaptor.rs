@@ -21,14 +21,16 @@
 use crate::filter::{L1Rule, L2Rule, PolicyBlob, SecurityAction};
 use crate::handler::{ChunkRef, CryptoEngine, StreamDirection, TagRecord, CHUNK_SIZE};
 use crate::perf::OptimizationConfig;
-use crate::sc::{regs, status_bits, MMIO_STREAM, ENV_POLICY_RECORD_LEN, STREAM_MAP_RECORD_LEN};
-use ccai_pcie::{Bdf, Fabric, HostMemory, Tlp, TlpType};
+use crate::sc::{
+    regs, status_bits, ENV_POLICY_RECORD_LEN, ENV_STREAM, MMIO_STREAM, STREAM_MAP_RECORD_LEN,
+};
+use ccai_pcie::{parse_ctrl_envelope, seal_ctrl_envelope, Bdf, Fabric, HostMemory, Tlp, TlpType};
 use ccai_crypto::{hkdf, Key};
 use ccai_sim::{Hop, Severity, Telemetry};
 use ccai_trust::keymgmt::StreamId;
 use ccai_trust::WorkloadKeyManager;
 use ccai_tvm::stager::IntegrityError;
-use ccai_tvm::{DmaStager, GuestMemory, StagedBuffer, TlpPort};
+use ccai_tvm::{DmaStager, GuestMemory, RetryPolicy, StagedBuffer, TlpPort};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::fmt;
@@ -115,6 +117,9 @@ pub struct AdaptorCounters {
     /// Stream rekeys requested (one per failed transfer whose stream was
     /// still known).
     pub rekeys: u64,
+    /// Control-plane retries: go-back-N re-send rounds plus control-read
+    /// re-issues after missing or mangled completions.
+    pub control_retries: u64,
 }
 
 /// Static configuration captured when the Adaptor loads.
@@ -161,6 +166,20 @@ struct AdaptorState {
     stream_of: Vec<(u64, StreamId)>,
     tag_cursor: u64,
     mmio_seq: u64,
+    /// Control-envelope sequence counter: monotonic for the lifetime of
+    /// the binding (never reset at task end, so the SC's strict in-order
+    /// window survives epochs).
+    ctrl_seq: u64,
+    /// Sequenced control writes sent but not yet covered by a
+    /// CTRL_SEQ_ACK read; the go-back-N re-send window.
+    unacked: Vec<(u64, Tlp)>,
+    /// Rotating tag for the Adaptor's own control reads. Kept in
+    /// 0x60..=0x7F, disjoint from the driver's 0x01..=0x3F read tags and
+    /// the fixed metadata/status tags, so a delayed stray completion can
+    /// never be mistaken for a fresh acknowledgment.
+    ctrl_read_tag: u8,
+    retry: RetryPolicy,
+    env_key: Key,
     telemetry: Option<Telemetry>,
 }
 
@@ -186,9 +205,53 @@ impl AdaptorState {
         self.config.staging_base + aligned
     }
 
-    fn control_write(&mut self, offset: u64, payload: Vec<u8>) -> Tlp {
+    /// Builds a raw (un-sequenced) control-window write. Only the MMIO
+    /// tag mirror uses this: a mirror rides the driver's own verified
+    /// write — if either is lost the driver re-sends and re-mirrors — so
+    /// enveloping it would only let a dropped mirror wedge the strict
+    /// in-order control window.
+    fn raw_control_write(&mut self, offset: u64, payload: Vec<u8>) -> Tlp {
         self.counters.sc_mmio_writes += 1;
         Tlp::memory_write(self.config.tvm_bdf, self.config.sc_region_base + offset, payload)
+    }
+
+    /// Queues a sequenced control-window write into the go-back-N window.
+    /// It reaches the SC on the next [`Adaptor::flush_control`].
+    fn queue_control_write(&mut self, offset: u64, payload: Vec<u8>) {
+        self.counters.sc_mmio_writes += 1;
+        self.ctrl_seq += 1;
+        let sealed = seal_ctrl_envelope(&payload, self.ctrl_seq);
+        self.unacked.push((
+            self.ctrl_seq,
+            Tlp::memory_write(self.config.tvm_bdf, self.config.sc_region_base + offset, sealed),
+        ));
+    }
+
+    /// Queues an environment-policy record, MACed under the env key and
+    /// nonced by its envelope sequence: env policy is append-only inside
+    /// the SC, so a record corrupted in flight must be rejected there
+    /// (and the rejection holds the ack back until this exact record is
+    /// re-sent and verifies).
+    fn queue_env_record(&mut self, kind: u8, addr: u64, value_or_end: u64) {
+        let mut record = Vec::with_capacity(ENV_POLICY_RECORD_LEN + 16);
+        record.push(kind);
+        record.extend_from_slice(&addr.to_be_bytes());
+        record.extend_from_slice(&value_or_end.to_be_bytes());
+        let seq = self.ctrl_seq + 1;
+        let nonce = ChunkRef { stream: ENV_STREAM, seq }.nonce();
+        let tag = self.engine.plain_tag(&self.env_key, &nonce, &record);
+        record.extend_from_slice(&tag);
+        self.queue_control_write(regs::ENV_POLICY, record);
+    }
+
+    /// Next rotating tag for an Adaptor-issued control read.
+    fn next_ctrl_read_tag(&mut self) -> u8 {
+        self.ctrl_read_tag = if (0x60..0x7F).contains(&self.ctrl_read_tag) {
+            self.ctrl_read_tag + 1
+        } else {
+            0x60
+        };
+        self.ctrl_read_tag
     }
 
     fn stream_map_record(
@@ -198,7 +261,7 @@ impl AdaptorState {
         base: u64,
         len: u64,
         base_seq: u64,
-    ) -> Tlp {
+    ) {
         let mut record = Vec::with_capacity(STREAM_MAP_RECORD_LEN);
         record.extend_from_slice(&id.0.to_be_bytes());
         record.push(match direction {
@@ -208,7 +271,7 @@ impl AdaptorState {
         record.extend_from_slice(&base.to_be_bytes());
         record.extend_from_slice(&len.to_be_bytes());
         record.extend_from_slice(&base_seq.to_be_bytes());
-        self.control_write(regs::STREAM_MAP, record)
+        self.queue_control_write(regs::STREAM_MAP, record);
     }
 }
 
@@ -249,6 +312,12 @@ impl Adaptor {
             stream_of: Vec::new(),
             tag_cursor: 0,
             mmio_seq: 0,
+            ctrl_seq: 0,
+            unacked: Vec::new(),
+            ctrl_read_tag: 0,
+            retry: RetryPolicy { max_attempts: 6, ..RetryPolicy::default() },
+            env_key: Key::from_bytes(&hkdf(b"ccai-env-key", &master, b"env", 16))
+                .expect("16B key"),
             telemetry: None,
         };
         state.keys.provision_stream(MMIO_STREAM, u64::MAX - 1);
@@ -276,26 +345,142 @@ impl Adaptor {
         AdaptorPort { state: Rc::clone(&self.state), fabric }
     }
 
+    /// Counts a control-plane retry and backs off in sim time so retry
+    /// storms cost measured idle time rather than looping for free.
+    fn note_control_retry(&self, what: &str, attempt: u32) {
+        let mut state = self.state.borrow_mut();
+        state.counters.control_retries += 1;
+        let tenant = state.tenant();
+        if let Some(telemetry) = state.telemetry.clone() {
+            telemetry.record(
+                Severity::Warn,
+                "adaptor.control_retry",
+                tenant,
+                None,
+                format!("target={what} attempt={attempt}"),
+            );
+            telemetry.counter_add("adaptor.control_retries", 1);
+            let rounds = state.retry.rounds_for_attempt(attempt);
+            let deadline = telemetry.now() + state.retry.backoff_unit * u64::from(rounds);
+            let _ = telemetry.idle_until(deadline, tenant);
+        }
+    }
+
+    /// Reads a control-window register with a rotating tag, re-issuing a
+    /// bounded number of times when the completion goes missing or comes
+    /// back mangled.
+    fn control_read_u64(&self, port: &mut dyn TlpPort, offset: u64) -> Option<u64> {
+        let max_attempts = self.state.borrow().retry.max_attempts;
+        let mut attempt = 0u32;
+        loop {
+            let (read, tag) = {
+                let mut state = self.state.borrow_mut();
+                state.counters.sc_mmio_reads += 1;
+                let tag = state.next_ctrl_read_tag();
+                let addr = state.config.sc_region_base + offset;
+                (Tlp::memory_read(state.config.tvm_bdf, addr, 8, tag), tag)
+            };
+            let replies = port.request(read);
+            let value = replies.iter().find_map(|r| {
+                (r.header().tlp_type() == TlpType::CompletionData
+                    && r.header().tag() == tag
+                    && r.payload().len() >= 8)
+                    .then(|| u64::from_le_bytes(r.payload()[..8].try_into().expect("8B")))
+            });
+            if value.is_some() {
+                return value;
+            }
+            attempt += 1;
+            if attempt >= max_attempts {
+                return None;
+            }
+            self.note_control_retry("read", attempt);
+        }
+    }
+
+    /// Drives the go-back-N window: sends every unacknowledged sequenced
+    /// control write, reads CTRL_SEQ_ACK, and re-sends the suffix past
+    /// the ack point until the SC has accepted the full batch in order.
+    ///
+    /// The ack is only trusted when two consecutive reads agree and the
+    /// value is plausible (at most the highest sequence ever sent): a
+    /// single corrupted completion must never fake progress, because
+    /// dropping a write the SC did not accept would wedge the strict
+    /// in-order window for good.
+    ///
+    /// On retry-budget exhaustion the unacknowledged suffix stays queued
+    /// and rides the next flush.
+    fn flush_control(&self, port: &mut dyn TlpPort) -> bool {
+        let max_attempts = self.state.borrow().retry.max_attempts;
+        let mut attempt = 0u32;
+        loop {
+            let resend: Vec<Tlp> = {
+                let state = self.state.borrow();
+                state.unacked.iter().map(|(_, tlp)| tlp.clone()).collect()
+            };
+            if resend.is_empty() {
+                return true;
+            }
+            for tlp in resend {
+                port.request(tlp);
+            }
+            let first = self.control_read_u64(port, regs::CTRL_SEQ_ACK);
+            let second = self.control_read_u64(port, regs::CTRL_SEQ_ACK);
+            if let (Some(a), Some(b)) = (first, second) {
+                if a == b {
+                    let mut state = self.state.borrow_mut();
+                    if a <= state.ctrl_seq {
+                        state.unacked.retain(|(seq, _)| *seq > a);
+                    }
+                    if state.unacked.is_empty() {
+                        return true;
+                    }
+                }
+            }
+            attempt += 1;
+            if attempt >= max_attempts {
+                return false;
+            }
+            self.note_control_retry("flush", attempt);
+        }
+    }
+
+    /// Writes a control register through the sequenced path and verifies
+    /// its content by read-back, re-writing (with a fresh sequence) until
+    /// the SC holds the intended value. Cures both dropped writes and
+    /// payloads corrupted in flight.
+    fn write_control_verified(&self, port: &mut dyn TlpPort, offset: u64, value: u64) -> bool {
+        let max_attempts = self.state.borrow().retry.max_attempts;
+        let mut attempt = 0u32;
+        loop {
+            {
+                let mut state = self.state.borrow_mut();
+                state.queue_control_write(offset, value.to_le_bytes().to_vec());
+            }
+            self.flush_control(port);
+            if self.control_read_u64(port, offset) == Some(value) {
+                return true;
+            }
+            attempt += 1;
+            if attempt >= max_attempts {
+                return false;
+            }
+            self.note_control_retry("write_verify", attempt);
+        }
+    }
+
     /// `hw_init` (§7.1): registers the tag landing and metadata buffers
-    /// with the SC.
+    /// with the SC, verifying each address survived the wire intact.
     pub fn hw_init(&self, port: &mut dyn TlpPort) {
         let (landing, metadata) = {
             let mut state = self.state.borrow_mut();
             // Registering the landing buffer resets the SC's record
             // cursor; mirror that locally so both sides stay in step.
             state.tag_cursor = 0;
-            let landing_addr = state.config.tag_landing;
-            let metadata_addr = state.config.metadata_buf;
-            (
-                state.control_write(regs::TAG_LANDING_ADDR, landing_addr.to_le_bytes().to_vec()),
-                state.control_write(
-                    regs::METADATA_BUF_ADDR,
-                    metadata_addr.to_le_bytes().to_vec(),
-                ),
-            )
+            (state.config.tag_landing, state.config.metadata_buf)
         };
-        port.request(landing);
-        port.request(metadata);
+        self.write_control_verified(port, regs::TAG_LANDING_ADDR, landing);
+        self.write_control_verified(port, regs::METADATA_BUF_ADDR, metadata);
     }
 
     /// `pkt_filter_manage` (§7.1): builds the default policy for this
@@ -303,7 +488,31 @@ impl Adaptor {
     /// configuration space and applies it. Returns `true` if the SC
     /// reports successful application.
     pub fn install_default_policy(&self, port: &mut dyn TlpPort, master: &[u8; 32]) -> bool {
-        let (tlps, status_read) = {
+        let max_attempts = self.state.borrow().retry.max_attempts;
+        let mut attempt = 0u32;
+        loop {
+            self.queue_default_policy(master);
+            self.flush_control(port);
+            match self.control_read_u64(port, regs::STATUS) {
+                Some(status) if status & status_bits::POLICY_OK != 0 => return true,
+                _ => {
+                    attempt += 1;
+                    if attempt >= max_attempts {
+                        return false;
+                    }
+                    // POLICY_ERR (corrupted staging bytes or length) or a
+                    // lost status: re-stage the whole blob under fresh
+                    // sequence numbers and apply again.
+                    self.note_control_retry("policy", attempt);
+                }
+            }
+        }
+    }
+
+    /// Queues the full default-policy installation sequence: staged blob
+    /// chunks, length, apply doorbell, and the register-window env record.
+    fn queue_default_policy(&self, master: &[u8; 32]) {
+        {
             let mut state = self.state.borrow_mut();
             let c = state.config.clone();
             let l1 = vec![
@@ -390,78 +599,40 @@ impl Adaptor {
             let blob =
                 PolicyBlob::seal(&l1, &l2, &Self::config_key(master), [0x0D; 12]).to_bytes();
 
-            let mut tlps = Vec::new();
             for (i, chunk) in blob.chunks(1024).enumerate() {
-                tlps.push(state.control_write(
+                state.queue_control_write(
                     regs::POLICY_STAGING + (i * 1024) as u64,
                     chunk.to_vec(),
-                ));
+                );
             }
-            tlps.push(
-                state.control_write(regs::POLICY_LEN, (blob.len() as u64).to_le_bytes().to_vec()),
-            );
-            tlps.push(state.control_write(regs::POLICY_APPLY, vec![1, 0, 0, 0, 0, 0, 0, 0]));
+            state
+                .queue_control_write(regs::POLICY_LEN, (blob.len() as u64).to_le_bytes().to_vec());
+            state.queue_control_write(regs::POLICY_APPLY, vec![1, 0, 0, 0, 0, 0, 0, 0]);
 
             // Environment policy: allow the whole register window.
-            let mut env = Vec::with_capacity(ENV_POLICY_RECORD_LEN);
-            env.push(0u8);
-            env.extend_from_slice(&c.xpu_bar0.start.to_be_bytes());
-            env.extend_from_slice(&c.xpu_bar0.end.to_be_bytes());
-            tlps.push(state.control_write(regs::ENV_POLICY, env));
-
-            state.counters.sc_mmio_reads += 1;
-            let status_read =
-                Tlp::memory_read(c.tvm_bdf, c.sc_region_base + regs::STATUS, 8, 0x51);
-            (tlps, status_read)
-        };
-        for tlp in tlps {
-            port.request(tlp);
+            state.queue_env_record(0, c.xpu_bar0.start, c.xpu_bar0.end);
         }
-        let replies = port.request(status_read);
-        replies
-            .first()
-            .map(|r| {
-                let mut bytes = [0u8; 8];
-                let n = r.payload().len().min(8);
-                bytes[..n].copy_from_slice(&r.payload()[..n]);
-                u64::from_le_bytes(bytes) & status_bits::POLICY_OK != 0
-            })
-            .unwrap_or(false)
     }
 
     /// Registers an expected-value guard (e.g. the page-table base
     /// register) with the SC's environment guard.
     pub fn guard_register(&self, port: &mut dyn TlpPort, addr: u64, expected: u64) {
-        let tlp = {
-            let mut state = self.state.borrow_mut();
-            let mut env = Vec::with_capacity(ENV_POLICY_RECORD_LEN);
-            env.push(1u8);
-            env.extend_from_slice(&addr.to_be_bytes());
-            env.extend_from_slice(&expected.to_be_bytes());
-            state.control_write(regs::ENV_POLICY, env)
-        };
-        port.request(tlp);
+        self.state.borrow_mut().queue_env_record(1, addr, expected);
+        self.flush_control(port);
     }
 
     /// Registers the device's reset register so the SC can observe the
     /// environment-cleaning write.
     pub fn register_reset_address(&self, port: &mut dyn TlpPort, addr: u64) {
-        let tlp = {
-            let mut state = self.state.borrow_mut();
-            let mut env = Vec::with_capacity(ENV_POLICY_RECORD_LEN);
-            env.push(2u8);
-            env.extend_from_slice(&addr.to_be_bytes());
-            env.extend_from_slice(&0u64.to_be_bytes());
-            state.control_write(regs::ENV_POLICY, env)
-        };
-        port.request(tlp);
+        self.state.borrow_mut().queue_env_record(2, addr, 0);
+        self.flush_control(port);
     }
 
     /// Ends the confidential task: destroys this task's keys on both
     /// sides and advances to the next epoch's schedule in lockstep with
     /// the SC.
     pub fn end_task(&self, port: &mut dyn TlpPort) {
-        let tlp = {
+        {
             let mut state = self.state.borrow_mut();
             state.keys.destroy();
             state.epoch += 1;
@@ -469,9 +640,11 @@ impl Adaptor {
             let master = state.master;
             state.keys = WorkloadKeyManager::new(crate::sc::epoch_master(&master, epoch));
             state.keys.provision_stream(MMIO_STREAM, u64::MAX - 1);
-            state.control_write(regs::TASK_END, vec![1, 0, 0, 0, 0, 0, 0, 0])
-        };
-        port.request(tlp);
+            // The doorbell names the target epoch, so a retransmitted
+            // task-end is idempotent on the SC side.
+            state.queue_control_write(regs::TASK_END, u64::from(epoch).to_le_bytes().to_vec());
+        }
+        self.flush_control(port);
     }
 }
 
@@ -482,23 +655,25 @@ impl DmaStager for Adaptor {
         memory: &mut GuestMemory,
         data: &[u8],
     ) -> StagedBuffer {
-        // Phase 1 (state borrow): allocate, register, encrypt.
-        let (control_tlps, metadata_reads, base, len) = {
+        // Phase 1 (state borrow): allocate, register, encrypt. Control
+        // writes queue into the go-back-N window and hit the wire in
+        // phase 2.
+        let (metadata_reads, base, len) = {
             let mut state = self.state.borrow_mut();
+            let queued_before = state.unacked.len();
             let base = state.alloc_staging(data.len() as u64);
             let stream = StreamId(state.next_stream);
             state.next_stream += 1;
             state.stream_of.push((base, stream));
             let key = state.stream_key(stream);
 
-            let mut control_tlps = Vec::new();
-            control_tlps.push(state.stream_map_record(
+            state.stream_map_record(
                 stream,
                 StreamDirection::HostToDevice,
                 base,
                 data.len() as u64,
                 0,
-            ));
+            );
 
             // Encrypt into the bounce buffer; collect tags. Large
             // transfers fan the chunks out across the configured crypto
@@ -543,7 +718,7 @@ impl DmaStager for Adaptor {
                     payload.extend_from_slice(&record.to_bytes());
                 }
                 state.counters.tag_packets += 1;
-                control_tlps.push(state.control_write(regs::TAG_QUEUE, payload));
+                state.queue_control_write(regs::TAG_QUEUE, payload);
             }
 
             // Doorbells.
@@ -551,9 +726,7 @@ impl DmaStager for Adaptor {
             let doorbells = if state.config.opts.batched_notify { 1 } else { chunk_count };
             for _ in 0..doorbells {
                 state.counters.doorbells += 1;
-                let notify =
-                    state.control_write(regs::NOTIFY, chunk_count.to_le_bytes().to_vec());
-                control_tlps.push(notify);
+                state.queue_control_write(regs::NOTIFY, chunk_count.to_le_bytes().to_vec());
             }
 
             // Metadata queries (§5 I/O-read opt off → one read per chunk).
@@ -572,6 +745,7 @@ impl DmaStager for Adaptor {
             if let Some(telemetry) = state.telemetry.clone() {
                 let tenant = state.tenant();
                 let stream_tag = Some(u64::from(stream.0));
+                let control_count = (state.unacked.len() - queued_before) as u64;
                 telemetry.advance_span(
                     Hop::AdaptorCrypt,
                     tenant,
@@ -582,7 +756,7 @@ impl DmaStager for Adaptor {
                     Hop::AdaptorStage,
                     tenant,
                     stream_tag,
-                    crate::perf::MMIO_POSTED_WRITE * control_tlps.len() as u64
+                    crate::perf::MMIO_POSTED_WRITE * control_count
                         + crate::perf::MMIO_ROUND_TRIP * metadata_reads.len() as u64,
                 );
                 telemetry.record(
@@ -593,16 +767,15 @@ impl DmaStager for Adaptor {
                     format!("bytes={} chunks={chunk_count}", data.len()),
                 );
             }
-            (control_tlps, metadata_reads, base, data.len() as u64)
+            (metadata_reads, base, data.len() as u64)
         };
 
-        // Phase 2 (no state borrow): emit traffic.
+        // Phase 2 (no state borrow): emit traffic, then drive the
+        // sequenced batch to acknowledgment.
         for tlp in metadata_reads {
             port.request(tlp);
         }
-        for tlp in control_tlps {
-            port.request(tlp);
-        }
+        self.flush_control(port);
         StagedBuffer { device_addr: base, len }
     }
 
@@ -612,7 +785,7 @@ impl DmaStager for Adaptor {
         _memory: &mut GuestMemory,
         len: u64,
     ) -> StagedBuffer {
-        let (map_tlp, base) = {
+        let base = {
             let mut state = self.state.borrow_mut();
             let base = state.alloc_staging(len);
             let stream = StreamId(state.next_stream);
@@ -621,8 +794,7 @@ impl DmaStager for Adaptor {
             let _ = state.stream_key(stream);
             let chunks = len.div_ceil(CHUNK_SIZE);
             state.pending_d2h.push((base, stream, chunks));
-            let tlp =
-                state.stream_map_record(stream, StreamDirection::DeviceToHost, base, len, 0);
+            state.stream_map_record(stream, StreamDirection::DeviceToHost, base, len, 0);
             if let Some(telemetry) = state.telemetry.clone() {
                 telemetry.advance_span(
                     Hop::AdaptorStage,
@@ -631,9 +803,9 @@ impl DmaStager for Adaptor {
                     crate::perf::MMIO_POSTED_WRITE,
                 );
             }
-            (tlp, base)
+            base
         };
-        port.request(map_tlp);
+        self.flush_control(port);
         StagedBuffer { device_addr: base, len }
     }
 
@@ -729,7 +901,7 @@ impl DmaStager for Adaptor {
         // will stage under a fresh stream, so no IV consumed by the failed
         // attempt can ever be reused, and a replay of the old ciphertext
         // can no longer authenticate.
-        let rekey = {
+        {
             let mut state = self.state.borrow_mut();
             state.counters.transfer_retries += 1;
             let stream = state
@@ -748,31 +920,24 @@ impl DmaStager for Adaptor {
                 );
                 telemetry.counter_add("adaptor.transfer_retries", 1);
             }
-            match stream {
-                Some(stream) => {
-                    let _ = state.keys.rotate(stream);
-                    state.counters.rekeys += 1;
-                    if let Some(telemetry) = state.telemetry.clone() {
-                        telemetry.record(
-                            Severity::Warn,
-                            "adaptor.rekey",
-                            state.tenant(),
-                            Some(u64::from(stream.0)),
-                            String::new(),
-                        );
-                        telemetry.counter_add("adaptor.rekeys", 1);
-                    }
-                    Some(state.control_write(
-                        regs::REKEY,
-                        u64::from(stream.0).to_le_bytes().to_vec(),
-                    ))
+            if let Some(stream) = stream {
+                let _ = state.keys.rotate(stream);
+                state.counters.rekeys += 1;
+                if let Some(telemetry) = state.telemetry.clone() {
+                    telemetry.record(
+                        Severity::Warn,
+                        "adaptor.rekey",
+                        state.tenant(),
+                        Some(u64::from(stream.0)),
+                        String::new(),
+                    );
+                    telemetry.counter_add("adaptor.rekeys", 1);
                 }
-                None => None,
+                state
+                    .queue_control_write(regs::REKEY, u64::from(stream.0).to_le_bytes().to_vec());
             }
-        };
-        if let Some(rekey) = rekey {
-            port.request(rekey);
         }
+        self.flush_control(port);
     }
 
     fn release_all(&mut self) {
@@ -816,8 +981,18 @@ impl TlpPort for AdaptorPort<'_> {
                 state.counters.driver_mmio_reads += 1;
             }
             if is_bar0_write && state.config.mmio_integrity {
-                let seq = state.mmio_seq;
-                state.mmio_seq += 1;
+                // Sequenced driver writes key their mirror tag by the
+                // envelope sequence, so a retransmit regenerates the very
+                // same record and the SC's monotone acceptance dedups it.
+                // Raw (legacy) writes keep the local counter.
+                let seq = match parse_ctrl_envelope(tlp.payload()) {
+                    Some((_, seq)) => seq,
+                    None => {
+                        let seq = state.mmio_seq;
+                        state.mmio_seq += 1;
+                        seq
+                    }
+                };
                 let key = state.stream_key(MMIO_STREAM);
                 let chunk = ChunkRef { stream: MMIO_STREAM, seq };
                 let mut signed =
@@ -826,7 +1001,7 @@ impl TlpPort for AdaptorPort<'_> {
                 let tag = state.engine.plain_tag(&key, &chunk.nonce(), &signed);
                 let record = TagRecord { stream: MMIO_STREAM, seq, tag };
                 state.counters.mmio_tags += 1;
-                Some(state.control_write(regs::TAG_QUEUE, record.to_bytes().to_vec()))
+                Some(state.raw_control_write(regs::TAG_QUEUE, record.to_bytes().to_vec()))
             } else {
                 None
             }

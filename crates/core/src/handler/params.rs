@@ -168,6 +168,15 @@ impl ParamsManager {
         }
     }
 
+    /// Rolls back [`ParamsManager::mark_processed`] for a chunk whose
+    /// decryption subsequently failed, so a re-fetch of the same staging
+    /// ciphertext is not misclassified as a replay.
+    pub fn unmark(&mut self, chunk: ChunkRef) {
+        if let Some(entry) = self.streams.iter_mut().find(|e| e.id == chunk.stream) {
+            entry.seen.remove(&chunk.seq);
+        }
+    }
+
     /// Forgets replay state for a stream (new transfer window re-uses the
     /// range with fresh sequence numbers via `base_seq`).
     pub fn reset_stream_window(&mut self, id: StreamId, base_seq: u64) {

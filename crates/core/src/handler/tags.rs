@@ -98,6 +98,13 @@ impl TagManager {
         }
     }
 
+    /// True if a tag is queued for `(stream, seq)`. Unlike
+    /// [`TagManager::take`] this is a pure peek: no counters move and the
+    /// record stays queued.
+    pub fn contains(&self, stream: StreamId, seq: u64) -> bool {
+        self.pending.contains_key(&(stream.0, seq))
+    }
+
     /// Takes the tag matching a data chunk, if present.
     pub fn take(&mut self, stream: StreamId, seq: u64) -> Option<[u8; 16]> {
         match self.pending.remove(&(stream.0, seq)) {

@@ -19,7 +19,7 @@ use crate::handler::{
     TagRecord,
 };
 use crate::perf::{AES_NI_RATE, SC_PIPELINE_LATENCY};
-use ccai_pcie::{Bdf, CplStatus, Interposer, InterposeOutcome, Tlp, TlpType};
+use ccai_pcie::{parse_ctrl_envelope, Bdf, CplStatus, Interposer, InterposeOutcome, Tlp, TlpType};
 use ccai_crypto::{hkdf, Key};
 use ccai_sim::{Bandwidth, Hop, Severity, Telemetry};
 use ccai_trust::keymgmt::StreamId;
@@ -30,6 +30,14 @@ use std::fmt;
 
 /// The reserved stream id carrying A3 MMIO integrity tags.
 pub const MMIO_STREAM: StreamId = StreamId(0xFFFF_0001);
+
+/// The reserved stream id authenticating environment-policy records.
+/// Env policy is append-only inside the SC, so a record corrupted in
+/// flight would poison the guard forever; records therefore carry a MAC
+/// keyed by this stream and nonced by their control-envelope sequence
+/// number, and a bad MAC rejects the record *without* advancing the
+/// control sequence so the Adaptor's go-back-N re-send cures it.
+pub const ENV_STREAM: StreamId = StreamId(0xFFFF_0002);
 
 /// Control-window register offsets (relative to the SC region base).
 pub mod regs {
@@ -51,6 +59,10 @@ pub mod regs {
     pub const METADATA_BUF_ADDR: u64 = 0x1028;
     /// Per-chunk metadata query register (read; the non-optimized path).
     pub const METADATA_QUERY: u64 = 0x1030;
+    /// Last accepted control-envelope sequence number (read). The
+    /// Adaptor polls this after a batch of sequenced control writes and
+    /// re-sends everything past the acknowledged point (go-back-N).
+    pub const CTRL_SEQ_ACK: u64 = 0x1038;
     /// Stream-map record write target.
     pub const STREAM_MAP: u64 = 0x1040;
     /// Environment-policy record write target.
@@ -85,6 +97,9 @@ pub const STREAM_MAP_RECORD_LEN: usize = 29;
 
 /// Env-policy record: kind(1) ‖ addr(8) ‖ value_or_end(8).
 pub const ENV_POLICY_RECORD_LEN: usize = 17;
+
+/// Authenticated env-policy record: record(17) ‖ tag(16).
+pub const ENV_POLICY_MAC_RECORD_LEN: usize = ENV_POLICY_RECORD_LEN + 16;
 
 /// Security incidents the SC records (the observable side of A1 drops and
 /// failed A2/A3 verification).
@@ -151,6 +166,12 @@ pub struct ScCounters {
     pub metadata_batches: u64,
     /// Per-chunk metadata queries answered (non-optimized path).
     pub metadata_queries: u64,
+    /// Duplicate sequenced control/MMIO writes suppressed (exactly-once
+    /// convergence of the control-plane retry protocol).
+    pub control_dup_suppressed: u64,
+    /// Sequenced control writes dropped because they arrived ahead of a
+    /// missing predecessor (go-back-N re-send fills the hole).
+    pub control_gaps: u64,
 }
 
 /// Configuration fixed at SC construction.
@@ -185,6 +206,13 @@ struct TenantCtx {
     tag_landing_cursor: u64,
     metadata_buf: Option<u64>,
     mmio_seq: u64,
+    /// Highest envelope sequence accepted on the A3 MMIO path (monotone
+    /// acceptance; duplicates at or below are suppressed).
+    mmio_last_seq: u64,
+    /// Last control-window envelope sequence accepted in order (strict
+    /// `last + 1` acceptance; survives epoch rekeys because the
+    /// Adaptor's sequence counter is monotonic across tasks).
+    ctrl_last_seq: u64,
     consecutive_crypt_failures: u32,
     quarantined: bool,
 }
@@ -205,6 +233,8 @@ impl TenantCtx {
             tag_landing_cursor: 0,
             metadata_buf: None,
             mmio_seq: 0,
+            mmio_last_seq: 0,
+            ctrl_last_seq: 0,
             consecutive_crypt_failures: 0,
             quarantined: false,
         }
@@ -231,6 +261,7 @@ pub struct PcieSc {
     engine: CryptoEngine,
     env_guard: EnvGuard,
     config_key: Key,
+    env_key: Key,
     status: u64,
     policy_staging: Vec<u8>,
     policy_len: u64,
@@ -265,6 +296,8 @@ impl PcieSc {
     pub fn new(config: ScConfig, master: [u8; 32]) -> PcieSc {
         let config_key =
             Key::from_bytes(&hkdf(b"ccai-config-key", &master, b"policy", 16)).expect("16B key");
+        let env_key =
+            Key::from_bytes(&hkdf(b"ccai-env-key", &master, b"env", 16)).expect("16B key");
         let primary = TenantCtx::new(config.tvm_bdf, config.xpu_bdf, master);
         PcieSc {
             config,
@@ -273,6 +306,7 @@ impl PcieSc {
             engine: CryptoEngine::new(),
             env_guard: EnvGuard::new(),
             config_key,
+            env_key,
             status: 0,
             policy_staging: vec![0; regs::POLICY_STAGING_LEN as usize],
             policy_len: 0,
@@ -381,6 +415,23 @@ impl PcieSc {
         self.filter.stats()
     }
 
+    /// Installed L1/L2 rule counts.
+    pub fn filter_rule_counts(&self) -> (usize, usize) {
+        self.filter.rule_counts()
+    }
+
+    /// A stable digest of the installed filter tables, for differential
+    /// comparison of SC state across fault schedules.
+    pub fn filter_tables_digest(&self) -> String {
+        format!("{:?}", self.filter.tables())
+    }
+
+    /// Last in-order control-envelope sequence accepted for the tenant
+    /// bound to `tvm_bdf` (the CTRL_SEQ_ACK value).
+    pub fn ctrl_ack(&self, tvm_bdf: Bdf) -> Option<u64> {
+        self.tenant_by_tvm(tvm_bdf).map(|t| self.tenants[t].ctrl_last_seq)
+    }
+
     /// Crypto engine statistics.
     pub fn engine_stats(&self) -> crate::handler::EngineStats {
         self.engine.stats()
@@ -424,7 +475,15 @@ impl PcieSc {
         let offset = header.address().expect("memory TLP") - self.config.region_base;
         match header.tlp_type() {
             TlpType::MemWrite => {
-                self.control_write(tenant, offset, tlp.payload());
+                match parse_ctrl_envelope(tlp.payload()) {
+                    Some((body, seq)) => self.sequenced_control_write(tenant, offset, body, seq),
+                    // Legacy raw writes (and envelope trailers mangled in
+                    // flight) bypass the sequence machinery; a lost raw
+                    // write surfaces as a stalled ack and is re-sent.
+                    None => {
+                        self.control_write(tenant, offset, tlp.payload(), None);
+                    }
+                }
                 InterposeOutcome::drop_packet() // absorbed, posted
             }
             TlpType::MemRead => {
@@ -441,7 +500,50 @@ impl PcieSc {
         }
     }
 
-    fn control_write(&mut self, tenant: usize, offset: u64, payload: &[u8]) {
+    /// Dispatches a sequence-numbered control write with strict in-order
+    /// acceptance: exactly `last + 1` is applied; duplicates (at or
+    /// below the ack point) are suppressed so retransmits converge to
+    /// exactly-once semantics; writes past a hole are dropped and cured
+    /// by the Adaptor's go-back-N re-send.
+    fn sequenced_control_write(&mut self, tenant: usize, offset: u64, body: &[u8], seq: u64) {
+        let last = self.tenants[tenant].ctrl_last_seq;
+        if seq <= last {
+            self.counters.control_dup_suppressed += 1;
+            if let Some(telemetry) = self.telemetry.clone() {
+                telemetry.record(
+                    Severity::Info,
+                    "sc.control_dup",
+                    self.tenant_tag(tenant),
+                    None,
+                    format!("offset={offset:#x} seq={seq} last={last}"),
+                );
+                telemetry.counter_add("sc.control_dup_suppressed", 1);
+            }
+            return;
+        }
+        if seq != last + 1 {
+            self.counters.control_gaps += 1;
+            if let Some(telemetry) = self.telemetry.clone() {
+                telemetry.record(
+                    Severity::Warn,
+                    "sc.control_gap",
+                    self.tenant_tag(tenant),
+                    None,
+                    format!("offset={offset:#x} seq={seq} last={last}"),
+                );
+                telemetry.counter_add("sc.control_gaps", 1);
+            }
+            return;
+        }
+        if self.control_write(tenant, offset, body, Some(seq)) {
+            self.tenants[tenant].ctrl_last_seq = seq;
+        }
+    }
+
+    /// Applies a control-window write. Returns whether the write was
+    /// accepted; a rejected write (bad env-record MAC) must not advance
+    /// the control sequence so the re-send of the same record retries it.
+    fn control_write(&mut self, tenant: usize, offset: u64, payload: &[u8], seq: Option<u64>) -> bool {
         // Platform-level configuration (packet policy, environment
         // policy) is reserved to the primary tenant; per-tenant registers
         // act on the caller's own context.
@@ -456,7 +558,7 @@ impl PcieSc {
                 self.policy_len = read_u64(payload);
             }
             regs::POLICY_APPLY if primary => self.apply_policy(),
-            regs::ENV_POLICY if primary => self.register_env_policy(payload),
+            regs::ENV_POLICY if primary => return self.register_env_policy(payload, seq),
             regs::TAG_LANDING_ADDR => {
                 let ctx = &mut self.tenants[tenant];
                 ctx.tag_landing = Some(read_u64(payload));
@@ -502,6 +604,13 @@ impl PcieSc {
                 let _ = self.tenants[tenant].params.keys_mut().rotate(stream);
             }
             regs::TASK_END => {
+                // The doorbell carries the target epoch so that a
+                // double-delivered (retransmitted) task-end is idempotent:
+                // only the transition `epoch -> epoch + 1` fires.
+                let target = read_u64(payload);
+                if target != u64::from(self.tenants[tenant].epoch) + 1 {
+                    return true;
+                }
                 self.tenants[tenant].rekey_epoch();
                 self.env_guard.request_reset();
                 if self.reset_observed {
@@ -513,6 +622,7 @@ impl PcieSc {
             }
             _ => {}
         }
+        true
     }
 
     fn control_read(&mut self, tenant: usize, offset: u64) -> u64 {
@@ -524,6 +634,11 @@ impl PcieSc {
                 self.counters.metadata_queries += 1;
                 self.tenants[tenant].tag_landing_cursor
             }
+            regs::CTRL_SEQ_ACK => self.tenants[tenant].ctrl_last_seq,
+            // Read-back targets so the Adaptor can verify that address
+            // registers survived the wire with their contents intact.
+            regs::TAG_LANDING_ADDR => self.tenants[tenant].tag_landing.unwrap_or(0),
+            regs::METADATA_BUF_ADDR => self.tenants[tenant].metadata_buf.unwrap_or(0),
             _ => 0,
         }
     }
@@ -560,10 +675,39 @@ impl PcieSc {
             .register_stream(stream, direction, base..base + len, base_seq);
     }
 
-    fn register_env_policy(&mut self, payload: &[u8]) {
-        if payload.len() != ENV_POLICY_RECORD_LEN {
-            return;
-        }
+    fn register_env_policy(&mut self, payload: &[u8], seq: Option<u64>) -> bool {
+        // Sequenced records carry a MAC (nonced by the envelope sequence)
+        // because env policy is append-only: a corrupted record accepted
+        // here could never be rolled back. Raw 17-byte records remain
+        // accepted for the legacy un-sequenced path.
+        let payload: &[u8] = match (payload.len(), seq) {
+            (ENV_POLICY_RECORD_LEN, _) => payload,
+            (ENV_POLICY_MAC_RECORD_LEN, Some(seq)) => {
+                let (body, tag) = payload.split_at(ENV_POLICY_RECORD_LEN);
+                let tag: [u8; 16] = tag.try_into().expect("16B tag");
+                let nonce = ChunkRef { stream: ENV_STREAM, seq }.nonce();
+                if !self.engine.verify_plain_tag(&self.env_key, &nonce, body, &tag) {
+                    self.alerts.push(ScAlert::WriteProtectFailure {
+                        addr: regs::ENV_POLICY,
+                        reason: "env-policy record failed authentication".to_string(),
+                    });
+                    if let Some(telemetry) = self.telemetry.clone() {
+                        telemetry.record(
+                            Severity::Warn,
+                            "sc.env_reject",
+                            None,
+                            None,
+                            format!("seq={seq}"),
+                        );
+                        telemetry.counter_add("sc.env_rejects", 1);
+                    }
+                    return false;
+                }
+                body
+            }
+            (_, Some(_)) => return false,
+            (_, None) => return true,
+        };
         let addr = u64::from_be_bytes(payload[1..9].try_into().expect("8B"));
         let value_or_end = u64::from_be_bytes(payload[9..17].try_into().expect("8B"));
         match payload[0] {
@@ -582,22 +726,26 @@ impl PcieSc {
             }
             _ => {}
         }
+        true
     }
 
     // ---- A2: decrypt H2D completions ----
 
     fn decrypt_completion(&mut self, tenant: usize, tlp: Tlp, chunk: ChunkRef) -> InterposeOutcome {
+        let (requester, cpl_tag) = (tlp.header().requester(), tlp.header().tag());
         if !self.tenants[tenant].params.mark_processed(chunk) {
             self.alert_crypt(tenant, chunk, "replayed chunk");
             return InterposeOutcome::drop_packet();
         }
         let Some(tag) = self.tenants[tenant].tags.take(chunk.stream, chunk.seq) else {
+            self.tenants[tenant].params.unmark(chunk);
             self.alert_crypt(tenant, chunk, "missing authentication tag");
-            return InterposeOutcome::drop_packet();
+            return self.abort_completion(requester, cpl_tag);
         };
         let Ok(key) = self.tenants[tenant].params.key(chunk.stream).cloned() else {
+            self.tenants[tenant].params.unmark(chunk);
             self.alert_crypt(tenant, chunk, "no key for stream");
-            return InterposeOutcome::drop_packet();
+            return self.abort_completion(requester, cpl_tag);
         };
         match self.engine.open_detached(&key, &chunk.nonce(), tlp.payload(), &tag, &chunk.aad())
         {
@@ -617,10 +765,33 @@ impl PcieSc {
                 InterposeOutcome::pass(tlp.with_payload(plain))
             }
             Err(()) => {
+                // Roll back the consumed per-chunk state: the staging
+                // ciphertext is still clean, so a chunk-granular re-fetch
+                // of the same address must find its tag and replay slot
+                // intact and succeed on the second read.
+                self.tenants[tenant].params.unmark(chunk);
+                self.tenants[tenant].tags.push(TagRecord {
+                    stream: chunk.stream,
+                    seq: chunk.seq,
+                    tag,
+                });
                 self.alert_crypt(tenant, chunk, "authentication failed");
-                InterposeOutcome::drop_packet()
+                self.abort_completion(requester, cpl_tag)
             }
         }
+    }
+
+    /// Answers a failed protected completion with CompleterAbort toward
+    /// the device, so its DMA engine learns of the failure promptly and
+    /// can re-fetch just the affected chunk instead of stalling out the
+    /// whole transfer.
+    fn abort_completion(&self, requester: Bdf, tag: u8) -> InterposeOutcome {
+        InterposeOutcome::pass(Tlp::completion(
+            self.config.sc_bdf,
+            requester,
+            tag,
+            CplStatus::CompleterAbort,
+        ))
     }
 
     fn alert_crypt(&mut self, tenant: usize, chunk: ChunkRef, reason: &str) {
@@ -714,11 +885,47 @@ impl PcieSc {
             return InterposeOutcome::drop_packet();
         };
         if self.config.mmio_integrity {
+            // Sequenced (enveloped) writes key their integrity tag by the
+            // envelope sequence and accept monotonically: a duplicate
+            // delivery of an already-verified write is suppressed without
+            // consuming tag state or raising an alert, so driver
+            // retransmits converge to exactly-once semantics.
+            let envelope_seq = parse_ctrl_envelope(tlp.payload()).map(|(_, seq)| seq);
             let ctx = &mut self.tenants[tenant];
-            let seq = ctx.mmio_seq;
-            ctx.mmio_seq += 1;
+            let seq = match envelope_seq {
+                Some(seq) => {
+                    // A write at-or-below the acceptance mark is a stale
+                    // duplicate *unless* a fresh mirror tag sits at this
+                    // exact sequence: the Adaptor only mirrors writes the
+                    // TVM actually issued, so a fresh tag at an old seq
+                    // means a re-bound driver restarting its counter, not
+                    // a replay. Re-verifying and re-applying is safe —
+                    // registers are idempotent and triggers use the
+                    // pre-clear protocol.
+                    if seq <= ctx.mmio_last_seq && !ctx.tags.contains(MMIO_STREAM, seq) {
+                        self.counters.control_dup_suppressed += 1;
+                        if let Some(telemetry) = self.telemetry.clone() {
+                            telemetry.record(
+                                Severity::Info,
+                                "sc.control_dup",
+                                self.tenant_tag(tenant),
+                                None,
+                                format!("mmio addr={addr:#x} seq={seq}"),
+                            );
+                            telemetry.counter_add("sc.control_dup_suppressed", 1);
+                        }
+                        return InterposeOutcome::drop_packet();
+                    }
+                    seq
+                }
+                None => {
+                    let seq = ctx.mmio_seq;
+                    ctx.mmio_seq += 1;
+                    seq
+                }
+            };
             let chunk = ChunkRef { stream: MMIO_STREAM, seq };
-            let Some(tag) = ctx.tags.take(MMIO_STREAM, seq) else {
+            let Some(tag) = self.tenants[tenant].tags.take(MMIO_STREAM, seq) else {
                 self.block_a3(addr, "missing MMIO integrity tag");
                 return InterposeOutcome::drop_packet();
             };
@@ -731,6 +938,13 @@ impl PcieSc {
             if !self.engine.verify_plain_tag(&key, &chunk.nonce(), &signed, &tag) {
                 self.block_a3(addr, "MMIO integrity tag mismatch");
                 return InterposeOutcome::drop_packet();
+            }
+            if let Some(seq) = envelope_seq {
+                // `max`: a re-bound driver's restarted counter must not
+                // drag the acceptance mark down and re-open the window for
+                // stale duplicates of earlier sequences.
+                let ctx = &mut self.tenants[tenant];
+                ctx.mmio_last_seq = ctx.mmio_last_seq.max(seq);
             }
         }
 
@@ -1141,7 +1355,11 @@ mod tests {
         sc.on_upstream(read);
         let cpl = Tlp::completion_with_data(Bdf::new(0, 0, 0), xpu(), 1, vec![0; 64]);
         let outcome = sc.on_downstream(cpl);
-        assert!(outcome.forward.is_empty());
+        // The plaintext never reaches the device; it sees a CompleterAbort
+        // so its DMA engine can re-fetch instead of stalling.
+        assert_eq!(outcome.forward.len(), 1);
+        assert_eq!(outcome.forward[0].header().cpl_status(), Some(CplStatus::CompleterAbort));
+        assert!(outcome.forward[0].payload().is_empty());
         assert!(matches!(
             sc.alerts().last().unwrap(),
             ScAlert::CryptFailure { reason, .. } if reason.contains("missing")

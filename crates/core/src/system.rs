@@ -431,6 +431,64 @@ impl ConfidentialSystem {
             .expect("xPU attached at the expected port")
     }
 
+    /// Snapshot of the xPU's register file. Together with
+    /// [`ConfidentialSystem::xpu_memory_digest`] this is the differential
+    /// oracle for control-plane recovery: a faulted run that recovered
+    /// must converge to the same register values as the fault-free
+    /// baseline.
+    pub fn xpu_register_snapshot(&self) -> ccai_xpu::RegisterFile {
+        self.fabric
+            .device(self.xpu_port)
+            .and_then(ccai_pcie::PcieDevice::as_any)
+            .and_then(|any| any.downcast_ref::<Xpu>())
+            .map(|xpu| xpu.registers().clone())
+            .expect("xPU attached at the expected port")
+    }
+
+    /// Debug digest of the SC's packet-filter tables (empty string in
+    /// vanilla mode) — the filter-state half of the recovery oracle.
+    pub fn sc_filter_digest(&self) -> String {
+        self.sc().map(PcieSc::filter_tables_digest).unwrap_or_default()
+    }
+
+    /// `(device_table, host_table)` filter rule counts (zeroes in
+    /// vanilla mode).
+    pub fn sc_filter_rule_counts(&self) -> (usize, usize) {
+        self.sc().map(PcieSc::filter_rule_counts).unwrap_or_default()
+    }
+
+    /// Arms chunk-granular DMA re-fetch on the xPU (see
+    /// [`ccai_xpu::DmaEngine::set_refetch_limit`]).
+    pub fn set_dma_refetch_limit(&mut self, limit: u32) {
+        self.fabric
+            .device_mut(self.xpu_port)
+            .and_then(|dev| dev.as_any_mut())
+            .and_then(|any| any.downcast_mut::<Xpu>())
+            .expect("xPU attached at the expected port")
+            .set_dma_refetch_limit(limit);
+    }
+
+    /// Chunk re-fetches the xPU's DMA engine has performed.
+    pub fn dma_refetches(&self) -> u64 {
+        self.with_xpu(Xpu::dma_refetches)
+    }
+
+    /// Total bytes the xPU's DMA engine has requested via read TLPs
+    /// (re-fetched chunks counted again) — the cost metric proving
+    /// chunk-granular recovery moves less data than full re-staging.
+    pub fn dma_read_bytes_requested(&self) -> u64 {
+        self.with_xpu(Xpu::dma_read_bytes_requested)
+    }
+
+    fn with_xpu<R>(&self, f: impl FnOnce(&Xpu) -> R) -> R {
+        self.fabric
+            .device(self.xpu_port)
+            .and_then(ccai_pcie::PcieDevice::as_any)
+            .and_then(|any| any.downcast_ref::<Xpu>())
+            .map(f)
+            .expect("xPU attached at the expected port")
+    }
+
     /// Runs `f` with a TLP port appropriate for this mode (the Adaptor
     /// port under ccAI, the raw fabric otherwise).
     pub fn with_port<R>(&mut self, f: impl FnOnce(&mut dyn TlpPort, &mut GuestMemory) -> R) -> R {

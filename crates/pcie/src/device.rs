@@ -45,6 +45,13 @@ pub trait PcieDevice: fmt::Debug {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Mutable downcasting support (e.g. arming device-side recovery
+    /// knobs from a test harness). Devices that opt in return
+    /// `Some(self)`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// Default handling for configuration TLPs: devices can call this from

@@ -122,6 +122,9 @@ pub struct Fabric {
     /// Read completions held back by a `DelayCompletion` fault, flushed
     /// (and counted as moved) at the start of the next pump cycle.
     delayed: Vec<(PortId, Tlp)>,
+    /// Host-bound control completions held back by a control-path
+    /// `DelayCompletion` fault, flushed at the next `host_request`.
+    delayed_to_host: Vec<Tlp>,
     /// Telemetry hub; when set, every TLP crossing the exposed bus
     /// segment charges link-transit time as a [`Hop::Link`] span.
     telemetry: Option<Telemetry>,
@@ -323,9 +326,37 @@ impl Fabric {
     /// made it back to the host (completions, or nothing for posted
     /// writes and filtered packets).
     pub fn host_request(&mut self, tlp: Tlp) -> Vec<Tlp> {
+        // Completions a control-path fault delayed arrive ahead of this
+        // request's own replies (they were in flight first).
+        let mut to_host = std::mem::take(&mut self.delayed_to_host);
         let Some(tlp) = self.wire(tlp, true) else {
-            return Vec::new(); // deleted on the wire
+            return to_host; // deleted on the wire
         };
+        // The injected control-fault segment sits between the root
+        // complex and the switch: a pass-through unless the plan arms
+        // `fault_control_path`.
+        let requests = match &mut self.fault {
+            Some(injector) => injector.fault_control_request(tlp),
+            None => vec![tlp],
+        };
+        for tlp in requests {
+            for reply in self.route_host_request(tlp) {
+                match &mut self.fault {
+                    Some(injector) => match injector.fault_control_reply(reply) {
+                        CompletionVerdict::Deliver(tlp) => to_host.push(tlp),
+                        CompletionVerdict::Dropped => {}
+                        CompletionVerdict::Delayed(tlp) => self.delayed_to_host.push(tlp),
+                    },
+                    None => to_host.push(reply),
+                }
+            }
+        }
+        to_host
+    }
+
+    /// Routes one (post-fault-segment) host request to its port and
+    /// returns the replies that reached the host side of the wire.
+    fn route_host_request(&mut self, tlp: Tlp) -> Vec<Tlp> {
         let Some(port_id) = self.route(&tlp) else {
             // Unroutable: master abort — synthesize UR completion for
             // non-posted requests.

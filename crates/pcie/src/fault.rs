@@ -8,13 +8,18 @@
 //! held back — comes from the seeded stream, so the same seed replays
 //! the identical fault trace bit for bit.
 //!
-//! Faults are applied only to the *upstream host-side link segment*:
+//! Faults always apply to the *upstream host-side link segment*:
 //! device-initiated DMA traffic after the PCIe-SC has processed it, and
-//! the read completions travelling back toward the device. Downstream
-//! control traffic (MMIO programming, SC control-window writes) is never
-//! faulted; it models the reliable root-complex-local segment and keeps
-//! the control plane of both endpoints synchronized so that every fault
-//! class here is recoverable by the Adaptor/driver retry machinery.
+//! the read completions travelling back toward the device. With the
+//! [`FaultPlan::fault_control_path`] knob armed they additionally hit
+//! *host-initiated control traffic* — MMIO register programming, config
+//! cycles, SC control-window reads/writes and their completions — via
+//! [`FaultInjector::fault_control_request`] /
+//! [`FaultInjector::fault_control_reply`]. Surviving that requires the
+//! control-plane retry protocol (sequence-numbered idempotent writes
+//! with read-back verification in the driver and the Adaptor); with the
+//! knob off, control traffic passes untouched and consumes *nothing*
+//! from the random stream, so pre-existing golden traces are unchanged.
 //!
 //! Fault taxonomy:
 //!
@@ -86,6 +91,11 @@ pub struct FaultPlan {
     pub flap_len: u8,
     /// Odds (per 1024) of delaying a read completion one pump cycle.
     pub delay_per_1024: u16,
+    /// When true, the plan's rates also apply to host-initiated control
+    /// traffic (MMIO/config/SC-window requests and their completions).
+    /// Off by default: faulting the control path requires the
+    /// control-plane retry protocol to converge.
+    pub fault_control_path: bool,
 }
 
 impl FaultPlan {
@@ -100,7 +110,14 @@ impl FaultPlan {
             flap_per_1024: 0,
             flap_len: 0,
             delay_per_1024: 0,
+            fault_control_path: false,
         }
+    }
+
+    /// Arms the same rates on the host control path too (builder-style).
+    pub fn with_control_path(mut self) -> Self {
+        self.fault_control_path = true;
+        self
     }
 
     /// Light mixed-fault plan: a few percent of packets are hit.
@@ -207,6 +224,10 @@ pub struct FaultInjector {
     link: LinkConfig,
     packet_index: u64,
     flap_remaining: u32,
+    /// A posted control write held back by a control-path reorder; it is
+    /// released *after* the next control request's output, swapping the
+    /// two packets' arrival order.
+    held_request: Option<Tlp>,
     trace: Vec<FaultEvent>,
     telemetry: Option<Telemetry>,
 }
@@ -221,6 +242,7 @@ impl FaultInjector {
             link: LinkConfig::new(LinkSpeed::Gen4, 16),
             packet_index: 0,
             flap_remaining: 0,
+            held_request: None,
             trace: Vec::new(),
             telemetry: None,
         }
@@ -356,6 +378,58 @@ impl FaultInjector {
         *batch = out;
     }
 
+    /// True when host-initiated control traffic is subject to the plan.
+    pub fn faults_control_path(&self) -> bool {
+        self.plan.fault_control_path && !self.plan.is_fault_free()
+    }
+
+    /// Applies the plan to one host-initiated control request (MMIO,
+    /// config, SC control window). Returns the surviving — possibly
+    /// duplicated, corrupted or reordered — packets, in delivery order.
+    ///
+    /// When [`FaultPlan::fault_control_path`] is off this is a pure
+    /// pass-through that consumes *nothing* from the seeded stream, so
+    /// arming a data-path-only plan replays exactly the trace it did
+    /// before this hook existed.
+    pub fn fault_control_request(&mut self, tlp: Tlp) -> Vec<Tlp> {
+        if !self.faults_control_path() {
+            return vec![tlp];
+        }
+        // Release a previously held write *after* this request's own
+        // output — the pair arrives swapped.
+        let prior = self.held_request.take();
+        let mut out = self.fault_packet(tlp, true);
+        if self.roll(self.plan.reorder_per_1024) {
+            let holdable = out.last().is_some_and(|t| {
+                matches!(
+                    t.header().tlp_type(),
+                    TlpType::MemWrite | TlpType::CfgWrite | TlpType::IoWrite
+                )
+            });
+            // Only posted writes may be held back: holding a non-posted
+            // request would strand its requester waiting on a completion
+            // that no retry protocol can distinguish from a drop.
+            if holdable {
+                let held = out.pop().expect("checked non-empty");
+                self.record(FaultKind::Reorder, &held);
+                self.held_request = Some(held);
+            }
+        }
+        out.extend(prior);
+        out
+    }
+
+    /// Applies the plan to one completion heading back to the host in
+    /// reply to a control request. A pure pass-through (zero random-
+    /// stream consumption) unless [`FaultPlan::fault_control_path`] is
+    /// armed.
+    pub fn fault_control_reply(&mut self, tlp: Tlp) -> CompletionVerdict {
+        if !self.faults_control_path() {
+            return CompletionVerdict::Deliver(tlp);
+        }
+        self.fault_completion(tlp)
+    }
+
     /// Applies the plan to one read completion heading back to a device.
     pub fn fault_completion(&mut self, tlp: Tlp) -> CompletionVerdict {
         let mut survivors = self.fault_packet(tlp, false);
@@ -465,6 +539,80 @@ mod tests {
             CompletionVerdict::Delayed(tlp) => assert_eq!(tlp, original),
             other => panic!("expected delay, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn control_hooks_are_transparent_without_the_knob() {
+        // A data-path plan without `fault_control_path` must pass control
+        // traffic untouched AND consume nothing from the seeded stream:
+        // the subsequent upstream batch replays identically to a run that
+        // never saw control packets.
+        let run = |control_first: bool| {
+            let mut inj = FaultInjector::new(FaultPlan::heavy(77));
+            if control_first {
+                for i in 0..40u64 {
+                    let out = inj.fault_control_request(write(0x7000 + i * 8, 24));
+                    assert_eq!(out.len(), 1, "pass-through");
+                    match inj.fault_control_reply(completion(vec![i as u8; 8])) {
+                        CompletionVerdict::Deliver(_) => {}
+                        other => panic!("pass-through expected, got {other:?}"),
+                    }
+                }
+                assert!(inj.trace().is_empty(), "no control faults without the knob");
+                assert_eq!(inj.now(), SimTime::ZERO, "no clock consumption");
+            }
+            let mut batch: Vec<Tlp> = (0..100).map(|i| write(i * 0x1000, 256)).collect();
+            inj.fault_upstream_batch(&mut batch);
+            (inj.trace().to_vec(), batch)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn control_path_same_seed_same_trace() {
+        let run = || {
+            let mut inj = FaultInjector::new(FaultPlan::heavy(0xC0).with_control_path());
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                out.extend(inj.fault_control_request(write(0x5000 + i * 8, 24)));
+                if let CompletionVerdict::Deliver(t) | CompletionVerdict::Delayed(t) =
+                    inj.fault_control_reply(completion(vec![i as u8; 8]))
+                {
+                    out.push(t);
+                }
+            }
+            (inj.trace().to_vec(), out)
+        };
+        let (t1, o1) = run();
+        let (t2, o2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(o1, o2);
+        assert!(!t1.is_empty(), "heavy control plan must inject something");
+    }
+
+    #[test]
+    fn control_reorder_holds_a_write_until_the_next_request() {
+        let plan = FaultPlan {
+            reorder_per_1024: 1024,
+            ..FaultPlan::fault_free(4)
+        }
+        .with_control_path();
+        let mut inj = FaultInjector::new(plan);
+        let first = write(0x1000, 16);
+        let second = write(0x2000, 16);
+        assert!(
+            inj.fault_control_request(first.clone()).is_empty(),
+            "first write held back"
+        );
+        let out = inj.fault_control_request(second.clone());
+        // The second write is itself held; the first is released after it
+        // (an empty slot), so delivery order becomes [first] here…
+        assert_eq!(out, vec![first]);
+        // …and a read (not holdable) flushes the second.
+        let read = Tlp::memory_read(Bdf::new(0, 0, 0), 0x3000, 8, 1);
+        let out = inj.fault_control_request(read.clone());
+        assert_eq!(out, vec![read, second]);
+        assert!(inj.trace().iter().all(|e| e.kind == FaultKind::Reorder));
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //! * [`adversary`] — the §2.2 bus attacker: snooping, tampering, replay,
 //!   reordering, dropping and rogue injection;
 //! * [`fault`] — seeded, deterministic fault injection on the upstream
-//!   link segment ([`FaultPlan`], [`FaultInjector`]), for recovery tests.
+//!   link segment and (opt-in) the host control path ([`FaultPlan`],
+//!   [`FaultInjector`]), for recovery tests;
+//! * [`ctrlseq`] — the sequence-number envelope control writes carry so
+//!   the control-plane retry protocol can suppress duplicates and
+//!   re-send drops.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 pub mod adversary;
 pub mod bdf;
 pub mod config_space;
+pub mod ctrlseq;
 pub mod device;
 pub mod fabric;
 pub mod fault;
@@ -50,6 +55,9 @@ pub mod tlp;
 pub use adversary::{AttackLog, BusAdversary, TamperMode};
 pub use bdf::Bdf;
 pub use config_space::ConfigSpace;
+pub use ctrlseq::{
+    parse_ctrl_envelope, seal_ctrl_envelope, CTRL_ENVELOPE_LEN, CTRL_ENVELOPE_MAGIC,
+};
 pub use device::{HostMemory, PcieDevice, VecHostMemory};
 pub use fabric::{Fabric, Interposer, InterposeOutcome, PortId, WireAttack};
 pub use fault::{CompletionVerdict, FaultEvent, FaultInjector, FaultKind, FaultPlan};

@@ -19,11 +19,16 @@
 use crate::guest_memory::GuestMemory;
 use crate::port::TlpPort;
 use crate::stager::{DmaStager, StagedBuffer};
-use ccai_pcie::{Bdf, PcieDevice, Tlp};
+use ccai_pcie::{seal_ctrl_envelope, Bdf, PcieDevice, Tlp, TlpType};
 use ccai_sim::{Severity, SimDuration, Telemetry};
 use ccai_xpu::{Reg, RegisterFile};
 use std::cell::Cell;
 use std::fmt;
+
+/// MMIO read tags rotate through `1..=MAX_READ_TAG` so a stale delayed
+/// completion (control-path fault) can never satisfy a newer read. The
+/// range is disjoint from the tag spaces other host-side requesters use.
+const MAX_READ_TAG: u8 = 0x3F;
 
 /// Errors surfaced by driver operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +124,12 @@ pub struct XpuDriver {
     pub bar1: u64,
     retry: RetryPolicy,
     retries: Cell<u64>,
+    /// Sequence number stamped onto every logical control write (the
+    /// [`ccai_pcie::ctrlseq`] envelope); re-sends of the same logical
+    /// write reuse the same number so receivers converge to exactly-once.
+    ctrl_seq: Cell<u64>,
+    control_retries: Cell<u64>,
+    read_tag: Cell<u8>,
     telemetry: Option<Telemetry>,
 }
 
@@ -150,6 +161,9 @@ impl XpuDriver {
             bar1,
             retry: RetryPolicy::default(),
             retries: Cell::new(0),
+            ctrl_seq: Cell::new(0),
+            control_retries: Cell::new(0),
+            read_tag: Cell::new(0),
             telemetry: None,
         }
     }
@@ -179,6 +193,13 @@ impl XpuDriver {
         self.retries.get()
     }
 
+    /// Total control-plane retries (re-sent register writes and re-issued
+    /// MMIO/config reads) over the driver's lifetime. Zero on a reliable
+    /// control path.
+    pub fn control_retries(&self) -> u64 {
+        self.control_retries.get()
+    }
+
     /// Convenience: binds to an [`ccai_xpu::Xpu`] before it is boxed into
     /// the fabric.
     pub fn for_xpu(tvm_bdf: Bdf, xpu: &ccai_xpu::Xpu) -> XpuDriver {
@@ -204,53 +225,179 @@ impl XpuDriver {
     /// [`DriverError::WrongDevice`] if the vendor ID mismatches;
     /// [`DriverError::NoResponse`] if config reads go unanswered.
     pub fn init(&self, port: &mut dyn TlpPort) -> Result<(), DriverError> {
-        let replies = port.request(Tlp::config_read(self.tvm_bdf, self.device_bdf, 0, 0));
-        let reply = replies.first().ok_or(DriverError::NoResponse)?;
-        if reply.payload().len() < 4 {
-            return Err(DriverError::NoResponse);
-        }
-        let vendor_id = u16::from_le_bytes([reply.payload()[0], reply.payload()[1]]);
+        let mut attempt = 0u32;
+        let vendor_id = loop {
+            let tag = self.next_read_tag();
+            let replies =
+                port.request(Tlp::config_read(self.tvm_bdf, self.device_bdf, 0, tag));
+            let reply = replies.iter().find(|r| {
+                r.header().tlp_type() == TlpType::CompletionData
+                    && r.header().tag() == tag
+                    && r.payload().len() >= 4
+            });
+            if let Some(reply) = reply {
+                break u16::from_le_bytes([reply.payload()[0], reply.payload()[1]]);
+            }
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                return Err(DriverError::NoResponse);
+            }
+            self.note_control_retry("config_read", attempt);
+        };
         if vendor_id != self.expected_vendor_id {
             return Err(DriverError::WrongDevice { vendor_id });
         }
         // Enable memory space + bus master in the command register.
-        port.request(Tlp::config_write(
-            self.tvm_bdf,
-            self.device_bdf,
-            0x04,
-            vec![0x06, 0x00, 0x00, 0x00],
-        ));
-        Ok(())
+        // Config writes are posted, so re-send until the command register
+        // reads back with both bits set.
+        let mut attempt = 0u32;
+        loop {
+            port.request(Tlp::config_write(
+                self.tvm_bdf,
+                self.device_bdf,
+                0x04,
+                vec![0x06, 0x00, 0x00, 0x00],
+            ));
+            let tag = self.next_read_tag();
+            let replies =
+                port.request(Tlp::config_read(self.tvm_bdf, self.device_bdf, 0x04, tag));
+            let enabled = replies.iter().any(|r| {
+                r.header().tlp_type() == TlpType::CompletionData
+                    && r.header().tag() == tag
+                    && r.payload().first().is_some_and(|b| b & 0x06 == 0x06)
+            });
+            if enabled {
+                return Ok(());
+            }
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                return Err(DriverError::NoResponse);
+            }
+            self.note_control_retry("config_write", attempt);
+        }
     }
 
-    /// Writes a device register over MMIO.
-    pub fn write_register(&self, port: &mut dyn TlpPort, reg: Reg, value: u64) {
-        port.request(Tlp::memory_write(
-            self.tvm_bdf,
-            self.bar0 + self.registers.offset(reg),
-            value.to_le_bytes().to_vec(),
-        ));
+    /// Writes a device register over MMIO with exactly-once semantics.
+    ///
+    /// Every logical write carries a fresh [`ccai_pcie::ctrlseq`] sequence
+    /// number and is verified by read-back; a dropped or corrupted write
+    /// is re-sent (same sequence number, so envelope-aware receivers
+    /// suppress duplicates) up to [`RetryPolicy::max_attempts`] times.
+    /// `ResetCtrl` is exempt — a reset wipes the register file, so there
+    /// is nothing to read back.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NoResponse`] if the register never reads back the
+    /// written value.
+    pub fn write_register(
+        &self,
+        port: &mut dyn TlpPort,
+        reg: Reg,
+        value: u64,
+    ) -> Result<(), DriverError> {
+        let addr = self.bar0 + self.registers.offset(reg);
+        let seq = self.ctrl_seq.get() + 1;
+        self.ctrl_seq.set(seq);
+        let payload = seal_ctrl_envelope(&value.to_le_bytes(), seq);
+        if matches!(reg, Reg::ResetCtrl) {
+            port.request(Tlp::memory_write(self.tvm_bdf, addr, payload));
+            return Ok(());
+        }
+        let mut attempt = 0u32;
+        loop {
+            port.request(Tlp::memory_write(self.tvm_bdf, addr, payload.clone()));
+            if self.read_register(port, reg) == Ok(value) {
+                return Ok(());
+            }
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                return Err(DriverError::NoResponse);
+            }
+            self.note_control_retry("write_verify", attempt);
+        }
     }
 
     /// Reads a device register over MMIO.
     ///
+    /// Each attempt uses a fresh tag and only accepts a data completion
+    /// carrying exactly that tag and an 8-byte payload, so stale delayed
+    /// completions from earlier reads are rejected; unanswered reads are
+    /// re-issued up to [`RetryPolicy::max_attempts`] times.
+    ///
     /// # Errors
     ///
-    /// [`DriverError::NoResponse`] if no completion arrives.
+    /// [`DriverError::NoResponse`] if no matching completion arrives.
     pub fn read_register(&self, port: &mut dyn TlpPort, reg: Reg) -> Result<u64, DriverError> {
-        let replies = port.request(Tlp::memory_read(
-            self.tvm_bdf,
-            self.bar0 + self.registers.offset(reg),
-            8,
-            0,
-        ));
-        let reply = replies.first().ok_or(DriverError::NoResponse)?;
-        if reply.payload().len() != 8 {
-            return Err(DriverError::NoResponse);
+        let addr = self.bar0 + self.registers.offset(reg);
+        let mut attempt = 0u32;
+        loop {
+            let tag = self.next_read_tag();
+            let replies = port.request(Tlp::memory_read(self.tvm_bdf, addr, 8, tag));
+            let reply = replies.iter().find(|r| {
+                r.header().tlp_type() == TlpType::CompletionData
+                    && r.header().tag() == tag
+                    && r.payload().len() == 8
+            });
+            if let Some(reply) = reply {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(reply.payload());
+                return Ok(u64::from_le_bytes(bytes));
+            }
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                return Err(DriverError::NoResponse);
+            }
+            self.note_control_retry("read", attempt);
         }
-        let mut bytes = [0u8; 8];
-        bytes.copy_from_slice(reply.payload());
-        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Reads `reg` until it holds `expect` (a corrupted completion can
+    /// misreport a value; re-reading separates transient lies from real
+    /// state), returning the last observed value either way so callers
+    /// can act on a genuine mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DriverError::NoResponse`] from the underlying reads.
+    pub fn read_register_expect(
+        &self,
+        port: &mut dyn TlpPort,
+        reg: Reg,
+        expect: u64,
+    ) -> Result<u64, DriverError> {
+        let mut attempt = 0u32;
+        loop {
+            let value = self.read_register(port, reg)?;
+            if value == expect {
+                return Ok(value);
+            }
+            attempt += 1;
+            if attempt >= self.retry.max_attempts {
+                return Ok(value);
+            }
+            self.note_control_retry("read_expect", attempt);
+        }
+    }
+
+    fn next_read_tag(&self) -> u8 {
+        let tag = self.read_tag.get() % MAX_READ_TAG + 1;
+        self.read_tag.set(tag);
+        tag
+    }
+
+    fn note_control_retry(&self, what: &str, attempt: u32) {
+        self.control_retries.set(self.control_retries.get() + 1);
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record(
+                Severity::Warn,
+                "driver.control_retry",
+                Some(u32::from(self.tvm_bdf.to_u16())),
+                None,
+                format!("target={what} attempt={attempt}"),
+            );
+            telemetry.counter_add("driver.control_retries", 1);
+        }
     }
 
     /// Copies `data` into device memory at `device_addr` via DMA
@@ -271,13 +418,21 @@ impl XpuDriver {
         let mut attempt = 0u32;
         loop {
             let staged = stager.stage_to_device(port, memory, data);
-            self.write_register(port, Reg::DmaSrc, staged.device_addr);
-            self.write_register(port, Reg::DmaDst, device_addr);
-            self.write_register(port, Reg::DmaLen, staged.len);
-            self.write_register(port, Reg::DmaCtrl, 1); // H2D
-            while port.pump(memory) > 0 {}
-            if self.read_register(port, Reg::DmaStatus)? == 2 {
-                return Ok(());
+            // Pre-clear the doorbell: `DmaCtrl` must verifiably read 0
+            // before the trigger write, otherwise a stale 1 from the
+            // previous transfer could make a *dropped* trigger write
+            // pass read-back and a stale Done status fake completion.
+            let programmed = self
+                .write_register(port, Reg::DmaCtrl, 0)
+                .and_then(|()| self.write_register(port, Reg::DmaSrc, staged.device_addr))
+                .and_then(|()| self.write_register(port, Reg::DmaDst, device_addr))
+                .and_then(|()| self.write_register(port, Reg::DmaLen, staged.len))
+                .and_then(|()| self.write_register(port, Reg::DmaCtrl, 1)); // H2D
+            if programmed.is_ok() {
+                while port.pump(memory) > 0 {}
+                if self.read_register(port, Reg::DmaStatus) == Ok(2) {
+                    return Ok(());
+                }
             }
             attempt += 1;
             if attempt >= self.retry.max_attempts {
@@ -308,17 +463,23 @@ impl XpuDriver {
         let mut attempt = 0u32;
         loop {
             let landing = stager.alloc_from_device(port, memory, len);
-            self.write_register(port, Reg::DmaSrc, device_addr);
-            self.write_register(port, Reg::DmaDst, landing.device_addr);
-            self.write_register(port, Reg::DmaLen, len);
-            self.write_register(port, Reg::DmaCtrl, 2); // D2H
-            while port.pump(memory) > 0 {}
-            let failure = match self.read_register(port, Reg::DmaStatus)? {
-                2 => match stager.recover_from_device(port, memory, landing) {
-                    Ok(data) => return Ok(data),
-                    Err(_) => DriverError::IntegrityFailed,
-                },
-                _ => DriverError::DmaFailed,
+            let programmed = self
+                .write_register(port, Reg::DmaCtrl, 0) // pre-clear (see dma_to_device)
+                .and_then(|()| self.write_register(port, Reg::DmaSrc, device_addr))
+                .and_then(|()| self.write_register(port, Reg::DmaDst, landing.device_addr))
+                .and_then(|()| self.write_register(port, Reg::DmaLen, len))
+                .and_then(|()| self.write_register(port, Reg::DmaCtrl, 2)); // D2H
+            let failure = if programmed.is_ok() {
+                while port.pump(memory) > 0 {}
+                match self.read_register(port, Reg::DmaStatus) {
+                    Ok(2) => match stager.recover_from_device(port, memory, landing) {
+                        Ok(data) => return Ok(data),
+                        Err(_) => DriverError::IntegrityFailed,
+                    },
+                    _ => DriverError::DmaFailed,
+                }
+            } else {
+                DriverError::DmaFailed
             };
             attempt += 1;
             if attempt >= self.retry.max_attempts {
@@ -357,7 +518,9 @@ impl XpuDriver {
             );
             telemetry.counter_add("driver.retries", 1);
         }
-        self.write_register(port, Reg::DmaCtrl, 0); // abort
+        // Abort the engine; verification failure here just means the next
+        // attempt's pre-clear will finish the job.
+        let _ = self.write_register(port, Reg::DmaCtrl, 0);
         while port.pump(memory) > 0 {}
         stager.transfer_failed(port, memory, staged);
         let rounds = self.retry.rounds_for_attempt(attempt);
@@ -398,10 +561,13 @@ impl XpuDriver {
         device_addr: u64,
     ) -> Result<(), DriverError> {
         self.dma_to_device(port, memory, stager, weights, device_addr)?;
-        self.write_register(port, Reg::CmdArg0, device_addr);
-        self.write_register(port, Reg::CmdArg1, weights.len() as u64);
-        self.write_register(port, Reg::CmdDoorbell, 1);
-        match self.read_register(port, Reg::CmdStatus)? {
+        self.write_register(port, Reg::CmdArg0, device_addr)?;
+        self.write_register(port, Reg::CmdArg1, weights.len() as u64)?;
+        // Pre-clear the doorbell so the 0→1 read-back transition proves
+        // the trigger write (and therefore the command) executed.
+        self.write_register(port, Reg::CmdDoorbell, 0)?;
+        self.write_register(port, Reg::CmdDoorbell, 1)?;
+        match self.read_register_expect(port, Reg::CmdStatus, 1)? {
             1 => Ok(()),
             _ => Err(DriverError::CommandFailed),
         }
@@ -423,11 +589,12 @@ impl XpuDriver {
         output_device_addr: u64,
     ) -> Result<Vec<u8>, DriverError> {
         self.dma_to_device(port, memory, stager, input, input_device_addr)?;
-        self.write_register(port, Reg::CmdArg0, input_device_addr);
-        self.write_register(port, Reg::CmdArg1, input.len() as u64);
-        self.write_register(port, Reg::CmdArg2, output_device_addr);
-        self.write_register(port, Reg::CmdDoorbell, 2);
-        if self.read_register(port, Reg::CmdStatus)? != 1 {
+        self.write_register(port, Reg::CmdArg0, input_device_addr)?;
+        self.write_register(port, Reg::CmdArg1, input.len() as u64)?;
+        self.write_register(port, Reg::CmdArg2, output_device_addr)?;
+        self.write_register(port, Reg::CmdDoorbell, 0)?; // pre-clear (see load_model)
+        self.write_register(port, Reg::CmdDoorbell, 2)?;
+        if self.read_register_expect(port, Reg::CmdStatus, 1)? != 1 {
             return Err(DriverError::CommandFailed);
         }
         self.dma_from_device(port, memory, stager, output_device_addr, 32)
@@ -519,8 +686,9 @@ mod tests {
     #[test]
     fn register_round_trip() {
         let (mut fabric, _m, _s, driver) = setup();
-        driver.write_register(&mut fabric, Reg::CmdArg0, 0xABCD);
+        driver.write_register(&mut fabric, Reg::CmdArg0, 0xABCD).unwrap();
         assert_eq!(driver.read_register(&mut fabric, Reg::CmdArg0).unwrap(), 0xABCD);
+        assert_eq!(driver.control_retries(), 0, "clean path needs no retries");
     }
 
     #[test]

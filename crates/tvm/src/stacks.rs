@@ -271,11 +271,12 @@ impl UserStack for EfsmiLikeStack {
             self.driver
                 .dma_to_device(port, memory, stager, &input[mid..], DEV_INPUT + mid as u64)?;
             // Command registers point at the already-uploaded input.
-            self.driver.write_register(port, Reg::CmdArg0, DEV_INPUT);
-            self.driver.write_register(port, Reg::CmdArg1, input.len() as u64);
-            self.driver.write_register(port, Reg::CmdArg2, DEV_OUTPUT);
-            self.driver.write_register(port, Reg::CmdDoorbell, 2);
-            if self.driver.read_register(port, Reg::CmdStatus)? != 1 {
+            self.driver.write_register(port, Reg::CmdArg0, DEV_INPUT)?;
+            self.driver.write_register(port, Reg::CmdArg1, input.len() as u64)?;
+            self.driver.write_register(port, Reg::CmdArg2, DEV_OUTPUT)?;
+            self.driver.write_register(port, Reg::CmdDoorbell, 0)?;
+            self.driver.write_register(port, Reg::CmdDoorbell, 2)?;
+            if self.driver.read_register_expect(port, Reg::CmdStatus, 1)? != 1 {
                 return Err(DriverError::CommandFailed);
             }
             self.driver.dma_from_device(port, memory, stager, DEV_OUTPUT, 32)

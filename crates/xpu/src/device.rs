@@ -172,6 +172,23 @@ impl Xpu {
         self.interrupts_sent
     }
 
+    /// Arms chunk-granular DMA recovery (see
+    /// [`crate::dma::DmaEngine::set_refetch_limit`]).
+    pub fn set_dma_refetch_limit(&mut self, limit: u32) {
+        self.dma.set_refetch_limit(limit);
+    }
+
+    /// Chunk re-fetches the DMA engine has performed.
+    pub fn dma_refetches(&self) -> u64 {
+        self.dma.refetches()
+    }
+
+    /// Total bytes the DMA engine has requested via read TLPs
+    /// (re-fetches counted again).
+    pub fn dma_read_bytes_requested(&self) -> u64 {
+        self.dma.read_bytes_requested()
+    }
+
     /// Number of cold-boot resets performed.
     pub fn cold_boots(&self) -> u64 {
         self.cold_boots
@@ -206,6 +223,13 @@ impl Xpu {
                     2 => DmaDirection::DeviceToHost,
                     _ => return,
                 };
+                // A duplicated doorbell delivery must not restart (or
+                // panic) an engine already working on this transfer; the
+                // register itself was updated above, so driver read-back
+                // verification still sees the value it wrote.
+                if self.dma.status() == crate::dma::DmaStatus::Busy {
+                    return;
+                }
                 let request = DmaRequest {
                     direction,
                     host_addr: match direction {
@@ -417,6 +441,9 @@ impl PcieDevice for Xpu {
     }
 
     fn poll_outbound(&mut self) -> Vec<Tlp> {
+        if self.dma.recover_stalled() {
+            self.sync_dma_status();
+        }
         let mut out = self.dma.poll_outbound();
         // Surface a fresh interrupt as a message TLP.
         if self.registers.read(Reg::IntStatus) & 1 != 0 {
@@ -432,6 +459,10 @@ impl PcieDevice for Xpu {
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }
 }

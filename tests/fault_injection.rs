@@ -12,7 +12,7 @@
 use ccai_core::sc::ScAlert;
 use ccai_core::system::layout;
 use ccai_core::{ConfidentialSystem, SystemMode};
-use ccai_pcie::{Bdf, CplStatus, FaultEvent, FaultPlan, Tlp};
+use ccai_pcie::{Bdf, CplStatus, FaultEvent, FaultPlan, Tlp, TlpType, WireAttack};
 use ccai_tvm::RetryPolicy;
 use ccai_xpu::{CommandProcessor, XpuSpec};
 
@@ -192,6 +192,67 @@ fn unrelenting_corruption_quarantines_the_channel() {
     assert!(
         system.sc_counters().packets_blocked > blocked_before,
         "the probe must be counted as blocked"
+    );
+}
+
+/// Deletes the first large ciphertext completion on its way back to the
+/// device — a cleanly *lost* packet, not a corrupted one.
+#[derive(Debug)]
+struct OneShotCompletionDeleter {
+    dropped: bool,
+}
+impl WireAttack for OneShotCompletionDeleter {
+    fn mangle(&mut self, tlp: Tlp, downstream: bool) -> Option<Tlp> {
+        if downstream
+            && tlp.header().tlp_type() == TlpType::CompletionData
+            && tlp.payload().len() >= 4096
+            && !self.dropped
+        {
+            self.dropped = true;
+            return None;
+        }
+        Some(tlp)
+    }
+}
+
+#[test]
+fn chunk_refetch_moves_fewer_bytes_than_full_restaging() {
+    // The same single mid-transfer loss, recovered two ways. With the
+    // engine's chunk-granular re-fetch armed it re-reads only the lost
+    // chunk; with the legacy behavior the stall surfaces to the driver,
+    // which quiesces and re-stages the whole transfer. Both converge to
+    // the correct result — but re-fetch must move strictly fewer bytes.
+    let (weights, input) = workload();
+    let expected = CommandProcessor::surrogate_inference(&weights, &input);
+
+    let mut refetching = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    refetching.set_dma_refetch_limit(8);
+    refetching
+        .fabric_mut()
+        .set_wire_attack(Box::new(OneShotCompletionDeleter { dropped: false }));
+    let result = refetching.run_workload(&weights, &input).expect("re-fetch recovers the loss");
+    assert_eq!(result, expected);
+    assert!(refetching.dma_refetches() > 0, "the lost chunk must be re-fetched");
+    assert_eq!(
+        refetching.driver().dma_retries(),
+        0,
+        "device-side recovery must spare the driver a full re-staging retry"
+    );
+
+    let mut restaging = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    restaging
+        .fabric_mut()
+        .set_wire_attack(Box::new(OneShotCompletionDeleter { dropped: false }));
+    let result = restaging.run_workload(&weights, &input).expect("driver retry recovers the loss");
+    assert_eq!(result, expected);
+    assert_eq!(restaging.dma_refetches(), 0, "re-fetch is off by default");
+    assert!(restaging.driver().dma_retries() > 0, "recovery went through full re-staging");
+
+    assert!(
+        refetching.dma_read_bytes_requested() < restaging.dma_read_bytes_requested(),
+        "chunk-granular recovery must request strictly fewer bytes ({} vs {})",
+        refetching.dma_read_bytes_requested(),
+        restaging.dma_read_bytes_requested(),
     );
 }
 

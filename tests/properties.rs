@@ -232,6 +232,53 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     #[test]
+    fn control_writes_are_exactly_once_under_duplication_and_reorder(
+        seed in any::<u64>(),
+        writes in proptest::collection::vec((0usize..6, any::<u64>()), 1..12),
+    ) {
+        // Arbitrary interleavings of sequenced control writes with
+        // injected duplicates and reorders must preserve exactly-once
+        // register semantics: a read-back always sees the last value the
+        // driver acknowledged, never a replayed older one.
+        use ccai_core::{ConfidentialSystem, SystemMode};
+        use ccai_pcie::FaultPlan;
+        use ccai_tvm::RetryPolicy;
+        use ccai_xpu::{Reg, XpuSpec};
+        const SIDE_EFFECT_FREE: [Reg; 6] =
+            [Reg::DmaSrc, Reg::DmaDst, Reg::DmaLen, Reg::CmdArg0, Reg::CmdArg1, Reg::CmdArg2];
+
+        let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+        system.driver_mut().set_retry_policy(RetryPolicy {
+            max_attempts: 8,
+            backoff_base: 2,
+            ..Default::default()
+        });
+        // Bring the confidential plumbing (session keys, tag landing,
+        // filter rules) up fault-free before injecting; the property
+        // under test is the write protocol, not session establishment.
+        system.run_workload(b"warmup", b"warmup").expect("fault-free warmup");
+        system.inject_faults(
+            FaultPlan::duplicate_reorder(seed, 64).with_control_path(),
+        );
+        let mut model = std::collections::BTreeMap::new();
+        let (driver, fabric, _memory, _stager, adaptor) = system.parts();
+        let adaptor = adaptor.expect("ccai mode");
+        let mut port = adaptor.port(fabric);
+        for (reg_idx, value) in &writes {
+            let reg = SIDE_EFFECT_FREE[*reg_idx];
+            driver.write_register(&mut port, reg, *value).expect("dup/reorder is recoverable");
+            model.insert(reg, *value);
+        }
+        for (reg, expected) in &model {
+            let read = driver.read_register(&mut port, *reg).expect("readable");
+            prop_assert_eq!(
+                read, *expected,
+                "register {:?} must hold the last acknowledged value", reg
+            );
+        }
+    }
+
+    #[test]
     fn schnorr_signatures_verify_and_bind_the_message(
         key_seed in any::<[u8; 32]>(),
         msg in proptest::collection::vec(any::<u8>(), 0..256),

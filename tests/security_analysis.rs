@@ -4,7 +4,7 @@
 
 use ccai_core::sc::ScAlert;
 use ccai_core::system::{layout, ConfidentialSystem, SystemMode};
-use ccai_pcie::{Bdf, BusAdversary, TamperMode, Tlp, TlpType, WireAttack};
+use ccai_pcie::{parse_ctrl_envelope, Bdf, BusAdversary, FaultPlan, TamperMode, Tlp, TlpType, WireAttack};
 use ccai_tvm::hypervisor::AttackOutcome;
 use ccai_tvm::HostAdversary;
 use ccai_xpu::{CommandProcessor, XpuSpec};
@@ -172,6 +172,73 @@ fn replayed_data_chunks_are_rejected() {
     system.run_workload(&weights, &prompt).unwrap();
     system.run_workload(&weights, &prompt).unwrap();
     assert_eq!(system.sc().unwrap().replays_blocked(), 0);
+}
+
+#[test]
+fn quarantine_survives_replayed_control_window_tlps() {
+    // A bus adversary records the TVM's sequenced control-window writes
+    // during a healthy run, waits for the tenant to be quarantined, then
+    // replays the capture hoping to reprogram the SC or revive the
+    // channel. Every replayed write carries a stale sequence number, so
+    // the exactly-once window rejects it: the quarantine holds, the
+    // filter tables do not move, and data accesses stay A1-denied.
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let snooper = BusAdversary::new();
+    system.fabric_mut().add_tap(snooper.tap());
+    system.run_workload(&weights, &prompt).unwrap();
+
+    let log = snooper.log();
+    let captured: Vec<Tlp> = log
+        .of_type(TlpType::MemWrite)
+        .into_iter()
+        .filter(|t| {
+            let addr = t.header().address().unwrap_or(0);
+            (layout::SC_REGION..layout::SC_REGION + ccai_core::sc::regs::WINDOW_LEN)
+                .contains(&addr)
+                && parse_ctrl_envelope(t.payload()).is_some()
+        })
+        .cloned()
+        .collect();
+    assert!(!captured.is_empty(), "a protected run must emit sequenced control writes");
+
+    // Unrelenting corruption trips the quarantine, then the injector is
+    // removed so everything below is the adversary acting alone.
+    system.inject_faults(FaultPlan::corrupt_only(0xBAD, 1024));
+    assert!(system.run_workload(&weights, &prompt).is_err(), "channel is unrecoverable");
+    system.clear_faults();
+    let xpu_bdf = Bdf::new(layout::XPU_BDF.0, layout::XPU_BDF.1, layout::XPU_BDF.2);
+    assert!(system.sc().unwrap().is_quarantined(xpu_bdf));
+
+    let filter_before = system.sc_filter_digest();
+    let before = system.sc_counters();
+    for tlp in captured {
+        system.fabric_mut().host_request(tlp);
+    }
+    let after = system.sc_counters();
+
+    assert!(
+        system.sc().unwrap().is_quarantined(xpu_bdf),
+        "replayed control writes must not lift the quarantine"
+    );
+    assert_eq!(
+        system.sc_filter_digest(),
+        filter_before,
+        "stale control sequences must not move the filter tables"
+    );
+    assert!(
+        after.control_dup_suppressed > before.control_dup_suppressed
+            || after.packets_blocked > before.packets_blocked,
+        "the replay must be visibly rejected, not silently absorbed"
+    );
+
+    // Data-path access from the quarantined tenant is still A1-denied.
+    let probe = Tlp::memory_read(system.tvm_bdf(), layout::XPU_BAR_BASE, 8, 0x7B);
+    let replies = system.fabric_mut().host_request(probe);
+    assert!(
+        replies.iter().all(|r| r.payload().is_empty()),
+        "quarantined tenant must stay A1-denied after the replay"
+    );
 }
 
 #[test]

@@ -144,6 +144,81 @@ fn retry_and_rekey_counters_match_their_trace_events() {
 }
 
 #[test]
+fn control_fault_counters_match_their_trace_events() {
+    // Same contract as the datapath test above, but with the injector
+    // armed against the *control* path: every control-plane recovery
+    // counter has a one-to-one trace-event mirror, the functional
+    // counters agree with telemetry, and the clock accounting stays
+    // exact even while control writes are duplicated and reordered.
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system
+        .driver_mut()
+        .set_retry_policy(RetryPolicy { max_attempts: 8, backoff_base: 2, ..Default::default() });
+    system.inject_faults(FaultPlan::duplicate_reorder(21, 64).with_control_path());
+    let (weights, input) = workload();
+    system.run_workload(&weights, &input).expect("recoverable control plan");
+
+    let telemetry = system.telemetry();
+    assert_eq!(
+        telemetry.events_dropped(),
+        0,
+        "this workload must fit the ring so event counting is exact"
+    );
+    let events = telemetry.events();
+    let count_kind = |kind: &str| events.iter().filter(|e| e.kind == kind).count() as u64;
+
+    assert_eq!(
+        telemetry.counter("driver.control_retries"),
+        count_kind("driver.control_retry"),
+        "every driver control retry has a matching trace event"
+    );
+    assert_eq!(
+        telemetry.counter("adaptor.control_retries"),
+        count_kind("adaptor.control_retry"),
+        "every adaptor control retry has a matching trace event"
+    );
+    assert_eq!(
+        telemetry.counter("sc.control_dup_suppressed"),
+        count_kind("sc.control_dup"),
+        "every suppressed duplicate has a matching trace event"
+    );
+    assert_eq!(
+        telemetry.counter("sc.control_gaps"),
+        count_kind("sc.control_gap"),
+        "every sequence gap has a matching trace event"
+    );
+
+    // The functional counters agree with the telemetry mirror.
+    assert_eq!(telemetry.counter("driver.control_retries"), system.driver().control_retries());
+    assert_eq!(
+        telemetry.counter("adaptor.control_retries"),
+        system.adaptor_counters().control_retries
+    );
+    let sc = system.sc().expect("protected").counters();
+    assert_eq!(telemetry.counter("sc.control_dup_suppressed"), sc.control_dup_suppressed);
+    assert_eq!(telemetry.counter("sc.control_gaps"), sc.control_gaps);
+
+    // The plan must visibly exercise the protocol — otherwise the
+    // equalities above hold vacuously at zero.
+    assert!(
+        system.driver().control_retries()
+            + system.adaptor_counters().control_retries
+            + sc.control_dup_suppressed
+            > 0,
+        "duplicated/reordered control writes must leave recovery footprints"
+    );
+
+    // Span + idle accounting stays exact with control faults armed.
+    let elapsed = telemetry.now().duration_since(ccai_sim::SimTime::ZERO);
+    assert!(!elapsed.is_zero());
+    assert_eq!(
+        telemetry.span_total() + telemetry.idle_total(),
+        elapsed,
+        "per-hop spans plus idle time must equal measured e2e under control faults"
+    );
+}
+
+#[test]
 fn quarantine_is_coherently_observable() {
     let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
     // Corrupt every data-bearing packet: consecutive crypt failures must
