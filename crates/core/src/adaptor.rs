@@ -41,40 +41,48 @@ use std::rc::Rc;
 /// threads and cores to process the security operations in parallel").
 pub const PARALLEL_CRYPTO_THRESHOLD: usize = 256 * 1024;
 
-/// Encrypts a buffer's 4 KiB chunks across `lanes` OS threads, returning
-/// per-chunk ciphertexts and tag records in sequence order.
-fn seal_chunks_parallel(
+/// Encrypts a buffer's 4 KiB chunks *in place* across `lanes` OS
+/// threads, returning tag records in sequence order.
+///
+/// The buffer is split at chunk boundaries into one contiguous stripe
+/// per lane via `chunks_mut`, so every lane seals its stripe with
+/// `seal_in_place_detached` and zero per-chunk allocations or copies —
+/// the ciphertext layout is byte-identical to the sequential in-place
+/// path. Public so the crypto benchmark can chart the lane-count trend
+/// against the same code the Adaptor ships.
+pub fn seal_chunks_striped(
     key: &Key,
     stream: StreamId,
-    data: &[u8],
+    sealed: &mut [u8],
     lanes: usize,
-) -> Vec<(Vec<u8>, TagRecord)> {
-    let chunks: Vec<(u64, &[u8])> = data
-        .chunks(CHUNK_SIZE as usize)
-        .enumerate()
-        .map(|(i, c)| (i as u64, c))
-        .collect();
-    let lanes = lanes.max(1).min(chunks.len().max(1));
-    let stripe = chunks.len().div_ceil(lanes);
+) -> Vec<TagRecord> {
+    let chunk_count = sealed.len().div_ceil(CHUNK_SIZE as usize).max(1);
+    let lanes = lanes.max(1).min(chunk_count);
+    // Whole chunks per stripe keeps every (stream, seq) nonce/AAD pair
+    // identical to the sequential path.
+    let stripe_bytes = chunk_count.div_ceil(lanes) * CHUNK_SIZE as usize;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .chunks(stripe)
-            .map(|stripe_chunks| {
+        let handles: Vec<_> = sealed
+            .chunks_mut(stripe_bytes)
+            .enumerate()
+            .map(|(stripe_idx, stripe)| {
+                let first_seq = (stripe_idx * stripe_bytes / CHUNK_SIZE as usize) as u64;
                 scope.spawn(move || {
                     // Each lane expands its own key schedule, as each core
                     // does on the real system.
                     let cipher = ccai_crypto::AesGcm::new(key);
-                    stripe_chunks
-                        .iter()
-                        .map(|&(seq, chunk)| {
+                    stripe
+                        .chunks_mut(CHUNK_SIZE as usize)
+                        .enumerate()
+                        .map(|(i, chunk)| {
+                            let seq = first_seq + i as u64;
                             let chunk_ref = ChunkRef { stream, seq };
-                            let mut sealed = chunk.to_vec();
                             let tag = cipher.seal_in_place_detached(
                                 &chunk_ref.nonce(),
-                                &mut sealed,
+                                chunk,
                                 &chunk_ref.aad(),
                             );
-                            (sealed, TagRecord { stream, seq, tag })
+                            TagRecord { stream, seq, tag }
                         })
                         .collect::<Vec<_>>()
                 })
@@ -681,16 +689,11 @@ impl DmaStager for Adaptor {
             // way the plaintext is copied exactly once and sealed in
             // place — no per-chunk ciphertext allocations.
             let lanes = state.config.opts.crypto_lanes as usize;
-            let mut tags = Vec::new();
-            if lanes > 1 && data.len() >= PARALLEL_CRYPTO_THRESHOLD {
-                for (i, (ct, record)) in
-                    seal_chunks_parallel(&key, stream, data, lanes).into_iter().enumerate()
-                {
-                    memory.write(base + i as u64 * CHUNK_SIZE, &ct);
-                    tags.push(record);
-                }
+            let mut sealed = data.to_vec();
+            let tags = if lanes > 1 && data.len() >= PARALLEL_CRYPTO_THRESHOLD {
+                seal_chunks_striped(&key, stream, &mut sealed, lanes)
             } else {
-                let mut sealed = data.to_vec();
+                let mut tags = Vec::with_capacity(sealed.len().div_ceil(CHUNK_SIZE as usize));
                 for (i, chunk) in sealed.chunks_mut(CHUNK_SIZE as usize).enumerate() {
                     let chunk_ref = ChunkRef { stream, seq: i as u64 };
                     let tag = state.engine.seal_in_place_detached(
@@ -701,8 +704,9 @@ impl DmaStager for Adaptor {
                     );
                     tags.push(TagRecord { stream, seq: i as u64, tag });
                 }
-                memory.write(base, &sealed);
-            }
+                tags
+            };
+            memory.write(base, &sealed);
             state.counters.bytes_encrypted += data.len() as u64;
             state.counters.chunks_staged += tags.len() as u64;
 
@@ -1045,9 +1049,12 @@ mod tests {
             .collect();
 
         for lanes in [1, 2, 3, 8, 64] {
-            let got = seal_chunks_parallel(&key, stream, &data, lanes);
+            let mut sealed = data.clone();
+            let got = seal_chunks_striped(&key, stream, &mut sealed, lanes);
             assert_eq!(got.len(), expected.len(), "lanes={lanes}");
-            for ((got_ct, got_rec), (want_ct, want_rec)) in got.iter().zip(&expected) {
+            for ((got_rec, got_ct), (want_ct, want_rec)) in
+                got.iter().zip(sealed.chunks(CHUNK_SIZE as usize)).zip(&expected)
+            {
                 assert_eq!(got_rec.seq, want_rec.seq, "lanes={lanes}");
                 assert_eq!(got_rec.tag, want_rec.tag, "lanes={lanes} seq={}", want_rec.seq);
                 assert_eq!(got_ct, want_ct, "lanes={lanes} seq={}", want_rec.seq);
@@ -1059,9 +1066,10 @@ mod tests {
     #[test]
     fn lane_count_clamps_to_chunk_count() {
         let key = Key::Aes256([7; 32]);
-        let data = vec![0xA5u8; 100];
-        let sealed = seal_chunks_parallel(&key, StreamId(1), &data, 16);
-        assert_eq!(sealed.len(), 1);
-        assert_eq!(sealed[0].0.len(), 100);
+        let mut data = vec![0xA5u8; 100];
+        let tags = seal_chunks_striped(&key, StreamId(1), &mut data, 16);
+        assert_eq!(tags.len(), 1);
+        assert_eq!(data.len(), 100);
+        assert_ne!(data, vec![0xA5u8; 100], "sealing transformed the buffer");
     }
 }

@@ -9,6 +9,7 @@
 //! configuration").
 
 mod action;
+mod compiled;
 mod config;
 mod rule;
 mod tables;

@@ -1,6 +1,7 @@
 //! The assembled L1 → L2 classification pipeline.
 
 use super::action::SecurityAction;
+use super::compiled::CompiledFilter;
 use super::rule::{L1Decision, L1Rule, L2Rule};
 use ccai_pcie::TlpHeader;
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,10 @@ impl FilterStats {
 pub struct PacketFilter {
     l1: Vec<L1Rule>,
     l2: Vec<L2Rule>,
+    /// Dispatch tree compiled from `l1`/`l2`; rebuilt on every rule
+    /// install so `classify` never consults the row-by-row tables.
+    #[serde(skip)]
+    compiled: CompiledFilter,
     #[serde(skip)]
     stats: FilterStats,
 }
@@ -69,14 +74,20 @@ impl PacketFilter {
     }
 
     /// Appends an L1 rule (rules match in insertion order; first hit
-    /// wins).
+    /// wins) and recompiles the matcher.
     pub fn push_l1(&mut self, rule: L1Rule) {
         self.l1.push(rule);
+        self.recompile();
     }
 
-    /// Appends an L2 rule (first hit wins).
+    /// Appends an L2 rule (first hit wins) and recompiles the matcher.
     pub fn push_l2(&mut self, rule: L2Rule) {
         self.l2.push(rule);
+        self.recompile();
+    }
+
+    fn recompile(&mut self) {
+        self.compiled = CompiledFilter::compile(&self.l1, &self.l2);
     }
 
     /// Number of installed rules `(l1, l2)`.
@@ -88,6 +99,7 @@ impl PacketFilter {
     pub fn replace_tables(&mut self, l1: Vec<L1Rule>, l2: Vec<L2Rule>) {
         self.l1 = l1;
         self.l2 = l2;
+        self.recompile();
     }
 
     /// Borrow the current tables (for serialization into a policy blob).
@@ -95,11 +107,33 @@ impl PacketFilter {
         (&self.l1, &self.l2)
     }
 
-    /// Classifies a packet header into its security action.
+    /// Classifies a packet header into its security action via the
+    /// precompiled dispatch tree.
     ///
     /// Misses at either level yield [`SecurityAction::Disallow`]: an
     /// unknown packet is a prohibited packet.
     pub fn classify(&mut self, header: &TlpHeader) -> SecurityAction {
+        // L1: masked prefilter.
+        match self.compiled.l1_decision(header) {
+            Some(L1Decision::ToL2) => {}
+            Some(L1Decision::ExecuteA1) | None => {
+                self.stats.l1_blocked += 1;
+                return SecurityAction::Disallow;
+            }
+        }
+        // L2: action selection.
+        self.count_l2(self.compiled.l2_action(header))
+    }
+
+    /// Classifies via the pre-refactor row-by-row linear scan.
+    ///
+    /// This is the differential oracle for the compiled matcher (the
+    /// `ccai_crypto::scalar` pattern): available to unit tests always and
+    /// to external harnesses behind the `scan-oracle` feature, so the
+    /// property suite and the datapath benchmark can compare both paths
+    /// through identical stats accounting.
+    #[cfg(any(test, feature = "scan-oracle"))]
+    pub fn classify_scan(&mut self, header: &TlpHeader) -> SecurityAction {
         // L1: masked prefilter.
         let admitted = self.l1.iter().find_map(|rule| {
             rule.fields
@@ -119,6 +153,11 @@ impl PacketFilter {
             .iter()
             .find(|rule| rule.fields.matches(rule.mask, header))
             .map(|rule| rule.action);
+        self.count_l2(action)
+    }
+
+    /// Shared L2 stats accounting for both classification paths.
+    fn count_l2(&mut self, action: Option<SecurityAction>) -> SecurityAction {
         match action {
             Some(SecurityAction::CryptProtect) => {
                 self.stats.crypt_protected += 1;
@@ -291,6 +330,30 @@ mod tests {
         assert_eq!(stats.total(), 4);
         filter.reset_stats();
         assert_eq!(filter.stats().total(), 0);
+    }
+
+    #[test]
+    fn compiled_matcher_agrees_with_scan_on_fig5() {
+        let mut fast = fig5_filter();
+        let mut oracle = fig5_filter();
+        let probes = [
+            Tlp::memory_write(tvm(), 0x6800, vec![1]),
+            Tlp::memory_write(tvm(), 0x8800, vec![1]),
+            Tlp::memory_write(tvm(), 0x2000, vec![1]),
+            Tlp::memory_read(tvm(), 0x2000, 4, 0),
+            Tlp::memory_write(rogue(), 0x2000, vec![1]),
+            Tlp::memory_write(tvm(), 0xF000, vec![1]),
+            Tlp::message(xpu(), 0x20),
+            Tlp::config_read(tvm(), xpu(), 0, 0),
+        ];
+        for tlp in probes {
+            assert_eq!(
+                fast.classify(tlp.header()),
+                oracle.classify_scan(tlp.header()),
+                "{tlp}"
+            );
+        }
+        assert_eq!(fast.stats(), oracle.stats(), "both paths count identically");
     }
 
     #[test]

@@ -344,6 +344,9 @@ impl PcieSc {
                 SecurityAction::PassThrough => "sc.a4_pass",
             };
             telemetry.counter_add(counter, 1);
+            // Throughput numerator for the sc_filter hop: TLPs/sec falls
+            // out as this counter over the hop's total span time.
+            telemetry.counter_add("sc.filter_tlps", 1);
         }
     }
 
@@ -1133,6 +1136,26 @@ impl Interposer for PcieSc {
         // Piggy-back any SC-originated host writes (metadata batches).
         outcome.forward.append(&mut self.pending_host_writes);
         outcome
+    }
+
+    fn on_upstream_batch(&mut self, tlps: Vec<Tlp>) -> InterposeOutcome {
+        // §5 metadata batching on the enforcement hop: the fabric hands
+        // the SC one burst per pump round, so batch-level bookkeeping is
+        // paid once instead of per packet. Everything below is
+        // counters/histograms only — never `record()` events or clock
+        // advances — so the trace digest is bit-identical to the
+        // packet-at-a-time path.
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.counter_add("sc.filter_batches", 1);
+            telemetry.histogram_record("sc.batch_size", tlps.len() as f64);
+        }
+        let mut out = InterposeOutcome::default();
+        for tlp in tlps {
+            let mut one = self.on_upstream(tlp);
+            out.forward.append(&mut one.forward);
+            out.reply.append(&mut one.reply);
+        }
+        out
     }
 }
 

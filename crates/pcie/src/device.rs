@@ -102,6 +102,24 @@ pub trait HostMemory {
     /// Writes bytes at physical address `addr` on behalf of `requester`.
     /// Returns `false` if blocked/unmapped.
     fn dma_write(&mut self, requester: Bdf, addr: u64, data: &[u8]) -> bool;
+
+    /// Reads `len` bytes at `addr` into a caller-supplied buffer
+    /// (cleared first), returning `false` if the access is blocked.
+    ///
+    /// The default delegates to [`HostMemory::dma_read`]; implementations
+    /// backed by contiguous storage should override it to copy straight
+    /// into `out`, which lets the fabric serve bulk DMA from a recycled
+    /// [`crate::TlpPool`] buffer instead of allocating per completion.
+    fn dma_read_into(&mut self, requester: Bdf, addr: u64, len: usize, out: &mut Vec<u8>) -> bool {
+        match self.dma_read(requester, addr, len) {
+            Some(data) => {
+                out.clear();
+                out.extend_from_slice(&data);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// A flat, fully-mapped host memory for tests.
@@ -144,6 +162,21 @@ impl HostMemory for VecHostMemory {
         }
         self.bytes[start..end].copy_from_slice(data);
         true
+    }
+
+    fn dma_read_into(&mut self, _requester: Bdf, addr: u64, len: usize, out: &mut Vec<u8>) -> bool {
+        let start = addr as usize;
+        let Some(end) = start.checked_add(len) else {
+            return false;
+        };
+        match self.bytes.get(start..end) {
+            Some(slice) => {
+                out.clear();
+                out.extend_from_slice(slice);
+                true
+            }
+            None => false,
+        }
     }
 }
 

@@ -16,7 +16,7 @@
 use crate::device::{HostMemory, PcieDevice};
 use crate::fault::{CompletionVerdict, FaultEvent, FaultInjector, FaultPlan};
 use crate::link::{LinkConfig, LinkSpeed};
-use crate::tlp::{CplStatus, Tlp, TlpType};
+use crate::tlp::{CplStatus, Tlp, TlpPool, TlpPoolStats, TlpType};
 use crate::Bdf;
 use ccai_sim::{Hop, Telemetry};
 use std::collections::HashMap;
@@ -67,6 +67,24 @@ pub trait Interposer: fmt::Debug {
     /// A TLP travelling upstream (device → bus).
     fn on_upstream(&mut self, tlp: Tlp) -> InterposeOutcome;
 
+    /// A burst of upstream TLPs pulled in one pump round.
+    ///
+    /// The default simply folds [`Interposer::on_upstream`] over the
+    /// batch; interposers that can amortise per-packet work across a
+    /// burst (the PCIe-SC amortises filter dispatch and telemetry
+    /// stamping, §5 metadata batching) override it. Implementations must
+    /// process packets in order and preserve per-packet observable
+    /// behaviour — golden traces treat the batch as a pure fast path.
+    fn on_upstream_batch(&mut self, tlps: Vec<Tlp>) -> InterposeOutcome {
+        let mut out = InterposeOutcome::default();
+        for tlp in tlps {
+            let one = self.on_upstream(tlp);
+            out.forward.extend(one.forward);
+            out.reply.extend(one.reply);
+        }
+        out
+    }
+
     /// Downcasting support so owners can inspect concrete interposer
     /// state (counters, alerts) while it lives in the fabric.
     fn as_any(&self) -> &dyn std::any::Any;
@@ -108,7 +126,7 @@ impl fmt::Debug for Port {
 /// Routing is by address range for memory requests (BAR windows registered
 /// with [`Fabric::map_range`]) and by BDF for completions and config
 /// requests.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Fabric {
     ports: HashMap<PortId, Port>,
     address_map: Vec<(std::ops::Range<u64>, PortId)>,
@@ -128,12 +146,55 @@ pub struct Fabric {
     /// Telemetry hub; when set, every TLP crossing the exposed bus
     /// segment charges link-transit time as a [`Hop::Link`] span.
     telemetry: Option<Telemetry>,
+    /// The exposed bus segment's link model, built once instead of per
+    /// packet on the wire hot path.
+    bus_link: LinkConfig,
+    /// Recycled payload storage for the DMA hot path: device-write
+    /// payloads retire into the pool, read completions are built from it.
+    pool: TlpPool,
+    /// When true (the default), `pump` hands each poll round's burst to
+    /// the interposer as one batch; when false it replays the legacy
+    /// packet-at-a-time path (kept as a differential baseline for the
+    /// golden-trace tests).
+    pump_batching: bool,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Fabric {
+            ports: HashMap::new(),
+            address_map: Vec::new(),
+            bdf_map: HashMap::new(),
+            taps: Vec::new(),
+            wire_attack: None,
+            host_inbox: Vec::new(),
+            fault: None,
+            delayed: Vec::new(),
+            delayed_to_host: Vec::new(),
+            telemetry: None,
+            bus_link: LinkConfig::new(LinkSpeed::Gen4, 16),
+            pool: TlpPool::new(),
+            pump_batching: true,
+        }
+    }
 }
 
 impl Fabric {
     /// Creates an empty fabric.
     pub fn new() -> Self {
         Fabric::default()
+    }
+
+    /// Selects between the batched pump (default) and the legacy
+    /// packet-at-a-time pump. Both must produce bit-identical telemetry
+    /// traces; the toggle exists so tests can prove it.
+    pub fn set_pump_batching(&mut self, batching: bool) {
+        self.pump_batching = batching;
+    }
+
+    /// Recycling counters of the fabric's TLP payload pool.
+    pub fn pool_stats(&self) -> TlpPoolStats {
+        self.pool.stats()
     }
 
     /// Attaches a device to `port`.
@@ -240,8 +301,7 @@ impl Fabric {
     fn wire(&mut self, tlp: Tlp, downstream: bool) -> Option<Tlp> {
         if let Some(telemetry) = &self.telemetry {
             let wire_bytes = (tlp.payload().len() as u64).max(32);
-            let link = LinkConfig::new(LinkSpeed::Gen4, 16);
-            telemetry.advance_span(Hop::Link, None, None, link.dma_time(wire_bytes));
+            telemetry.advance_span(Hop::Link, None, None, self.bus_link.dma_time(wire_bytes));
         }
         self.tap_all(&tlp, downstream);
         match &mut self.wire_attack {
@@ -432,26 +492,41 @@ impl Fabric {
         };
         for port_id in port_ids {
             loop {
+                let batching = self.pump_batching;
                 let port = self.ports.get_mut(&port_id).expect("port exists");
                 let outbound = port.device.poll_outbound();
                 if outbound.is_empty() {
                     break;
                 }
                 let mut to_bus_all = Vec::new();
-                for tlp in outbound {
-                    moved += 1;
-                    // Upstream through the interposer.
-                    let (to_bus, to_device) = match &mut port.interposer {
-                        Some(ip) => {
-                            let outcome = ip.on_upstream(tlp);
-                            (outcome.forward, outcome.reply)
-                        }
-                        None => (vec![tlp], Vec::new()),
+                if batching {
+                    // One burst per poll round: the interposer amortises
+                    // filter dispatch + telemetry stamping over the batch.
+                    moved += outbound.len();
+                    let outcome = match &mut port.interposer {
+                        Some(ip) => ip.on_upstream_batch(outbound),
+                        None => InterposeOutcome { forward: outbound, reply: Vec::new() },
                     };
-                    for back in to_device {
+                    for back in outcome.reply {
                         port.device.handle(back);
                     }
-                    to_bus_all.extend(to_bus);
+                    to_bus_all = outcome.forward;
+                } else {
+                    for tlp in outbound {
+                        moved += 1;
+                        // Upstream through the interposer.
+                        let (to_bus, to_device) = match &mut port.interposer {
+                            Some(ip) => {
+                                let outcome = ip.on_upstream(tlp);
+                                (outcome.forward, outcome.reply)
+                            }
+                            None => (vec![tlp], Vec::new()),
+                        };
+                        for back in to_device {
+                            port.device.handle(back);
+                        }
+                        to_bus_all.extend(to_bus);
+                    }
                 }
                 // The injected fault segment sits between the interposer
                 // and the host: the PCIe-SC has already classified and
@@ -482,23 +557,30 @@ impl Fabric {
             TlpType::MemWrite => {
                 let addr = header.address().expect("memory TLP");
                 host_memory.dma_write(header.requester(), addr, tlp.payload());
+                // The payload has landed in host memory; its storage goes
+                // back to the pool for the next completion.
+                self.pool.recycle(tlp.into_payload());
             }
             TlpType::MemRead => {
                 let addr = header.address().expect("memory TLP");
                 let len = header.payload_len() as usize;
-                let reply = match host_memory.dma_read(header.requester(), addr, len) {
-                    Some(data) => Tlp::completion_with_data(
+                let mut data = self.pool.take();
+                let reply = if host_memory.dma_read_into(header.requester(), addr, len, &mut data)
+                {
+                    Tlp::completion_with_data(
                         Bdf::new(0, 0, 0), // root complex
                         header.requester(),
                         header.tag(),
                         data,
-                    ),
-                    None => Tlp::completion(
+                    )
+                } else {
+                    self.pool.recycle(data);
+                    Tlp::completion(
                         Bdf::new(0, 0, 0),
                         header.requester(),
                         header.tag(),
                         CplStatus::UnsupportedRequest,
-                    ),
+                    )
                 };
                 // The completion crosses the faulted link segment raw,
                 // before the interposer sees it: a corrupted ciphertext

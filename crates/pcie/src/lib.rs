@@ -62,4 +62,4 @@ pub use device::{HostMemory, PcieDevice, VecHostMemory};
 pub use fabric::{Fabric, Interposer, InterposeOutcome, PortId, WireAttack};
 pub use fault::{CompletionVerdict, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use link::{LinkConfig, LinkSpeed};
-pub use tlp::{CplStatus, DecodeError, Tlp, TlpHeader, TlpType};
+pub use tlp::{CplStatus, DecodeError, Tlp, TlpHeader, TlpPool, TlpPoolStats, TlpType};

@@ -514,8 +514,19 @@ impl Tlp {
 
     /// Encodes to the binary wire format.
     pub fn encode(&self) -> Vec<u8> {
-        let h = &self.header;
         let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes to the binary wire format into a caller-supplied buffer,
+    /// clearing it first. Lets hot paths (snoops, link models, pools)
+    /// reuse one allocation across packets instead of paying
+    /// [`Tlp::encode`]'s fresh `Vec` per TLP.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let h = &self.header;
+        out.clear();
+        out.reserve(self.wire_len());
 
         let (fmt, type_bits): (u8, u8) = match h.kind {
             HeaderKind::Memory { write, address } => {
@@ -582,10 +593,9 @@ impl Tlp {
 
         out.extend_from_slice(&self.payload);
         // DW padding
-        while out.len() % 4 != 0 {
+        while !out.len().is_multiple_of(4) {
             out.push(0);
         }
-        out
     }
 
     /// Decodes the binary wire format produced by [`Tlp::encode`].
@@ -703,6 +713,102 @@ impl fmt::Display for Tlp {
             write!(f, " cpl={cpl}")?;
         }
         write!(f, " len={}", h.payload_len)
+    }
+}
+
+/// Counters describing how well a [`TlpPool`] is recycling buffers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlpPoolStats {
+    /// `take` calls served from a recycled buffer.
+    pub hits: u64,
+    /// `take` calls that had to allocate fresh storage.
+    pub misses: u64,
+    /// Buffers returned to the pool (excludes ones dropped at the cap).
+    pub recycled: u64,
+}
+
+/// A recycling pool of TLP payload buffers.
+///
+/// The fabric's DMA hot path retires one payload `Vec<u8>` per packet
+/// (device writes land in host memory, read completions are built from
+/// host memory). The pool keeps those vectors' capacity alive across
+/// packets: consumers [`TlpPool::recycle`] a spent payload (for example
+/// from [`Tlp::into_payload`]) and producers [`TlpPool::take`] a cleared
+/// buffer with its old capacity intact, so steady-state bulk staging
+/// allocates nothing per TLP.
+///
+/// # Example
+///
+/// ```
+/// use ccai_pcie::TlpPool;
+///
+/// let mut pool = TlpPool::new();
+/// let mut buf = pool.take(); // fresh: pool was empty
+/// buf.extend_from_slice(&[1, 2, 3]);
+/// pool.recycle(buf);
+/// let again = pool.take(); // recycled: cleared but capacity kept
+/// assert!(again.is_empty());
+/// assert!(again.capacity() >= 3);
+/// assert_eq!(pool.stats().hits, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TlpPool {
+    free: Vec<Vec<u8>>,
+    stats: TlpPoolStats,
+}
+
+impl TlpPool {
+    /// Most buffers the pool will hold; surplus recycles are dropped so
+    /// a traffic burst cannot pin memory forever.
+    pub const MAX_POOLED: usize = 64;
+
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        TlpPool::default()
+    }
+
+    /// Takes a cleared buffer from the pool, or allocates a fresh one.
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.stats.hits += 1;
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Takes a buffer pre-filled with a copy of `data`.
+    pub fn take_copied(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut buf = self.take();
+        buf.extend_from_slice(data);
+        buf
+    }
+
+    /// Returns a spent buffer to the pool. Cleared on entry; dropped
+    /// outright when the pool is full or the buffer's capacity exceeds
+    /// the maximum TLP payload (oversized one-offs must not colonise the
+    /// pool).
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() >= Self::MAX_POOLED || buf.capacity() > MAX_PAYLOAD_BYTES {
+            return;
+        }
+        buf.clear();
+        self.free.push(buf);
+        self.stats.recycled += 1;
+    }
+
+    /// Buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Hit/miss/recycle counters since construction.
+    pub fn stats(&self) -> TlpPoolStats {
+        self.stats
     }
 }
 
@@ -860,5 +966,53 @@ mod tests {
         assert!(s.contains("MWr"));
         assert!(s.contains("0x1000"));
         assert!(s.contains("len=8"));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_for_every_kind() {
+        let tlps = [
+            Tlp::memory_write(req(), 0x1000, vec![1, 2, 3]),
+            Tlp::memory_write(req(), 0x1_0000_0000, vec![9; 7]),
+            Tlp::memory_read(req(), 0x2000, 64, 4),
+            Tlp::io_write(req(), 0x80, vec![5, 6, 7, 8]),
+            Tlp::config_read(req(), dev(), 0x40, 1),
+            Tlp::completion_with_data(dev(), req(), 2, vec![0xAA; 5]),
+            Tlp::completion(dev(), req(), 3, CplStatus::UnsupportedRequest),
+            Tlp::message(dev(), 0x20),
+        ];
+        let mut buf = vec![0xFF; 3]; // stale contents must be cleared
+        for tlp in tlps {
+            tlp.encode_into(&mut buf);
+            assert_eq!(buf, tlp.encode(), "{tlp}");
+        }
+    }
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let mut pool = TlpPool::new();
+        let fresh = pool.take();
+        assert_eq!(pool.stats().misses, 1);
+        pool.recycle(fresh);
+        let mut buf = pool.take_copied(&[1, 2, 3]);
+        assert_eq!(buf, vec![1, 2, 3]);
+        buf.reserve(64);
+        let cap = buf.capacity();
+        pool.recycle(buf);
+        let again = pool.take();
+        assert!(again.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(again.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(pool.stats().hits, 2);
+        assert_eq!(pool.stats().recycled, 2);
+    }
+
+    #[test]
+    fn pool_drops_surplus_and_oversized_buffers() {
+        let mut pool = TlpPool::new();
+        for _ in 0..TlpPool::MAX_POOLED + 5 {
+            pool.recycle(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.pooled(), TlpPool::MAX_POOLED);
+        pool.recycle(Vec::with_capacity(MAX_PAYLOAD_BYTES * 2));
+        assert_eq!(pool.pooled(), TlpPool::MAX_POOLED, "oversized buffer dropped");
     }
 }

@@ -179,6 +179,7 @@ struct TelemetryInner {
     events_dropped: u64,
     digest: u64,
     counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
     hops: BTreeMap<Hop, HopStats>,
     idle_total: SimDuration,
     idle_by_tenant: BTreeMap<u32, SimDuration>,
@@ -225,6 +226,7 @@ impl Telemetry {
                 events_dropped: 0,
                 digest: FNV_OFFSET,
                 counters: BTreeMap::new(),
+                histograms: BTreeMap::new(),
                 hops: BTreeMap::new(),
                 idle_total: SimDuration::ZERO,
                 idle_by_tenant: BTreeMap::new(),
@@ -298,6 +300,31 @@ impl Telemetry {
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect()
+    }
+
+    /// Range of the named-histogram buckets (sized for batch/packet
+    /// counts; larger values land in the overflow bucket).
+    pub const NAMED_HISTOGRAM_RANGE: f64 = 1024.0;
+
+    /// Records `value` into the named histogram (created on first use,
+    /// spanning `0..NAMED_HISTOGRAM_RANGE` over 64 buckets).
+    ///
+    /// Named histograms are observability-only: they never feed the trace
+    /// digest and never advance the hub clock, so hot paths (e.g. the
+    /// SC's batch pump) can record into them without perturbing golden
+    /// traces.
+    pub fn histogram_record(&self, name: &str, value: f64) {
+        let mut inner = self.inner.borrow_mut();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(0.0, Self::NAMED_HISTOGRAM_RANGE, 64))
+            .record(value);
+    }
+
+    /// Copy of the named histogram, if it has recorded any samples.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.borrow().histograms.get(name).cloned()
     }
 
     /// Advances the hub clock by `d`, attributing the time to `hop`.

@@ -169,6 +169,29 @@ impl HostMemory for GuestMemory {
         self.write(addr, data);
         true
     }
+
+    fn dma_read_into(&mut self, _requester: Bdf, addr: u64, len: usize, out: &mut Vec<u8>) -> bool {
+        if !self.check(addr, len as u64) || !self.is_range_shared(addr, len as u64) {
+            self.dma_denials += 1;
+            return false;
+        }
+        out.clear();
+        // Unwritten guest memory reads as zero; a recycled buffer holds
+        // stale bytes, so zero-fill before copying mapped chunks in.
+        out.resize(len, 0);
+        let mut offset = 0usize;
+        while offset < len {
+            let pos = addr + offset as u64;
+            let base = pos / CHUNK * CHUNK;
+            let within = (pos - base) as usize;
+            let take = ((CHUNK as usize) - within).min(len - offset);
+            if let Some(chunk) = self.chunks.get(&base) {
+                out[offset..offset + take].copy_from_slice(&chunk[within..within + take]);
+            }
+            offset += take;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +226,24 @@ mod tests {
         assert!(mem.dma_write(dev(), 0x8000, b"bounce"));
         assert_eq!(mem.dma_read(dev(), 0x8000, 6), Some(b"bounce".to_vec()));
         assert_eq!(mem.dma_denials(), 0);
+    }
+
+    #[test]
+    fn dma_read_into_matches_dma_read_and_scrubs_stale_bytes() {
+        let mut mem = GuestMemory::new(1 << 20);
+        mem.share_range(0x8000..0xA000);
+        mem.write(0x8000, b"bounce");
+        // A recycled buffer with stale content and surplus length: the
+        // in-place read must match the allocating read exactly,
+        // including zeros for unwritten shared memory past the chunk.
+        let mut buf = vec![0xAA; 64];
+        let len = 0x1000;
+        assert!(mem.dma_read_into(dev(), 0x8000, len, &mut buf));
+        assert_eq!(Some(buf.clone()), mem.dma_read(dev(), 0x8000, len));
+        // Denials behave identically on both paths and count once each.
+        assert!(!mem.dma_read_into(dev(), 0x1000, 4, &mut buf));
+        assert_eq!(mem.dma_read(dev(), 0x1000, 4), None);
+        assert_eq!(mem.dma_denials(), 2);
     }
 
     #[test]

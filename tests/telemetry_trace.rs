@@ -25,7 +25,18 @@ fn workload() -> (Vec<u8>, Vec<u8>) {
 
 /// Runs one fixed-seed workload and returns (digest hex, event trace).
 fn run_traced(plan: Option<FaultPlan>) -> (String, Vec<TelemetryEvent>) {
+    run_traced_with_pump(plan, true)
+}
+
+/// Like [`run_traced`], but selecting between the batched SC pump (the
+/// default) and the legacy per-TLP pump. Also returns the count of SC
+/// filter batches so tests can prove which pump actually ran.
+fn run_traced_with_pump(
+    plan: Option<FaultPlan>,
+    batching: bool,
+) -> (String, Vec<TelemetryEvent>) {
     let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.fabric_mut().set_pump_batching(batching);
     system
         .driver_mut()
         .set_retry_policy(RetryPolicy { max_attempts: 6, backoff_base: 2, ..Default::default() });
@@ -35,6 +46,16 @@ fn run_traced(plan: Option<FaultPlan>) -> (String, Vec<TelemetryEvent>) {
     let (weights, input) = workload();
     system.run_workload(&weights, &input).expect("fixed-seed workload succeeds");
     let telemetry = system.telemetry();
+    let batches = telemetry.counter("sc.filter_batches");
+    if batching {
+        assert!(batches > 0, "batched pump must record SC filter batches");
+        assert!(
+            telemetry.histogram("sc.batch_size").is_some_and(|h| h.total() == batches),
+            "every batch must land one sc.batch_size histogram sample"
+        );
+    } else {
+        assert_eq!(batches, 0, "legacy per-TLP pump must not record batches");
+    }
     (telemetry.digest_hex(), telemetry.events())
 }
 
@@ -64,6 +85,28 @@ fn same_seed_produces_identical_trace() {
     if let Ok(path) = std::env::var("CCAI_TRACE_DIGEST_OUT") {
         let dump = format!("fault_free={digest_a}\nfaulted={faulted_a}\n");
         std::fs::write(&path, dump).expect("write digest dump");
+    }
+}
+
+/// The §5 metadata-batching refactor must be invisible to the golden
+/// trace: batch boundaries surface only as counters and histogram
+/// samples, which never feed the digest or the sim clock, so the event
+/// stream of the batched pump is bit-identical to the legacy per-TLP
+/// pump — with and without injected faults.
+#[test]
+fn batched_pump_replays_the_per_tlp_trace_bit_identically() {
+    for faulted in [false, true] {
+        let plan = || faulted.then(faulted_plan);
+        let (batched_digest, batched_events) = run_traced_with_pump(plan(), true);
+        let (legacy_digest, legacy_events) = run_traced_with_pump(plan(), false);
+        assert_eq!(
+            batched_digest, legacy_digest,
+            "batching changed the trace digest (faulted={faulted})"
+        );
+        assert_eq!(
+            batched_events, legacy_events,
+            "batching changed the event stream (faulted={faulted})"
+        );
     }
 }
 
