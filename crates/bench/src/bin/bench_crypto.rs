@@ -201,7 +201,12 @@ fn to_json(samples: &[Sample], lanes: &[LaneSample], telemetry: &TelemetrySnapsh
     }
     out.push_str("  ],\n");
     out.push_str("  \"telemetry\": ");
-    out.push_str(telemetry.to_json().trim_end());
+    let telemetry_json = telemetry.to_json();
+    assert!(
+        telemetry_json.contains(ccai_core::telemetry::SNAPSHOT_SCHEMA),
+        "embedded telemetry snapshot must carry the pinned schema"
+    );
+    out.push_str(telemetry_json.trim_end());
     out.push('\n');
     out.push('}');
     out.push('\n');

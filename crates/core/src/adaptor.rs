@@ -952,6 +952,143 @@ impl DmaStager for Adaptor {
     }
 }
 
+impl Adaptor {
+    /// Serializes the Adaptor's mutable state. Excluded by design: the
+    /// config (rebuilt at load), the master secret and env key (key
+    /// material re-derives from the master the restoring Adaptor was
+    /// loaded with), and the telemetry handle (reattached by the system
+    /// layer).
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        let state = self.state.borrow();
+        enc.u32(state.epoch);
+        state.keys.encode_snapshot(enc);
+        state.engine.encode_snapshot(enc);
+        enc.u64(state.counters.sc_mmio_reads);
+        enc.u64(state.counters.sc_mmio_writes);
+        enc.u64(state.counters.tag_packets);
+        enc.u64(state.counters.doorbells);
+        enc.u64(state.counters.bytes_encrypted);
+        enc.u64(state.counters.bytes_decrypted);
+        enc.u64(state.counters.chunks_staged);
+        enc.u64(state.counters.chunks_recovered);
+        enc.u64(state.counters.driver_mmio_writes);
+        enc.u64(state.counters.driver_mmio_reads);
+        enc.u64(state.counters.mmio_tags);
+        enc.u64(state.counters.transfer_retries);
+        enc.u64(state.counters.rekeys);
+        enc.u64(state.counters.control_retries);
+        enc.u32(state.next_stream);
+        enc.u64(state.staging_cursor);
+        enc.u64(state.pending_d2h.len() as u64);
+        for (addr, stream, chunks) in &state.pending_d2h {
+            enc.u64(*addr);
+            enc.u32(stream.0);
+            enc.u64(*chunks);
+        }
+        enc.u64(state.stream_of.len() as u64);
+        for (addr, stream) in &state.stream_of {
+            enc.u64(*addr);
+            enc.u32(stream.0);
+        }
+        enc.u64(state.tag_cursor);
+        enc.u64(state.mmio_seq);
+        enc.u64(state.ctrl_seq);
+        enc.u64(state.unacked.len() as u64);
+        for (seq, tlp) in &state.unacked {
+            enc.u64(*seq);
+            enc.bytes(&tlp.encode());
+        }
+        enc.u8(state.ctrl_read_tag);
+        enc.u32(state.retry.max_attempts);
+        enc.u32(state.retry.backoff_base);
+        enc.u64(state.retry.backoff_unit.as_picos());
+    }
+
+    /// Restores a freshly loaded Adaptor to a snapshotted state. The
+    /// receiver must have been loaded with the same config and master
+    /// secret as the snapshotted Adaptor; the key schedule is rebuilt at
+    /// the snapshotted epoch and its positions restored.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ccai_sim::SnapshotError`] for truncated or inconsistent
+    /// input.
+    pub fn restore_snapshot(
+        &self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), ccai_sim::SnapshotError> {
+        use ccai_sim::SnapshotError;
+        let mut state = self.state.borrow_mut();
+        let epoch = dec.u32()?;
+        let mut keys = WorkloadKeyManager::new(crate::sc::epoch_master(&state.master, epoch));
+        keys.restore_snapshot(dec)?;
+        let mut engine = CryptoEngine::new();
+        engine.restore_snapshot(dec)?;
+        let counters = AdaptorCounters {
+            sc_mmio_reads: dec.u64()?,
+            sc_mmio_writes: dec.u64()?,
+            tag_packets: dec.u64()?,
+            doorbells: dec.u64()?,
+            bytes_encrypted: dec.u64()?,
+            bytes_decrypted: dec.u64()?,
+            chunks_staged: dec.u64()?,
+            chunks_recovered: dec.u64()?,
+            driver_mmio_writes: dec.u64()?,
+            driver_mmio_reads: dec.u64()?,
+            mmio_tags: dec.u64()?,
+            transfer_retries: dec.u64()?,
+            rekeys: dec.u64()?,
+            control_retries: dec.u64()?,
+        };
+        let next_stream = dec.u32()?;
+        let staging_cursor = dec.u64()?;
+        let d2h_count = dec.seq_len()?;
+        let mut pending_d2h = Vec::with_capacity(d2h_count);
+        for _ in 0..d2h_count {
+            pending_d2h.push((dec.u64()?, StreamId(dec.u32()?), dec.u64()?));
+        }
+        let map_count = dec.seq_len()?;
+        let mut stream_of = Vec::with_capacity(map_count);
+        for _ in 0..map_count {
+            stream_of.push((dec.u64()?, StreamId(dec.u32()?)));
+        }
+        let tag_cursor = dec.u64()?;
+        let mmio_seq = dec.u64()?;
+        let ctrl_seq = dec.u64()?;
+        let unacked_count = dec.seq_len()?;
+        let mut unacked = Vec::with_capacity(unacked_count);
+        for _ in 0..unacked_count {
+            let seq = dec.u64()?;
+            let bytes = dec.bytes()?;
+            let tlp =
+                Tlp::decode(&bytes).map_err(|_| SnapshotError::Invalid("embedded TLP"))?;
+            unacked.push((seq, tlp));
+        }
+        let ctrl_read_tag = dec.u8()?;
+        let max_attempts = dec.u32()?;
+        if max_attempts == 0 {
+            return Err(SnapshotError::Invalid("retry policy needs an attempt"));
+        }
+        let backoff_base = dec.u32()?;
+        let backoff_unit = ccai_sim::SimDuration::from_picos(dec.u64()?);
+        state.epoch = epoch;
+        state.keys = keys;
+        state.engine = engine;
+        state.counters = counters;
+        state.next_stream = next_stream;
+        state.staging_cursor = staging_cursor;
+        state.pending_d2h = pending_d2h;
+        state.stream_of = stream_of;
+        state.tag_cursor = tag_cursor;
+        state.mmio_seq = mmio_seq;
+        state.ctrl_seq = ctrl_seq;
+        state.unacked = unacked;
+        state.ctrl_read_tag = ctrl_read_tag;
+        state.retry = RetryPolicy { max_attempts, backoff_base, backoff_unit };
+        Ok(())
+    }
+}
+
 /// The Adaptor-mediated TLP port the driver stack uses.
 pub struct AdaptorPort<'f> {
     state: Rc<RefCell<AdaptorState>>,

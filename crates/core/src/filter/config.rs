@@ -38,7 +38,7 @@ impl fmt::Display for PolicyError {
 
 impl std::error::Error for PolicyError {}
 
-fn tlp_type_code(t: Option<TlpType>) -> u8 {
+pub(crate) fn tlp_type_code(t: Option<TlpType>) -> u8 {
     match t {
         None => 0,
         Some(TlpType::MemRead) => 1,
@@ -53,7 +53,7 @@ fn tlp_type_code(t: Option<TlpType>) -> u8 {
     }
 }
 
-fn tlp_type_from_code(code: u8) -> Result<Option<TlpType>, PolicyError> {
+pub(crate) fn tlp_type_from_code(code: u8) -> Result<Option<TlpType>, PolicyError> {
     Ok(match code {
         0 => None,
         1 => Some(TlpType::MemRead),

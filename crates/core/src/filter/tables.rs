@@ -187,6 +187,134 @@ impl PacketFilter {
     pub fn reset_stats(&mut self) {
         self.stats = FilterStats::default();
     }
+
+    /// Serializes the rule tables and statistics.
+    ///
+    /// Unlike the 32-byte policy-blob wire format (which zeroes unmasked
+    /// fields), this codec is full-fidelity: every `Option` field survives
+    /// the round trip even when its mask bit is off, so a restored filter
+    /// is structurally identical to the snapshotted one.
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        fn mask_bits(mask: super::rule::FieldMask) -> u8 {
+            (mask.pkt_type as u8)
+                | (mask.requester as u8) << 1
+                | (mask.completer as u8) << 2
+                | (mask.address as u8) << 3
+                | (mask.msg_code as u8) << 4
+        }
+        fn fields(enc: &mut ccai_sim::snapshot::Encoder, f: &super::rule::MatchFields) {
+            enc.u8(super::config::tlp_type_code(f.pkt_type));
+            enc.bool(f.requester.is_some());
+            enc.u16(f.requester.map_or(0, ccai_pcie::Bdf::to_u16));
+            enc.bool(f.completer.is_some());
+            enc.u16(f.completer.map_or(0, ccai_pcie::Bdf::to_u16));
+            enc.bool(f.address.is_some());
+            let range = f.address.clone().unwrap_or(0..0);
+            enc.u64(range.start);
+            enc.u64(range.end);
+            enc.bool(f.msg_code.is_some());
+            enc.u8(f.msg_code.unwrap_or(0));
+        }
+        enc.u64(self.l1.len() as u64);
+        for rule in &self.l1 {
+            enc.u8(mask_bits(rule.mask));
+            fields(enc, &rule.fields);
+            enc.u8(match rule.decision {
+                L1Decision::ToL2 => 0,
+                L1Decision::ExecuteA1 => 1,
+            });
+        }
+        enc.u64(self.l2.len() as u64);
+        for rule in &self.l2 {
+            enc.u8(mask_bits(rule.mask));
+            fields(enc, &rule.fields);
+            enc.u8(rule.action.to_code());
+        }
+        enc.u64(self.stats.l1_blocked);
+        enc.u64(self.stats.l2_blocked);
+        enc.u64(self.stats.crypt_protected);
+        enc.u64(self.stats.write_protected);
+        enc.u64(self.stats.passed);
+    }
+
+    /// Restores the filter (rules, recompiled matcher, statistics) from a
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ccai_sim::SnapshotError`] for truncated input or an
+    /// out-of-range type/action/decision code.
+    pub fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), ccai_sim::SnapshotError> {
+        use ccai_sim::SnapshotError;
+        fn mask(bits: u8) -> Result<super::rule::FieldMask, SnapshotError> {
+            if bits & !0x1F != 0 {
+                return Err(SnapshotError::Invalid("field mask bits"));
+            }
+            Ok(super::rule::FieldMask {
+                pkt_type: bits & 1 != 0,
+                requester: bits & 2 != 0,
+                completer: bits & 4 != 0,
+                address: bits & 8 != 0,
+                msg_code: bits & 16 != 0,
+            })
+        }
+        fn fields(
+            dec: &mut ccai_sim::snapshot::Decoder<'_>,
+        ) -> Result<super::rule::MatchFields, SnapshotError> {
+            let pkt_type = super::config::tlp_type_from_code(dec.u8()?)
+                .map_err(|_| SnapshotError::Invalid("packet type code"))?;
+            let has_requester = dec.bool()?;
+            let requester = dec.u16()?;
+            let has_completer = dec.bool()?;
+            let completer = dec.u16()?;
+            let has_address = dec.bool()?;
+            let start = dec.u64()?;
+            let end = dec.u64()?;
+            let has_msg_code = dec.bool()?;
+            let msg_code = dec.u8()?;
+            Ok(super::rule::MatchFields {
+                pkt_type,
+                requester: has_requester.then(|| ccai_pcie::Bdf::from_u16(requester)),
+                completer: has_completer.then(|| ccai_pcie::Bdf::from_u16(completer)),
+                address: has_address.then_some(start..end),
+                msg_code: has_msg_code.then_some(msg_code),
+            })
+        }
+        let l1_len = dec.seq_len()?;
+        let mut l1 = Vec::with_capacity(l1_len);
+        for _ in 0..l1_len {
+            let mask = mask(dec.u8()?)?;
+            let fields = fields(dec)?;
+            let decision = match dec.u8()? {
+                0 => L1Decision::ToL2,
+                1 => L1Decision::ExecuteA1,
+                _ => return Err(SnapshotError::Invalid("L1 decision code")),
+            };
+            l1.push(L1Rule { mask, fields, decision });
+        }
+        let l2_len = dec.seq_len()?;
+        let mut l2 = Vec::with_capacity(l2_len);
+        for _ in 0..l2_len {
+            let mask = mask(dec.u8()?)?;
+            let fields = fields(dec)?;
+            let action = SecurityAction::from_code(dec.u8()?)
+                .ok_or(SnapshotError::Invalid("L2 action code"))?;
+            l2.push(L2Rule { mask, fields, action });
+        }
+        let stats = FilterStats {
+            l1_blocked: dec.u64()?,
+            l2_blocked: dec.u64()?,
+            crypt_protected: dec.u64()?,
+            write_protected: dec.u64()?,
+            passed: dec.u64()?,
+        };
+        self.replace_tables(l1, l2);
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 impl fmt::Display for PacketFilter {

@@ -200,6 +200,67 @@ impl ParamsManager {
     pub fn keys_mut(&mut self) -> &mut WorkloadKeyManager {
         &mut self.keys
     }
+
+    /// Serializes the key-schedule positions, the stream registry (in
+    /// registration order; per-stream seen-sets sorted for deterministic
+    /// bytes) and the replay counter.
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        self.keys.encode_snapshot(enc);
+        enc.u64(self.streams.len() as u64);
+        for entry in &self.streams {
+            enc.u32(entry.id.0);
+            enc.u8(match entry.direction {
+                StreamDirection::HostToDevice => 0,
+                StreamDirection::DeviceToHost => 1,
+            });
+            enc.u64(entry.host_range.start);
+            enc.u64(entry.host_range.end);
+            enc.u64(entry.base_seq);
+            let mut seen: Vec<u64> = entry.seen.iter().copied().collect();
+            seen.sort_unstable();
+            enc.u64(seen.len() as u64);
+            for seq in seen {
+                enc.u64(seq);
+            }
+        }
+        enc.u64(self.replays_blocked);
+    }
+
+    /// Restores the manager from a snapshot. Keys are re-derived via the
+    /// key schedule's own restore (never carried in snapshot bytes).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ccai_sim::SnapshotError`] for truncated or inconsistent
+    /// input.
+    pub fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), ccai_sim::SnapshotError> {
+        self.keys.restore_snapshot(dec)?;
+        let n = dec.seq_len()?;
+        let mut streams = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = StreamId(dec.u32()?);
+            let direction = match dec.u8()? {
+                0 => StreamDirection::HostToDevice,
+                1 => StreamDirection::DeviceToHost,
+                _ => return Err(ccai_sim::SnapshotError::Invalid("stream direction")),
+            };
+            let host_range = dec.u64()?..dec.u64()?;
+            let base_seq = dec.u64()?;
+            let seen_len = dec.seq_len()?;
+            let mut seen = HashSet::with_capacity(seen_len);
+            for _ in 0..seen_len {
+                seen.insert(dec.u64()?);
+            }
+            streams.push(StreamEntry { id, direction, host_range, base_seq, seen });
+        }
+        let replays_blocked = dec.u64()?;
+        self.streams = streams;
+        self.replays_blocked = replays_blocked;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -53,12 +53,14 @@ pub mod filter;
 pub mod handler;
 pub mod perf;
 pub mod sc;
+pub mod snapshot;
 pub mod system;
 
 pub use adaptor::Adaptor;
 pub use filter::{L1Rule, L2Rule, PacketFilter, SecurityAction};
 pub use perf::{OptimizationConfig, PerfModel};
 pub use sc::PcieSc;
+pub use snapshot::SystemSnapshot;
 pub use system::{ConfidentialSystem, SystemMode, WorkloadError};
 
 /// The deterministic telemetry subsystem (re-exported from `ccai-sim` so

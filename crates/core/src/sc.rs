@@ -21,7 +21,7 @@ use crate::handler::{
 use crate::perf::{AES_NI_RATE, SC_PIPELINE_LATENCY};
 use ccai_pcie::{parse_ctrl_envelope, Bdf, CplStatus, Interposer, InterposeOutcome, Tlp, TlpType};
 use ccai_crypto::{hkdf, Key};
-use ccai_sim::{Bandwidth, Hop, Severity, Telemetry};
+use ccai_sim::{Bandwidth, Hop, Severity, SnapshotError, Telemetry};
 use ccai_trust::keymgmt::StreamId;
 use ccai_trust::WorkloadKeyManager;
 use serde::{Deserialize, Serialize};
@@ -250,6 +250,64 @@ impl TenantCtx {
         self.params
             .register_stream(MMIO_STREAM, StreamDirection::HostToDevice, 0..0, 0);
         self.tags.clear();
+    }
+
+    /// Serializes everything but the master secret (the restoring SC must
+    /// already hold the tenant's attested master; keys re-derive from it).
+    fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        enc.u16(self.tvm_bdf.to_u16());
+        enc.u16(self.xpu_bdf.to_u16());
+        enc.u32(self.epoch);
+        self.params.encode_snapshot(enc);
+        self.tags.encode_snapshot(enc);
+        enc.bool(self.tag_landing.is_some());
+        enc.u64(self.tag_landing.unwrap_or(0));
+        enc.u64(self.tag_landing_cursor);
+        enc.bool(self.metadata_buf.is_some());
+        enc.u64(self.metadata_buf.unwrap_or(0));
+        enc.u64(self.mmio_seq);
+        enc.u64(self.mmio_last_seq);
+        enc.u64(self.ctrl_last_seq);
+        enc.u32(self.consecutive_crypt_failures);
+        enc.bool(self.quarantined);
+    }
+
+    /// Restores everything but the identifiers (already matched by the
+    /// caller) and the master secret (kept from construction). The key
+    /// schedule is rebuilt at the snapshotted epoch before its positions
+    /// are restored.
+    fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        let epoch = dec.u32()?;
+        let mut params =
+            ParamsManager::new(WorkloadKeyManager::new(epoch_master(&self.master, epoch)));
+        params.restore_snapshot(dec)?;
+        let mut tags = TagManager::new();
+        tags.restore_snapshot(dec)?;
+        let has_tag_landing = dec.bool()?;
+        let tag_landing = dec.u64()?;
+        let tag_landing_cursor = dec.u64()?;
+        let has_metadata_buf = dec.bool()?;
+        let metadata_buf = dec.u64()?;
+        let mmio_seq = dec.u64()?;
+        let mmio_last_seq = dec.u64()?;
+        let ctrl_last_seq = dec.u64()?;
+        let consecutive_crypt_failures = dec.u32()?;
+        let quarantined = dec.bool()?;
+        self.epoch = epoch;
+        self.params = params;
+        self.tags = tags;
+        self.tag_landing = has_tag_landing.then_some(tag_landing);
+        self.tag_landing_cursor = tag_landing_cursor;
+        self.metadata_buf = has_metadata_buf.then_some(metadata_buf);
+        self.mmio_seq = mmio_seq;
+        self.mmio_last_seq = mmio_last_seq;
+        self.ctrl_last_seq = ctrl_last_seq;
+        self.consecutive_crypt_failures = consecutive_crypt_failures;
+        self.quarantined = quarantined;
+        Ok(())
     }
 }
 
@@ -995,6 +1053,190 @@ impl PcieSc {
         } else {
             InterposeOutcome::drop_packet()
         }
+    }
+
+    /// Serializes the SC's mutable security state. Deliberately excluded:
+    /// the config (fixed at construction and reproduced by the rebuild),
+    /// the config/env keys and every tenant master (key material re-derives
+    /// from the masters the restoring SC was constructed with), and the
+    /// telemetry handle (reattached by the system layer).
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        self.filter.encode_snapshot(enc);
+        enc.u64(self.tenants.len() as u64);
+        for tenant in &self.tenants {
+            tenant.encode_snapshot(enc);
+        }
+        self.engine.encode_snapshot(enc);
+        self.env_guard.encode_snapshot(enc);
+        enc.u64(self.status);
+        enc.bytes(&self.policy_staging);
+        enc.u64(self.policy_len);
+        let mut reads: Vec<((u16, u8), (u64, u32))> =
+            self.outstanding_reads.iter().map(|(k, v)| (*k, *v)).collect();
+        reads.sort_unstable();
+        enc.u64(reads.len() as u64);
+        for ((requester, tag), (addr, len)) in reads {
+            enc.u16(requester);
+            enc.u8(tag);
+            enc.u64(addr);
+            enc.u32(len);
+        }
+        enc.u64(self.counters.packets_seen);
+        enc.u64(self.counters.packets_blocked);
+        enc.u64(self.counters.chunks_decrypted);
+        enc.u64(self.counters.chunks_encrypted);
+        enc.u64(self.counters.control_accesses);
+        enc.u64(self.counters.tags_received);
+        enc.u64(self.counters.metadata_batches);
+        enc.u64(self.counters.metadata_queries);
+        enc.u64(self.counters.control_dup_suppressed);
+        enc.u64(self.counters.control_gaps);
+        enc.bool(self.reset_observed);
+        enc.u64(self.alerts.len() as u64);
+        for alert in &self.alerts {
+            match alert {
+                ScAlert::PacketBlocked { summary } => {
+                    enc.u8(0);
+                    enc.str(summary);
+                }
+                ScAlert::CryptFailure { stream, seq, reason } => {
+                    enc.u8(1);
+                    enc.u32(*stream);
+                    enc.u64(*seq);
+                    enc.str(reason);
+                }
+                ScAlert::WriteProtectFailure { addr, reason } => {
+                    enc.u8(2);
+                    enc.u64(*addr);
+                    enc.str(reason);
+                }
+                ScAlert::ControlAccessDenied { requester } => {
+                    enc.u8(3);
+                    enc.str(requester);
+                }
+                ScAlert::ChannelQuarantined { xpu, failures } => {
+                    enc.u8(4);
+                    enc.str(xpu);
+                    enc.u32(*failures);
+                }
+            }
+        }
+        enc.u64(self.pending_host_writes.len() as u64);
+        for tlp in &self.pending_host_writes {
+            enc.bytes(&tlp.encode());
+        }
+        enc.bool(self.expected_reset_addr.is_some());
+        enc.u64(self.expected_reset_addr.unwrap_or(0));
+        enc.u32(self.quarantine_threshold);
+    }
+
+    /// Restores a freshly built SC to a snapshotted state.
+    ///
+    /// The receiver must have been constructed — and its tenants bound —
+    /// with the same configuration and master secrets as the snapshotted
+    /// SC: snapshots never carry key material, so every key is re-derived
+    /// locally. Tenants are matched by their `(TVM, xPU)` PCIe
+    /// identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] for truncated/corrupt input, or
+    /// `Invalid("tenant set mismatch")` when the snapshot's tenant
+    /// identifiers differ from this SC's.
+    pub fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        self.filter.restore_snapshot(dec)?;
+        let tenant_count = dec.seq_len()?;
+        if tenant_count != self.tenants.len() {
+            return Err(SnapshotError::Invalid("tenant set mismatch"));
+        }
+        for _ in 0..tenant_count {
+            let tvm_bdf = Bdf::from_u16(dec.u16()?);
+            let xpu_bdf = Bdf::from_u16(dec.u16()?);
+            let tenant = self
+                .tenants
+                .iter_mut()
+                .find(|t| t.tvm_bdf == tvm_bdf && t.xpu_bdf == xpu_bdf)
+                .ok_or(SnapshotError::Invalid("tenant set mismatch"))?;
+            tenant.restore_snapshot(dec)?;
+        }
+        self.engine.restore_snapshot(dec)?;
+        self.env_guard.restore_snapshot(dec)?;
+        let status = dec.u64()?;
+        let policy_staging = dec.bytes()?;
+        if policy_staging.len() != regs::POLICY_STAGING_LEN as usize {
+            return Err(SnapshotError::Invalid("policy staging length"));
+        }
+        let policy_len = dec.u64()?;
+        if policy_len > regs::POLICY_STAGING_LEN {
+            return Err(SnapshotError::Invalid("staged policy length out of range"));
+        }
+        let read_count = dec.seq_len()?;
+        let mut outstanding_reads = HashMap::with_capacity(read_count);
+        for _ in 0..read_count {
+            let requester = dec.u16()?;
+            let tag = dec.u8()?;
+            let addr = dec.u64()?;
+            let len = dec.u32()?;
+            if outstanding_reads.insert((requester, tag), (addr, len)).is_some() {
+                return Err(SnapshotError::Invalid("duplicate outstanding read"));
+            }
+        }
+        let counters = ScCounters {
+            packets_seen: dec.u64()?,
+            packets_blocked: dec.u64()?,
+            chunks_decrypted: dec.u64()?,
+            chunks_encrypted: dec.u64()?,
+            control_accesses: dec.u64()?,
+            tags_received: dec.u64()?,
+            metadata_batches: dec.u64()?,
+            metadata_queries: dec.u64()?,
+            control_dup_suppressed: dec.u64()?,
+            control_gaps: dec.u64()?,
+        };
+        let reset_observed = dec.bool()?;
+        let alert_count = dec.seq_len()?;
+        let mut alerts = Vec::with_capacity(alert_count);
+        for _ in 0..alert_count {
+            alerts.push(match dec.u8()? {
+                0 => ScAlert::PacketBlocked { summary: dec.str()? },
+                1 => ScAlert::CryptFailure {
+                    stream: dec.u32()?,
+                    seq: dec.u64()?,
+                    reason: dec.str()?,
+                },
+                2 => ScAlert::WriteProtectFailure { addr: dec.u64()?, reason: dec.str()? },
+                3 => ScAlert::ControlAccessDenied { requester: dec.str()? },
+                4 => ScAlert::ChannelQuarantined { xpu: dec.str()?, failures: dec.u32()? },
+                _ => return Err(SnapshotError::Invalid("alert kind")),
+            });
+        }
+        let write_count = dec.seq_len()?;
+        let mut pending_host_writes = Vec::with_capacity(write_count);
+        for _ in 0..write_count {
+            let bytes = dec.bytes()?;
+            pending_host_writes
+                .push(Tlp::decode(&bytes).map_err(|_| SnapshotError::Invalid("embedded TLP"))?);
+        }
+        let has_reset_addr = dec.bool()?;
+        let reset_addr = dec.u64()?;
+        let quarantine_threshold = dec.u32()?;
+        if quarantine_threshold == 0 {
+            return Err(SnapshotError::Invalid("quarantine threshold is zero"));
+        }
+        self.status = status;
+        self.policy_staging = policy_staging;
+        self.policy_len = policy_len;
+        self.outstanding_reads = outstanding_reads;
+        self.counters = counters;
+        self.reset_observed = reset_observed;
+        self.alerts = alerts;
+        self.pending_host_writes = pending_host_writes;
+        self.expected_reset_addr = has_reset_addr.then_some(reset_addr);
+        self.quarantine_threshold = quarantine_threshold;
+        Ok(())
     }
 }
 

@@ -1,0 +1,358 @@
+//! Whole-system snapshot, deterministic resume and live-update scenarios.
+//!
+//! A [`SystemSnapshot`] captures every bit of mutable state a running
+//! [`ConfidentialSystem`] holds — fabric transit queues and fault-injector
+//! position, xPU registers/memory/MMU/DMA/command state, driver cursors,
+//! TVM guest memory, SC security state (filter tables, control-sequence
+//! windows, quarantine, stream-key positions) and the Adaptor's go-back-N
+//! window — plus the sim clock and telemetry digest. Resuming from a
+//! snapshot yields a system whose subsequent execution replays the
+//! *identical* telemetry trace digest as the uninterrupted run from the
+//! same seed.
+//!
+//! # Quiesce points
+//!
+//! Snapshots are taken between top-level requests (pump-round
+//! boundaries). TLPs the fabric is still holding — delayed completions,
+//! fault-injector re-sends, host-inbox entries — ARE captured (the fabric
+//! serializes its transit queues), so "between requests" does not mean
+//! "fully drained": a mid-transfer system whose in-flight TLPs are parked
+//! in fabric queues snapshots and resumes exactly.
+//!
+//! # What is not captured
+//!
+//! * **Key material.** Snapshots never contain keys, master secrets, or
+//!   derived cipher state. They carry key-schedule *positions* (stream
+//!   id, generation, IV cursor); the resuming side re-derives every key
+//!   from the master it negotiates itself. A snapshot file therefore
+//!   never weakens confidentiality.
+//! * **Topology and identity.** Device specs, BDF assignments, BAR
+//!   layouts and register maps are pure functions of the build
+//!   parameters; [`ConfidentialSystem::resume`] rebuilds them and lays
+//!   the snapshotted state on top. The xPU spec is recorded *by name*
+//!   and must be one of [`XpuSpec::evaluation_set`].
+//! * **The telemetry event ring.** Event kinds are `&'static str`; the
+//!   restored hub starts with an empty ring but continues the trace
+//!   digest, sim clock and every counter bit-exactly.
+
+use crate::sc::PcieSc;
+use crate::system::{ConfidentialSystem, SystemMode, WorkloadError};
+use ccai_sim::snapshot::{Decoder, Encoder};
+use ccai_sim::SnapshotError;
+use ccai_xpu::XpuSpec;
+
+/// A serialized whole-system snapshot (versioned, self-contained bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemSnapshot {
+    bytes: Vec<u8>,
+}
+
+impl SystemSnapshot {
+    /// The raw snapshot bytes (magic ‖ version ‖ payload).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wraps bytes previously obtained from [`SystemSnapshot::as_bytes`].
+    /// Validation happens at [`ConfidentialSystem::resume`] time.
+    pub fn from_bytes(bytes: Vec<u8>) -> SystemSnapshot {
+        SystemSnapshot { bytes }
+    }
+}
+
+fn mode_code(mode: SystemMode) -> u8 {
+    match mode {
+        SystemMode::Vanilla => 0,
+        SystemMode::CcAi => 1,
+        SystemMode::CcAiUnoptimized => 2,
+    }
+}
+
+fn mode_from_code(code: u8) -> Result<SystemMode, SnapshotError> {
+    Ok(match code {
+        0 => SystemMode::Vanilla,
+        1 => SystemMode::CcAi,
+        2 => SystemMode::CcAiUnoptimized,
+        _ => return Err(SnapshotError::Invalid("system mode code")),
+    })
+}
+
+fn spec_by_name(name: &str) -> Result<XpuSpec, SnapshotError> {
+    XpuSpec::evaluation_set()
+        .into_iter()
+        .find(|spec| spec.name() == name)
+        .ok_or(SnapshotError::Invalid("unknown xPU spec name"))
+}
+
+impl ConfidentialSystem {
+    /// Captures the full mutable state of the platform.
+    ///
+    /// Take snapshots at pump-round boundaries (between driver-level
+    /// requests); in-flight TLPs parked in fabric queues are included.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        let mut enc = Encoder::versioned();
+        enc.str(self.with_xpu_ref(|xpu| xpu.spec().name().to_string()).as_str());
+        enc.u8(mode_code(self.mode()));
+        self.telemetry().encode_snapshot(&mut enc);
+        self.fabric().encode_snapshot(&mut enc);
+        self.with_xpu_ref(|xpu| xpu.encode_snapshot(&mut enc));
+        self.driver().encode_snapshot(&mut enc);
+        self.memory().encode_snapshot(&mut enc);
+        enc.u64(self.stager_cursor());
+        enc.bool(self.policy_installed());
+        match self.sc() {
+            Some(sc) => {
+                enc.bool(true);
+                sc.encode_snapshot(&mut enc);
+            }
+            None => enc.bool(false),
+        }
+        match self.adaptor_handle() {
+            Some(adaptor) => {
+                enc.bool(true);
+                adaptor.encode_snapshot(&mut enc);
+            }
+            None => enc.bool(false),
+        }
+        SystemSnapshot { bytes: enc.finish() }
+    }
+
+    /// Rebuilds a platform from a snapshot.
+    ///
+    /// The topology is reconstructed by [`ConfidentialSystem::build`]
+    /// (including the deterministic TVM↔SC key agreement); the
+    /// snapshotted state is then restored layer by layer. The resumed
+    /// system continues the telemetry trace digest, sim clock and every
+    /// protocol window exactly where the snapshot left off.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: truncated or corrupt bytes, a version or
+    /// magic mismatch, an unknown xPU spec name, or state inconsistent
+    /// with the rebuilt topology (e.g. an SC present in a vanilla-mode
+    /// snapshot). The error is typed — malformed input never panics.
+    pub fn resume(snapshot: &SystemSnapshot) -> Result<ConfidentialSystem, SnapshotError> {
+        let mut dec = Decoder::versioned(snapshot.as_bytes())?;
+        let spec = spec_by_name(&dec.str()?)?;
+        let mode = mode_from_code(dec.u8()?)?;
+        let mut system = ConfidentialSystem::build(spec, mode);
+        system.telemetry().restore_snapshot(&mut dec)?;
+        system.fabric_mut().restore_snapshot(&mut dec)?;
+        system.with_xpu_mut(|xpu| xpu.restore_snapshot(&mut dec))?;
+        system.driver_mut().restore_snapshot(&mut dec)?;
+        system.memory_mut().restore_snapshot(&mut dec)?;
+        let cursor = dec.u64()?;
+        system.set_stager_cursor(cursor);
+        let policy_installed = dec.bool()?;
+        system.set_policy_installed(policy_installed);
+        let has_sc = dec.bool()?;
+        if has_sc != mode.protected() {
+            return Err(SnapshotError::Invalid("SC presence contradicts mode"));
+        }
+        if has_sc {
+            system
+                .sc_mut()
+                .ok_or(SnapshotError::Invalid("rebuilt system lost its SC"))?
+                .restore_snapshot(&mut dec)?;
+        }
+        let has_adaptor = dec.bool()?;
+        if has_adaptor != mode.protected() {
+            return Err(SnapshotError::Invalid("Adaptor presence contradicts mode"));
+        }
+        if let Some(adaptor) = system.adaptor_handle() {
+            adaptor.restore_snapshot(&mut dec)?;
+        }
+        dec.finish()?;
+        Ok(system)
+    }
+}
+
+/// Scenario (a): live SC "firmware swap".
+///
+/// Snapshots the running SC's security state, tears the interposer off
+/// the fabric (the drain point), constructs a *fresh* SC — as a new
+/// firmware image would — from the same deterministic key agreement,
+/// restores the snapshotted state into it and re-interposes it. Traffic
+/// resumes against the new controller with filter tables, tenant
+/// windows, quarantine flags and key-schedule positions intact.
+///
+/// # Errors
+///
+/// [`SnapshotError`] if the system is unprotected (no SC to swap) or the
+/// snapshot does not fit the rebuilt controller.
+pub fn firmware_swap_sc(system: &mut ConfidentialSystem) -> Result<(), SnapshotError> {
+    let (config, state) = {
+        let sc = system
+            .sc()
+            .ok_or(SnapshotError::Invalid("no SC interposed (vanilla mode)"))?;
+        let mut enc = Encoder::versioned();
+        sc.encode_snapshot(&mut enc);
+        (sc.config().clone(), enc.finish())
+    };
+    let telemetry = system.telemetry().clone();
+    let port = system.xpu_port();
+    // Drain point: pull the old controller off the port. In-flight TLPs
+    // live in fabric queues, not inside the interposer, so nothing is
+    // lost while the slot is empty.
+    let old = system.fabric_mut().remove_interposer(port);
+    debug_assert!(old.is_some(), "sc() above proved an interposer existed");
+    let mut fresh = PcieSc::new(config, ConfidentialSystem::attested_master());
+    fresh.set_telemetry(telemetry);
+    let mut dec = Decoder::versioned(&state)?;
+    fresh.restore_snapshot(&mut dec)?;
+    dec.finish()?;
+    system.fabric_mut().interpose(port, Box::new(fresh));
+    Ok(())
+}
+
+/// Scenario (b): mid-transfer snapshot.
+///
+/// Drives the model-load half of a workload — leaving the task
+/// mid-flight: streams registered, IV cursors advanced, staging cursor
+/// non-zero, tag queues drained mid-task — then snapshots at the
+/// pump-round boundary. The caller resumes the snapshot and finishes the
+/// workload with [`ConfidentialSystem::run_inference`] on both the
+/// original and the resumed system to prove they are indistinguishable.
+///
+/// # Errors
+///
+/// [`WorkloadError`] if the model load itself fails.
+pub fn snapshot_mid_task(
+    system: &mut ConfidentialSystem,
+    weights: &[u8],
+) -> Result<SystemSnapshot, WorkloadError> {
+    system.load_model(weights)?;
+    Ok(system.snapshot())
+}
+
+/// Scenario (c): cold fleet spin-up from one template.
+///
+/// Builds `n` independent systems, each resumed from the same template
+/// snapshot — the "golden image" pattern: boot one system, warm it up
+/// (policy installed, model loaded), snapshot it once, then stamp out
+/// replicas without re-paying the warm-up.
+///
+/// # Errors
+///
+/// Any [`SnapshotError`] the template fails to resume with (the first
+/// failure aborts the fleet).
+pub fn spin_up_fleet(
+    template: &SystemSnapshot,
+    n: usize,
+) -> Result<Vec<ConfidentialSystem>, SnapshotError> {
+    (0..n).map(|_| ConfidentialSystem::resume(template)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccai_xpu::CommandProcessor;
+
+    #[test]
+    fn snapshot_round_trips_before_any_traffic() {
+        let system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+        let snap = system.snapshot();
+        let resumed = ConfidentialSystem::resume(&snap).unwrap();
+        assert_eq!(resumed.snapshot(), snap, "re-snapshot is bit-identical");
+    }
+
+    #[test]
+    fn resumed_system_finishes_the_workload() {
+        let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+        let weights = vec![0x42u8; 40_000];
+        let input = vec![0x17u8; 6_000];
+        let snap = snapshot_mid_task(&mut system, &weights).unwrap();
+        let expected = system.run_inference(&input).unwrap();
+        let mut resumed = ConfidentialSystem::resume(&snap).unwrap();
+        let got = resumed.run_inference(&input).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(got, CommandProcessor::surrogate_inference(&weights, &input));
+    }
+
+    #[test]
+    fn resume_and_original_stay_digest_identical() {
+        let mut system = ConfidentialSystem::build(XpuSpec::t4(), SystemMode::CcAi);
+        let snap = snapshot_mid_task(&mut system, b"weights").unwrap();
+        let input = b"prompt";
+        system.run_inference(input).unwrap();
+        let mut resumed = ConfidentialSystem::resume(&snap).unwrap();
+        resumed.run_inference(input).unwrap();
+        assert_eq!(
+            system.telemetry_snapshot().digest,
+            resumed.telemetry_snapshot().digest,
+            "resumed run must replay the identical telemetry trace"
+        );
+    }
+
+    #[test]
+    fn firmware_swap_preserves_behaviour() {
+        let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+        system.run_workload(b"weights-v1", b"prompt-1").unwrap();
+        let stats_before = system.sc().unwrap().filter_stats();
+        firmware_swap_sc(&mut system).unwrap();
+        assert_eq!(
+            system.sc().unwrap().filter_stats(),
+            stats_before,
+            "swap carries filter statistics over"
+        );
+        // Live traffic keeps flowing through the swapped-in controller.
+        let result = system.run_workload(b"weights-v2", b"prompt-2").unwrap();
+        assert_eq!(
+            result,
+            CommandProcessor::surrogate_inference(b"weights-v2", b"prompt-2")
+        );
+    }
+
+    #[test]
+    fn firmware_swap_requires_protection() {
+        let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::Vanilla);
+        assert!(firmware_swap_sc(&mut system).is_err());
+    }
+
+    #[test]
+    fn fleet_spins_up_identical_replicas() {
+        let mut template_system =
+            ConfidentialSystem::build(XpuSpec::rtx4090ti(), SystemMode::CcAi);
+        let template = snapshot_mid_task(&mut template_system, b"golden-weights").unwrap();
+        let fleet = spin_up_fleet(&template, 3).unwrap();
+        let mut outputs = Vec::new();
+        for mut replica in fleet {
+            outputs.push(replica.run_inference(b"query").unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+        assert_eq!(
+            outputs[0],
+            CommandProcessor::surrogate_inference(b"golden-weights", b"query")
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+        let snap = system.snapshot();
+        // Truncation at every prefix must error, never panic.
+        for cut in [0, 1, 7, 11, 12, 13, snap.as_bytes().len() - 1] {
+            let truncated = SystemSnapshot::from_bytes(snap.as_bytes()[..cut].to_vec());
+            assert!(ConfidentialSystem::resume(&truncated).is_err(), "cut={cut}");
+        }
+        let mut flipped = snap.as_bytes().to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        // A flipped byte either fails decode or changes a value; it must
+        // never panic. (Some flips in bulk memory still decode — that is
+        // fine; the digest comparison downstream catches them.)
+        let _ = ConfidentialSystem::resume(&SystemSnapshot::from_bytes(flipped));
+    }
+
+    #[test]
+    fn vanilla_systems_snapshot_too() {
+        let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::Vanilla);
+        let snap = snapshot_mid_task(&mut system, b"w").unwrap();
+        let mut resumed = ConfidentialSystem::resume(&snap).unwrap();
+        assert_eq!(
+            resumed.run_inference(b"i").unwrap(),
+            system.run_inference(b"i").unwrap()
+        );
+    }
+}

@@ -347,6 +347,87 @@ impl ConfidentialSystem {
         }
     }
 
+    /// Runs only the model-load half of a workload: policy installation,
+    /// driver init and the weights DMA. Leaves the task mid-flight —
+    /// streams registered, IV cursors advanced, tags consumed — which is
+    /// exactly the state the snapshot scenarios capture between pump
+    /// rounds.
+    ///
+    /// # Errors
+    ///
+    /// Driver failures and policy-installation failures.
+    pub fn load_model(&mut self, weights: &[u8]) -> Result<(), WorkloadError> {
+        self.ensure_policy()?;
+        match self.adaptor.clone() {
+            None => {
+                let driver = &self.driver;
+                driver.init(&mut self.fabric)?;
+                driver.load_model(
+                    &mut self.fabric,
+                    &mut self.memory,
+                    &mut self.identity_stager,
+                    weights,
+                    layout::DEV_WEIGHTS,
+                )?;
+            }
+            Some(adaptor) => {
+                let mut stager = adaptor.clone();
+                let driver = &self.driver;
+                let mut port = adaptor.port(&mut self.fabric);
+                driver.init(&mut port)?;
+                driver.load_model(
+                    &mut port,
+                    &mut self.memory,
+                    &mut stager,
+                    weights,
+                    layout::DEV_WEIGHTS,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs inference against a model previously loaded with
+    /// [`ConfidentialSystem::load_model`] and releases the staging
+    /// window. `load_model` followed by `run_inference` performs the same
+    /// operation sequence as [`ConfidentialSystem::run_workload`].
+    ///
+    /// # Errors
+    ///
+    /// Driver failures (including integrity failures under attack).
+    pub fn run_inference(&mut self, input: &[u8]) -> Result<Vec<u8>, WorkloadError> {
+        match self.adaptor.clone() {
+            None => {
+                let driver = &self.driver;
+                let result = driver.run_inference(
+                    &mut self.fabric,
+                    &mut self.memory,
+                    &mut self.identity_stager,
+                    input,
+                    layout::DEV_INPUT,
+                    layout::DEV_OUTPUT,
+                )?;
+                self.identity_stager.release_all();
+                Ok(result)
+            }
+            Some(adaptor) => {
+                let mut stager = adaptor.clone();
+                let driver = &self.driver;
+                let mut port = adaptor.port(&mut self.fabric);
+                let result = driver.run_inference(
+                    &mut port,
+                    &mut self.memory,
+                    &mut stager,
+                    input,
+                    layout::DEV_INPUT,
+                    layout::DEV_OUTPUT,
+                )?;
+                stager.release_all();
+                Ok(result)
+            }
+        }
+    }
+
     /// Terminates the confidential task: performs the
     /// environment-cleaning reset (§4.2) and destroys keys on both sides.
     ///
@@ -512,6 +593,69 @@ impl ConfidentialSystem {
             None => &mut self.identity_stager,
         };
         (&self.driver, &mut self.fabric, &mut self.memory, stager, adaptor)
+    }
+
+    // ---- snapshot plumbing (crate-internal; see crate::snapshot) ----
+
+    pub(crate) fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    pub(crate) fn memory_mut(&mut self) -> &mut GuestMemory {
+        &mut self.memory
+    }
+
+    pub(crate) fn adaptor_handle(&self) -> Option<Adaptor> {
+        self.adaptor.clone()
+    }
+
+    pub(crate) fn xpu_port(&self) -> PortId {
+        self.xpu_port
+    }
+
+    pub(crate) fn stager_cursor(&self) -> u64 {
+        self.identity_stager.cursor()
+    }
+
+    pub(crate) fn set_stager_cursor(&mut self, cursor: u64) {
+        self.identity_stager.set_cursor(cursor);
+    }
+
+    pub(crate) fn policy_installed(&self) -> bool {
+        self.policy_installed
+    }
+
+    pub(crate) fn set_policy_installed(&mut self, installed: bool) {
+        self.policy_installed = installed;
+    }
+
+    /// Re-derives the attested master secret exactly as
+    /// [`ConfidentialSystem::build`] negotiated it (fixed boot entropy on
+    /// both endpoints makes the DH exchange deterministic).
+    pub(crate) fn attested_master() -> [u8; 32] {
+        let group = DhGroup::sim512();
+        let tvm_kp = DhKeyPair::generate(&group, b"tvm-trust-module-boot-entropy-01");
+        let sc_kp = DhKeyPair::generate(&group, b"hrot-blade-boot-entropy-00000002");
+        tvm_kp.agree(sc_kp.public()).expect("valid exchange")
+    }
+
+    pub(crate) fn sc_mut(&mut self) -> Option<&mut PcieSc> {
+        self.fabric
+            .interposer_mut(self.xpu_port)
+            .and_then(|ip| ip.as_any_mut().downcast_mut::<PcieSc>())
+    }
+
+    pub(crate) fn with_xpu_ref<R>(&self, f: impl FnOnce(&Xpu) -> R) -> R {
+        self.with_xpu(f)
+    }
+
+    pub(crate) fn with_xpu_mut<R>(&mut self, f: impl FnOnce(&mut Xpu) -> R) -> R {
+        self.fabric
+            .device_mut(self.xpu_port)
+            .and_then(|dev| dev.as_any_mut())
+            .and_then(|any| any.downcast_mut::<Xpu>())
+            .map(f)
+            .expect("xPU attached at the expected port")
     }
 }
 

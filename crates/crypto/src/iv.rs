@@ -120,6 +120,24 @@ impl IvManager {
     pub fn rotate(&mut self) {
         self.counter = 0;
     }
+
+    /// The configured IV budget (for snapshot/restore).
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Fast-forwards the counter to a previously captured
+    /// [`IvManager::issued`] position, so a restored channel continues
+    /// the nonce sequence exactly where the snapshot left off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issued` exceeds the budget (callers validate snapshot
+    /// input before restoring).
+    pub fn advance_to(&mut self, issued: u64) {
+        assert!(issued <= self.limit, "issued count exceeds IV budget");
+        self.counter = issued;
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,10 @@
 //!   using the `ccai-core` performance model, producing the numbers every
 //!   §8 figure plots;
 //! * [`prompts`] — the deterministic ShareGPT-like prompt-length
-//!   generator used by the KV-cache stress test.
+//!   generator used by the KV-cache stress test;
+//! * [`fleet`] — golden-snapshot fleet serving: warm one confidential
+//!   system, snapshot it, stamp out replicas and spread prompts over
+//!   them.
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod fleet;
 pub mod harness;
 pub mod kv_cache;
 pub mod metrics;
@@ -43,6 +47,7 @@ pub mod prompts;
 pub mod workload;
 
 pub use catalog::LlmSpec;
+pub use fleet::Fleet;
 pub use harness::{run, Mode};
 pub use kv_cache::KvCache;
 pub use metrics::Metrics;

@@ -37,6 +37,7 @@ pub mod clock;
 pub mod engine;
 pub mod rate;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -45,6 +46,7 @@ pub use clock::Clock;
 pub use engine::{EventId, Scheduler};
 pub use rate::Bandwidth;
 pub use rng::SimRng;
+pub use snapshot::{Decoder, Encoder, SnapshotError, SnapshotState};
 pub use stats::{Histogram, Summary};
 pub use telemetry::{Hop, Severity, Telemetry, TelemetryEvent, TelemetrySnapshot};
 pub use time::{SimDuration, SimTime};

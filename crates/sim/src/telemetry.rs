@@ -428,6 +428,125 @@ impl Telemetry {
         self.inner.borrow().hops.get(&hop).map(|s| s.hist_us.clone())
     }
 
+    /// Serializes the hub's full resumable state: clock, trace digest,
+    /// event accounting, counters, named histograms, per-hop latency
+    /// stats and idle attribution. The event *ring* is deliberately not
+    /// captured — event kinds are `&'static str` and cannot be
+    /// reconstructed from bytes — so a restored hub starts with an empty
+    /// ring but continues the digest, clock and metrics bit-exactly.
+    pub fn encode_snapshot(&self, enc: &mut crate::snapshot::Encoder) {
+        use crate::snapshot::SnapshotState as _;
+        let inner = self.inner.borrow();
+        enc.u64(inner.clock.now().as_picos());
+        enc.u64(inner.capacity as u64);
+        enc.u64(inner.events_recorded);
+        enc.u64(inner.events_dropped);
+        enc.u64(inner.digest);
+        enc.u64(inner.counters.len() as u64);
+        for (name, value) in &inner.counters {
+            enc.str(name);
+            enc.u64(*value);
+        }
+        enc.u64(inner.histograms.len() as u64);
+        for (name, hist) in &inner.histograms {
+            enc.str(name);
+            hist.encode_state(enc);
+        }
+        enc.u64(inner.hops.len() as u64);
+        for (hop, stats) in &inner.hops {
+            let idx = ALL_HOPS
+                .iter()
+                .position(|h| h == hop)
+                .expect("hop missing from ALL_HOPS");
+            enc.u8(idx as u8);
+            enc.u64(stats.count);
+            enc.u64(stats.total.as_picos());
+            enc.u64(stats.samples_us.len() as u64);
+            for &s in &stats.samples_us {
+                enc.f64(s);
+            }
+            stats.hist_us.encode_state(enc);
+        }
+        enc.u64(inner.idle_total.as_picos());
+        enc.u64(inner.idle_by_tenant.len() as u64);
+        for (tenant, idle) in &inner.idle_by_tenant {
+            enc.u32(*tenant);
+            enc.u64(idle.as_picos());
+        }
+    }
+
+    /// Overwrites the hub's state from a snapshot produced by
+    /// [`Telemetry::encode_snapshot`]. Every clone of this handle
+    /// observes the restored state (the hub is shared). The event ring
+    /// is cleared; digest, clock and metrics resume exactly.
+    ///
+    /// # Errors
+    ///
+    /// Any [`crate::snapshot::SnapshotError`] on corrupt input; the hub
+    /// is left untouched on failure.
+    pub fn restore_snapshot(
+        &self,
+        dec: &mut crate::snapshot::Decoder<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::{SnapshotError, SnapshotState as _};
+        let now = SimTime::ZERO + SimDuration::from_picos(dec.u64()?);
+        let capacity = dec.u64()? as usize;
+        if capacity == 0 {
+            return Err(SnapshotError::Invalid("telemetry ring capacity"));
+        }
+        let events_recorded = dec.u64()?;
+        let events_dropped = dec.u64()?;
+        let digest = dec.u64()?;
+        let mut counters = BTreeMap::new();
+        for _ in 0..dec.seq_len()? {
+            let name = dec.str()?;
+            let value = dec.u64()?;
+            counters.insert(name, value);
+        }
+        let mut histograms = BTreeMap::new();
+        for _ in 0..dec.seq_len()? {
+            let name = dec.str()?;
+            histograms.insert(name, Histogram::decode_state(dec)?);
+        }
+        let mut hops = BTreeMap::new();
+        for _ in 0..dec.seq_len()? {
+            let idx = dec.u8()? as usize;
+            let hop = *ALL_HOPS
+                .get(idx)
+                .ok_or(SnapshotError::Invalid("hop index"))?;
+            let count = dec.u64()?;
+            let total = SimDuration::from_picos(dec.u64()?);
+            let mut samples_us = Vec::new();
+            for _ in 0..dec.seq_len()? {
+                samples_us.push(dec.f64()?);
+            }
+            let hist_us = Histogram::decode_state(dec)?;
+            hops.insert(hop, HopStats { count, total, samples_us, hist_us });
+        }
+        let idle_total = SimDuration::from_picos(dec.u64()?);
+        let mut idle_by_tenant = BTreeMap::new();
+        for _ in 0..dec.seq_len()? {
+            let tenant = dec.u32()?;
+            let idle = SimDuration::from_picos(dec.u64()?);
+            idle_by_tenant.insert(tenant, idle);
+        }
+        let mut inner = self.inner.borrow_mut();
+        *inner = TelemetryInner {
+            clock: Clock::starting_at(now),
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            events_recorded,
+            events_dropped,
+            digest,
+            counters,
+            histograms,
+            hops,
+            idle_total,
+            idle_by_tenant,
+        };
+        Ok(())
+    }
+
     /// Point-in-time copy of the metric registry and trace digest.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let inner = self.inner.borrow();
@@ -681,6 +800,46 @@ mod tests {
             assert!(json.contains(key), "snapshot JSON missing {key}");
         }
         assert!(json.contains(SNAPSHOT_SCHEMA));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_digest_clock_and_metrics() {
+        let a = Telemetry::new(64);
+        drive(&a);
+        let mut enc = crate::snapshot::Encoder::new();
+        a.encode_snapshot(&mut enc);
+        let bytes = enc.finish();
+
+        let b = Telemetry::new(64);
+        b.record(Severity::Info, "noise.to.wipe", None, None, "pre-restore");
+        let mut dec = crate::snapshot::Decoder::new(&bytes);
+        b.restore_snapshot(&mut dec).unwrap();
+        dec.finish().unwrap();
+
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.now(), b.now());
+        // Identical continuations stay identical.
+        drive(&a);
+        drive(&b);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.span_total(), b.span_total());
+        assert_eq!(a.idle_total(), b.idle_total());
+        assert_eq!(a.idle_for_tenant(1), b.idle_for_tenant(1));
+    }
+
+    #[test]
+    fn corrupt_telemetry_snapshot_is_refused_without_state_change() {
+        let t = Telemetry::new(64);
+        drive(&t);
+        let mut enc = crate::snapshot::Encoder::new();
+        t.encode_snapshot(&mut enc);
+        let bytes = enc.finish();
+        let digest_before = t.digest();
+        let mut dec = crate::snapshot::Decoder::new(&bytes[..bytes.len() / 2]);
+        assert!(t.restore_snapshot(&mut dec).is_err());
+        assert_eq!(t.digest(), digest_before, "failed restore must not disturb the hub");
     }
 
     #[test]

@@ -175,6 +175,74 @@ impl WorkloadKeyManager {
     pub fn is_destroyed(&self) -> bool {
         self.destroyed
     }
+
+    /// Serializes the schedule's *positions* — per-stream generation and
+    /// IV cursor plus the rotation counter — never key bytes or the
+    /// master secret. A restore re-derives every key from the master the
+    /// receiving manager was constructed with.
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        enc.u64(self.rotations);
+        enc.bool(self.destroyed);
+        let mut rows: Vec<(StreamId, u32, u64, u64)> = self
+            .streams
+            .iter()
+            .map(|(id, s)| (*id, s.generation, s.ivs.issued(), s.ivs.limit()))
+            .collect();
+        rows.sort_by_key(|r| r.0);
+        enc.u64(rows.len() as u64);
+        for (id, generation, issued, limit) in rows {
+            enc.u32(id.0);
+            enc.u32(generation);
+            enc.u64(issued);
+            enc.u64(limit);
+        }
+    }
+
+    /// Rebuilds the schedule from a snapshot: every stream key is
+    /// re-derived from this manager's master secret at its recorded
+    /// generation, and the IV cursor fast-forwards to its recorded
+    /// position. The manager must have been freshly constructed with the
+    /// same master the snapshotted one held.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ccai_sim::SnapshotError`] for truncated or out-of-range
+    /// input (e.g. an IV cursor past its budget).
+    pub fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), ccai_sim::SnapshotError> {
+        use ccai_sim::SnapshotError;
+        let rotations = dec.u64()?;
+        let destroyed = dec.bool()?;
+        let n = dec.seq_len()?;
+        let mut streams = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let id = StreamId(dec.u32()?);
+            let generation = dec.u32()?;
+            let issued = dec.u64()?;
+            let limit = dec.u64()?;
+            if limit == 0 {
+                return Err(SnapshotError::Invalid("stream IV budget is zero"));
+            }
+            if issued > limit {
+                return Err(SnapshotError::Invalid("stream IV cursor past budget"));
+            }
+            if streams.contains_key(&id) {
+                return Err(SnapshotError::Invalid("duplicate stream id"));
+            }
+            let key = self.derive_key(id, generation);
+            let mut ivs = IvManager::with_limit(id.0, limit);
+            ivs.advance_to(issued);
+            streams.insert(id, StreamState { key, ivs, generation });
+        }
+        self.streams = streams;
+        self.rotations = rotations;
+        if destroyed {
+            self.destroy();
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -601,6 +601,52 @@ impl XpuDriver {
     }
 }
 
+impl XpuDriver {
+    /// Serializes the driver's mutable state: retry policy and the
+    /// counters/cursors that sequence its control traffic. Probe-time
+    /// identity (BDFs, BARs, register layout) is rebuilt, not captured.
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        enc.u32(self.retry.max_attempts);
+        enc.u32(self.retry.backoff_base);
+        enc.u64(self.retry.backoff_unit.as_picos());
+        enc.u64(self.retries.get());
+        enc.u64(self.ctrl_seq.get());
+        enc.u64(self.control_retries.get());
+        enc.u8(self.read_tag.get());
+    }
+
+    /// Restores state captured by [`XpuDriver::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ccai_sim::snapshot::SnapshotError`] on malformed input.
+    pub fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), ccai_sim::snapshot::SnapshotError> {
+        use ccai_sim::snapshot::SnapshotError;
+        let max_attempts = dec.u32()?;
+        if max_attempts == 0 {
+            return Err(SnapshotError::Invalid("retry policy needs an attempt"));
+        }
+        let backoff_base = dec.u32()?;
+        let backoff_unit = SimDuration::from_picos(dec.u64()?);
+        let retries = dec.u64()?;
+        let ctrl_seq = dec.u64()?;
+        let control_retries = dec.u64()?;
+        let read_tag = dec.u8()?;
+        if read_tag > MAX_READ_TAG {
+            return Err(SnapshotError::Invalid("read tag out of range"));
+        }
+        self.retry = RetryPolicy { max_attempts, backoff_base, backoff_unit };
+        self.retries.set(retries);
+        self.ctrl_seq.set(ctrl_seq);
+        self.control_retries.set(control_retries);
+        self.read_tag.set(read_tag);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -194,6 +194,68 @@ impl HostMemory for GuestMemory {
     }
 }
 
+impl GuestMemory {
+    /// Serializes the guest memory image: capacity (identity check),
+    /// chunks in address order, shared ranges in declaration order and
+    /// the DMA-denial counter.
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        enc.u64(self.capacity);
+        enc.u64(self.chunks.len() as u64);
+        for (base, chunk) in &self.chunks {
+            enc.u64(*base);
+            enc.bytes(chunk);
+        }
+        enc.u64(self.shared.len() as u64);
+        for range in &self.shared {
+            enc.u64(range.start);
+            enc.u64(range.end);
+        }
+        enc.u64(self.dma_denials);
+    }
+
+    /// Restores an image captured by [`GuestMemory::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ccai_sim::snapshot::SnapshotError`] on malformed input or a
+    /// capacity mismatch.
+    pub fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), ccai_sim::snapshot::SnapshotError> {
+        use ccai_sim::snapshot::SnapshotError;
+        let capacity = dec.u64()?;
+        if capacity != self.capacity {
+            return Err(SnapshotError::Invalid("guest memory capacity mismatch"));
+        }
+        let n_chunks = dec.seq_len()?;
+        let mut chunks = BTreeMap::new();
+        for _ in 0..n_chunks {
+            let base = dec.u64()?;
+            let data = dec.bytes()?;
+            if data.len() as u64 != CHUNK || !base.is_multiple_of(CHUNK) || base >= capacity {
+                return Err(SnapshotError::Invalid("malformed guest memory chunk"));
+            }
+            chunks.insert(base, data);
+        }
+        let n_shared = dec.seq_len()?;
+        let mut shared = Vec::with_capacity(n_shared);
+        for _ in 0..n_shared {
+            let start = dec.u64()?;
+            let end = dec.u64()?;
+            if start >= end || end > capacity {
+                return Err(SnapshotError::Invalid("malformed shared range"));
+            }
+            shared.push(start..end);
+        }
+        let dma_denials = dec.u64()?;
+        self.chunks = chunks;
+        self.shared = shared;
+        self.dma_denials = dma_denials;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -167,6 +167,23 @@ impl DmaStager for IdentityStager {
     }
 }
 
+impl IdentityStager {
+    /// The staging-window allocation cursor, for snapshot capture.
+    pub fn cursor(&self) -> u64 {
+        self.next
+    }
+
+    /// Restores the allocation cursor from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next` exceeds the window length.
+    pub fn set_cursor(&mut self, next: u64) {
+        assert!(next <= self.window_len, "cursor past staging window");
+        self.next = next;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -467,6 +467,57 @@ impl PcieDevice for Xpu {
     }
 }
 
+impl Xpu {
+    /// Serializes all mutable device state. Identity (spec, BDF, BAR
+    /// bases, config space, firmware, register layout) is a pure function
+    /// of the construction parameters and is rebuilt, not captured; the
+    /// spec name is included only to refuse restoring onto the wrong part.
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        enc.str(self.spec.name());
+        self.registers.encode_snapshot(enc);
+        self.memory.encode_snapshot(enc);
+        enc.bool(self.mmu.is_some());
+        if let Some(mmu) = &self.mmu {
+            mmu.encode_snapshot(enc);
+        }
+        self.dma.encode_snapshot(enc);
+        self.commands.encode_snapshot(enc);
+        enc.u64(self.interrupts_sent);
+        enc.u64(self.cold_boots);
+    }
+
+    /// Restores device state captured by [`Xpu::encode_snapshot`] onto a
+    /// freshly built device of the *same* spec.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ccai_sim::snapshot::SnapshotError`] on malformed input or a
+    /// spec/MMU mismatch.
+    pub fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), ccai_sim::snapshot::SnapshotError> {
+        use ccai_sim::snapshot::SnapshotError;
+        if dec.str()? != self.spec.name() {
+            return Err(SnapshotError::Invalid("xPU spec mismatch"));
+        }
+        self.registers.restore_snapshot(dec)?;
+        self.memory.restore_snapshot(dec)?;
+        let has_mmu = dec.bool()?;
+        if has_mmu != self.mmu.is_some() {
+            return Err(SnapshotError::Invalid("MMU presence mismatch"));
+        }
+        if let Some(mmu) = &mut self.mmu {
+            mmu.restore_snapshot(dec)?;
+        }
+        self.dma.restore_snapshot(dec)?;
+        self.commands.restore_snapshot(dec)?;
+        self.interrupts_sent = dec.u64()?;
+        self.cold_boots = dec.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -240,6 +240,73 @@ impl DeviceMemory {
     }
 }
 
+impl DeviceMemory {
+    /// Serializes the memory image: allocator cursor, named regions and
+    /// every lazily-materialised chunk (in address order). The capacity is
+    /// included so a snapshot can only be restored onto a like-sized part.
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        enc.u64(self.capacity);
+        enc.u64(self.next_free);
+        enc.u64(self.regions.len() as u64);
+        for (name, region) in &self.regions {
+            enc.str(name);
+            enc.u64(region.base);
+            enc.u64(region.len);
+        }
+        enc.u64(self.chunks.len() as u64);
+        for (base, chunk) in &self.chunks {
+            enc.u64(*base);
+            enc.bytes(chunk);
+        }
+    }
+
+    /// Restores a memory image captured by [`DeviceMemory::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ccai_sim::snapshot::SnapshotError`] on malformed input, a
+    /// capacity mismatch, or chunks that do not fit the address space.
+    pub fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), ccai_sim::snapshot::SnapshotError> {
+        use ccai_sim::snapshot::SnapshotError;
+        let capacity = dec.u64()?;
+        if capacity != self.capacity {
+            return Err(SnapshotError::Invalid("device memory capacity mismatch"));
+        }
+        let next_free = dec.u64()?;
+        if next_free > capacity {
+            return Err(SnapshotError::Invalid("allocator cursor past capacity"));
+        }
+        let n_regions = dec.seq_len()?;
+        let mut regions = BTreeMap::new();
+        for _ in 0..n_regions {
+            let name = dec.str()?.to_string();
+            let base = dec.u64()?;
+            let len = dec.u64()?;
+            if base.checked_add(len).is_none_or(|end| end > capacity) {
+                return Err(SnapshotError::Invalid("region out of bounds"));
+            }
+            regions.insert(name, Region { base, len });
+        }
+        let n_chunks = dec.seq_len()?;
+        let mut chunks = BTreeMap::new();
+        for _ in 0..n_chunks {
+            let base = dec.u64()?;
+            let data = dec.bytes()?;
+            if data.len() as u64 != CHUNK || !base.is_multiple_of(CHUNK) || base >= capacity {
+                return Err(SnapshotError::Invalid("malformed memory chunk"));
+            }
+            chunks.insert(base, data);
+        }
+        self.next_free = next_free;
+        self.regions = regions;
+        self.chunks = chunks;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -150,6 +150,44 @@ impl RegisterFile {
     }
 }
 
+impl RegisterFile {
+    /// Serializes register *values*. Offsets are a pure function of the
+    /// vendor layout and are rebuilt, not captured.
+    pub fn encode_snapshot(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        enc.u64(self.values.len() as u64);
+        for (reg, value) in &self.values {
+            let idx = Reg::ALL.iter().position(|r| r == reg).expect("register in ALL");
+            enc.u8(idx as u8);
+            enc.u64(*value);
+        }
+    }
+
+    /// Restores register values captured by
+    /// [`RegisterFile::encode_snapshot`]; the layout of `self` is kept.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ccai_sim::snapshot::SnapshotError`] on malformed input or an
+    /// unknown register index.
+    pub fn restore_snapshot(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), ccai_sim::snapshot::SnapshotError> {
+        use ccai_sim::snapshot::SnapshotError;
+        let n = dec.seq_len()?;
+        let mut values = BTreeMap::new();
+        for _ in 0..n {
+            let idx = dec.u8()? as usize;
+            let reg = *Reg::ALL
+                .get(idx)
+                .ok_or(SnapshotError::Invalid("unknown register index"))?;
+            values.insert(reg, dec.u64()?);
+        }
+        self.values = values;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -491,3 +491,121 @@ proptest! {
         prop_assert_eq!(readable, expected);
     }
 }
+
+/// One warmed template snapshot, built once: corruption properties below
+/// mutate copies of these bytes.
+fn template_snapshot_bytes() -> &'static [u8] {
+    use ccai_core::{ConfidentialSystem, SystemMode};
+    use std::sync::OnceLock;
+    static TEMPLATE: OnceLock<Vec<u8>> = OnceLock::new();
+    TEMPLATE.get_or_init(|| {
+        let mut system = ConfidentialSystem::build(ccai_xpu::XpuSpec::a100(), SystemMode::CcAi);
+        system.load_model(b"template weights for corruption properties").expect("load");
+        system.snapshot().as_bytes().to_vec()
+    })
+}
+
+fn arb_fault_plan() -> impl Strategy<Value = ccai_pcie::FaultPlan> {
+    (
+        (any::<u64>(), 0u16..1024, 0u16..1024, 0u16..1024),
+        (0u16..1024, 0u16..1024, any::<u8>(), 0u16..1024),
+        any::<bool>(),
+    )
+        .prop_map(
+            |((seed, corrupt, drop, duplicate), (reorder, flap, flap_len, delay), control)| {
+                ccai_pcie::FaultPlan {
+                    seed,
+                    corrupt_per_1024: corrupt,
+                    drop_per_1024: drop,
+                    duplicate_per_1024: duplicate,
+                    reorder_per_1024: reorder,
+                    flap_per_1024: flap,
+                    flap_len,
+                    delay_per_1024: delay,
+                    fault_control_path: control,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snapshot_primitives_round_trip(
+        ints in (any::<u8>(), any::<u16>(), any::<u32>(), any::<u64>()),
+        flag in any::<bool>(),
+        float in any::<u32>().prop_map(|bits| f64::from(bits) * 0.5 - 1e9),
+        blob in proptest::collection::vec(any::<u8>(), 0..512),
+        text in proptest::collection::vec(32u8..127, 0..64)
+            .prop_map(|chars| String::from_utf8(chars).expect("printable ASCII")),
+    ) {
+        use ccai_sim::snapshot::{Decoder, Encoder};
+        let (a, b, c, d) = ints;
+        let mut enc = Encoder::versioned();
+        enc.u8(a);
+        enc.u16(b);
+        enc.u32(c);
+        enc.u64(d);
+        enc.bool(flag);
+        enc.f64(float);
+        enc.bytes(&blob);
+        enc.str(&text);
+        let bytes = enc.finish();
+        let mut dec = Decoder::versioned(&bytes).expect("envelope");
+        prop_assert_eq!(dec.u8().expect("u8"), a);
+        prop_assert_eq!(dec.u16().expect("u16"), b);
+        prop_assert_eq!(dec.u32().expect("u32"), c);
+        prop_assert_eq!(dec.u64().expect("u64"), d);
+        prop_assert_eq!(dec.bool().expect("bool"), flag);
+        prop_assert_eq!(dec.f64().expect("f64"), float);
+        prop_assert_eq!(dec.bytes().expect("bytes"), blob);
+        prop_assert_eq!(dec.str().expect("str"), text);
+        dec.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn fault_plan_snapshot_round_trips(plan in arb_fault_plan()) {
+        use ccai_sim::snapshot::{decode_versioned, encode_versioned};
+        let bytes = encode_versioned(&plan);
+        let decoded: ccai_pcie::FaultPlan = decode_versioned(&bytes).expect("round-trips");
+        prop_assert_eq!(decoded, plan);
+    }
+
+    #[test]
+    fn truncated_snapshots_are_typed_errors(
+        plan in arb_fault_plan(),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        // Every strict prefix decodes to a typed error — never a panic,
+        // never a silently-short value (full consumption is enforced).
+        use ccai_sim::snapshot::{decode_versioned, encode_versioned};
+        let bytes = encode_versioned(&plan);
+        let prefix = &bytes[..cut.index(bytes.len())];
+        prop_assert!(decode_versioned::<ccai_pcie::FaultPlan>(prefix).is_err());
+        // And so does trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        prop_assert!(decode_versioned::<ccai_pcie::FaultPlan>(&extended).is_err());
+    }
+
+    #[test]
+    fn corrupted_system_snapshots_never_panic(
+        cut in any::<prop::sample::Index>(),
+        flip_at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        use ccai_core::snapshot::SystemSnapshot;
+        use ccai_core::ConfidentialSystem;
+        let template = template_snapshot_bytes();
+        // Truncation at any point must be a typed error.
+        let truncated = template[..cut.index(template.len())].to_vec();
+        prop_assert!(ConfidentialSystem::resume(&SystemSnapshot::from_bytes(truncated)).is_err());
+        // A byte flip anywhere must not panic; if the flip lands in a
+        // don't-care byte resume may still succeed, but it must return.
+        let mut flipped = template.to_vec();
+        let idx = flip_at.index(flipped.len());
+        flipped[idx] ^= xor;
+        let _ = ConfidentialSystem::resume(&SystemSnapshot::from_bytes(flipped));
+    }
+}

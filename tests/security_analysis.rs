@@ -318,3 +318,79 @@ fn every_device_survives_the_snooping_battery() {
         assert!(!snooper.log().leaked(&prompt[..15]), "{name} leaked prompt");
     }
 }
+
+#[test]
+fn quarantine_and_replay_protection_survive_snapshot_resume() {
+    // Live migration must not be a security reset: an operator
+    // snapshots a system whose tenant is quarantined, resumes it
+    // elsewhere, and the adversary replays a captured control-window
+    // session against the *resumed* instance. The quarantine must hold
+    // across the snapshot boundary, and the resumed exactly-once window
+    // must still refuse every stale sequence number.
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let snooper = BusAdversary::new();
+    system.fabric_mut().add_tap(snooper.tap());
+    system.run_workload(&weights, &prompt).unwrap();
+
+    let captured: Vec<Tlp> = snooper
+        .log()
+        .of_type(TlpType::MemWrite)
+        .into_iter()
+        .filter(|t| {
+            let addr = t.header().address().unwrap_or(0);
+            (layout::SC_REGION..layout::SC_REGION + ccai_core::sc::regs::WINDOW_LEN)
+                .contains(&addr)
+                && parse_ctrl_envelope(t.payload()).is_some()
+        })
+        .cloned()
+        .collect();
+    assert!(!captured.is_empty(), "a protected run must emit sequenced control writes");
+
+    // Trip the quarantine, then snapshot the poisoned system and resume
+    // it into a fresh instance (topology rebuilt, keys re-derived).
+    system.inject_faults(FaultPlan::corrupt_only(0xBAD, 1024));
+    assert!(system.run_workload(&weights, &prompt).is_err(), "channel is unrecoverable");
+    system.clear_faults();
+    let xpu_bdf = Bdf::new(layout::XPU_BDF.0, layout::XPU_BDF.1, layout::XPU_BDF.2);
+    assert!(system.sc().unwrap().is_quarantined(xpu_bdf));
+
+    let snap = system.snapshot();
+    drop(system);
+    let mut resumed = ConfidentialSystem::resume(&snap).expect("resume");
+    assert!(
+        resumed.sc().unwrap().is_quarantined(xpu_bdf),
+        "resume must not launder a quarantine"
+    );
+
+    let filter_before = resumed.sc_filter_digest();
+    let before = resumed.sc_counters();
+    for tlp in captured {
+        resumed.fabric_mut().host_request(tlp);
+    }
+    let after = resumed.sc_counters();
+
+    assert!(
+        resumed.sc().unwrap().is_quarantined(xpu_bdf),
+        "replayed control writes must not lift the quarantine after resume"
+    );
+    assert_eq!(
+        resumed.sc_filter_digest(),
+        filter_before,
+        "stale control sequences must not move the resumed filter tables"
+    );
+    assert!(
+        after.control_dup_suppressed > before.control_dup_suppressed
+            || after.packets_blocked > before.packets_blocked,
+        "the replay must be visibly rejected by the resumed SC"
+    );
+
+    // Data-path access from the quarantined tenant stays A1-denied on
+    // the resumed instance too.
+    let probe = Tlp::memory_read(resumed.tvm_bdf(), layout::XPU_BAR_BASE, 8, 0x7B);
+    let replies = resumed.fabric_mut().host_request(probe);
+    assert!(
+        replies.iter().all(|r| r.payload().is_empty()),
+        "quarantined tenant must stay A1-denied after snapshot/resume"
+    );
+}

@@ -1,0 +1,207 @@
+//! Differential snapshot/resume suite: a resumed system must be
+//! indistinguishable from one that never stopped.
+//!
+//! For fixed seeds and three fault regimes — fault-free, datapath faults
+//! and control-path faults — a workload is snapshotted at three quiesce
+//! points (before any traffic, between the model-load and inference pump
+//! rounds, and after completion), resumed into a fresh
+//! [`ConfidentialSystem`], and driven to the end. The resumed run must
+//! reproduce the uninterrupted baseline *bit-exactly*: the same inference
+//! result, telemetry trace digest, xPU register file, device-memory
+//! digest, SC filter digest and counters, and the same fault trace —
+//! including faults the injector schedules after the resume point.
+
+use ccai_core::sc::ScCounters;
+use ccai_core::snapshot::snapshot_mid_task;
+use ccai_core::{ConfidentialSystem, SystemMode};
+use ccai_pcie::{FaultEvent, FaultPlan};
+use ccai_tvm::RetryPolicy;
+use ccai_xpu::{CommandProcessor, RegisterFile, XpuSpec};
+
+const WEIGHTS_LEN: usize = 20_000;
+const INPUT_LEN: usize = 6_000;
+
+fn workload() -> (Vec<u8>, Vec<u8>) {
+    let weights: Vec<u8> = (0..WEIGHTS_LEN).map(|i| (i * 131 % 251) as u8).collect();
+    let input: Vec<u8> = (0..INPUT_LEN).map(|i| (i * 17 % 241) as u8).collect();
+    (weights, input)
+}
+
+/// The three fault regimes the suite crosses with every snapshot point.
+fn regimes() -> [(&'static str, Option<FaultPlan>); 3] {
+    [
+        ("fault_free", None),
+        ("data_fault", Some(FaultPlan::corrupt_only(13, 24))),
+        ("control_fault", Some(FaultPlan::drop_only(0xC0A1, 48).with_control_path())),
+    ]
+}
+
+/// Where in the workload the snapshot is taken.
+#[derive(Clone, Copy, PartialEq)]
+enum SnapPoint {
+    /// After build + fault arming, before any traffic.
+    PreTraffic,
+    /// Between the model-load and inference halves (the pump-round
+    /// boundary `snapshot_mid_task` quiesces at).
+    MidTask,
+    /// After the workload completed.
+    PostTask,
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    result: Vec<u8>,
+    telemetry_digest: String,
+    memory_digest: [u8; 32],
+    registers: RegisterFile,
+    filter_digest: String,
+    filter_rules: (usize, usize),
+    sc_counters: ScCounters,
+    fault_trace: Vec<FaultEvent>,
+}
+
+fn observe(system: &ConfidentialSystem, result: Vec<u8>) -> Outcome {
+    Outcome {
+        result,
+        telemetry_digest: system.telemetry().digest_hex(),
+        memory_digest: system.xpu_memory_digest(),
+        registers: system.xpu_register_snapshot(),
+        filter_digest: system.sc_filter_digest(),
+        filter_rules: system.sc_filter_rule_counts(),
+        sc_counters: system.sc_counters(),
+        fault_trace: system.fault_trace(),
+    }
+}
+
+fn build(plan: Option<&FaultPlan>) -> ConfidentialSystem {
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system
+        .driver_mut()
+        .set_retry_policy(RetryPolicy { max_attempts: 8, backoff_base: 2, ..Default::default() });
+    if let Some(plan) = plan {
+        system.inject_faults(*plan);
+    }
+    system
+}
+
+/// The uninterrupted reference run.
+fn baseline(plan: Option<&FaultPlan>) -> Outcome {
+    let (weights, input) = workload();
+    let mut system = build(plan);
+    system.load_model(&weights).expect("baseline model load");
+    let result = system.run_inference(&input).expect("baseline inference");
+    observe(&system, result)
+}
+
+/// Runs to `point`, snapshots, resumes into a fresh system, finishes the
+/// workload there, and observes the *resumed* system.
+fn resumed_at(plan: Option<&FaultPlan>, point: SnapPoint) -> Outcome {
+    let (weights, input) = workload();
+    let mut system = build(plan);
+    let snap = match point {
+        SnapPoint::PreTraffic => system.snapshot(),
+        SnapPoint::MidTask => snapshot_mid_task(&mut system, &weights).expect("mid-task snapshot"),
+        SnapPoint::PostTask => {
+            system.load_model(&weights).expect("model load");
+            system.run_inference(&input).expect("inference");
+            system.snapshot()
+        }
+    };
+    drop(system); // the original is gone; only the snapshot survives
+    let mut resumed = ConfidentialSystem::resume(&snap).expect("resume");
+    let result = match point {
+        SnapPoint::PreTraffic => {
+            resumed.load_model(&weights).expect("resumed model load");
+            resumed.run_inference(&input).expect("resumed inference")
+        }
+        SnapPoint::MidTask => resumed.run_inference(&input).expect("resumed inference"),
+        SnapPoint::PostTask => {
+            // Nothing left to run — the snapshot already holds the
+            // completed state (output landing zone included, which the
+            // memory digest below covers), so the observable result is
+            // the workload's known answer.
+            CommandProcessor::surrogate_inference(&weights, &input).to_vec()
+        }
+    };
+    observe(&resumed, result)
+}
+
+#[test]
+fn resume_is_indistinguishable_from_an_uninterrupted_run() {
+    for (name, plan) in regimes() {
+        let reference = baseline(plan.as_ref());
+        assert_eq!(
+            reference.result,
+            {
+                let (weights, input) = workload();
+                CommandProcessor::surrogate_inference(&weights, &input)
+            },
+            "{name}: baseline must be correct to begin with"
+        );
+        for (point_name, point) in [
+            ("pre_traffic", SnapPoint::PreTraffic),
+            ("mid_task", SnapPoint::MidTask),
+            ("post_task", SnapPoint::PostTask),
+        ] {
+            let resumed = resumed_at(plan.as_ref(), point);
+            assert_eq!(
+                resumed, reference,
+                "{name}/{point_name}: resumed run diverged from the uninterrupted baseline"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_resume_still_exercises_the_injector() {
+    // The guarantee is only interesting if faults actually fire on both
+    // sides of the snapshot point.
+    let plan = FaultPlan::corrupt_only(13, 24);
+    let outcome = resumed_at(Some(&plan), SnapPoint::MidTask);
+    assert!(
+        !outcome.fault_trace.is_empty(),
+        "data-fault regime must inject at least one fault"
+    );
+    let baseline = baseline(Some(&plan));
+    assert_eq!(outcome.fault_trace, baseline.fault_trace);
+}
+
+#[test]
+fn snapshot_itself_leaves_no_trace() {
+    // Taking a snapshot must not perturb the system it observes: the
+    // original finishes with the same digest whether or not it was
+    // snapshotted along the way.
+    let (weights, input) = workload();
+    let reference = baseline(None);
+    let mut system = build(None);
+    system.load_model(&weights).expect("model load");
+    let _snap = system.snapshot();
+    let _snap_again = system.snapshot();
+    let result = system.run_inference(&input).expect("inference");
+    assert_eq!(observe(&system, result), reference);
+}
+
+#[test]
+fn trace_digests_replay_across_suite_runs() {
+    // CI hook, mirroring `telemetry_trace`: dump one digest per
+    // (regime × snapshot point) so two consecutive suite runs can be
+    // diffed without parsing test output.
+    let mut dump = String::new();
+    for (name, plan) in regimes() {
+        let reference = baseline(plan.as_ref());
+        dump.push_str(&format!("{name}_baseline={}\n", reference.telemetry_digest));
+        for (point_name, point) in [
+            ("pre_traffic", SnapPoint::PreTraffic),
+            ("mid_task", SnapPoint::MidTask),
+            ("post_task", SnapPoint::PostTask),
+        ] {
+            let resumed = resumed_at(plan.as_ref(), point);
+            assert_eq!(resumed.telemetry_digest, reference.telemetry_digest);
+            dump.push_str(&format!("{name}_{point_name}={}\n", resumed.telemetry_digest));
+        }
+    }
+    if let Ok(path) = std::env::var("CCAI_TRACE_DIGEST_OUT") {
+        std::fs::write(&path, dump).expect("write digest dump");
+    }
+}

@@ -142,12 +142,17 @@ fn trace_is_ordered_and_stamped_monotonically() {
 
 #[test]
 fn snapshot_serializes_with_the_pinned_schema() {
+    // The schema name is pinned here — everywhere else (the exporter,
+    // both bench binaries, this test's key check below) references the
+    // one constant, so a rename shows up exactly once: in this assert.
+    assert_eq!(ccai_core::telemetry::SNAPSHOT_SCHEMA, "ccai.telemetry.v1");
     let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
     let (weights, input) = workload();
     system.run_workload(&weights, &input).expect("workload");
     let json = system.telemetry_snapshot().to_json();
+    let schema_key = format!("\"schema\": \"{}\"", ccai_core::telemetry::SNAPSHOT_SCHEMA);
     for key in [
-        "\"schema\": \"ccai.telemetry.v1\"",
+        schema_key.as_str(),
         "\"now_picos\"",
         "\"trace_digest\"",
         "\"events_recorded\"",
