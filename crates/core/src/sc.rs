@@ -433,6 +433,17 @@ impl PcieSc {
             .is_some_and(|t| self.tenants[t].quarantined)
     }
 
+    /// Telemetry tags (TVM requester ids) of every quarantined tenant, in
+    /// bind order. Fleet layers union this across shards so a quarantine
+    /// tripped by one SC is honored at every admission point.
+    pub fn quarantined_tenants(&self) -> Vec<u32> {
+        self.tenants
+            .iter()
+            .filter(|t| t.quarantined)
+            .map(|t| u32::from(t.tvm_bdf.to_u16()))
+            .collect()
+    }
+
     /// Binds an additional tenant — a (TVM, xPU-or-virtual-function) pair
     /// with its own attested master secret (§9 multi-user support). The
     /// SC keys every security parameter on these PCIe identifiers.

@@ -464,6 +464,13 @@ impl ConfidentialSystem {
         self.sc().map(PcieSc::counters).unwrap_or_default()
     }
 
+    /// Telemetry tags of every tenant this system's SC has quarantined
+    /// (empty in vanilla mode). Fleet layers union the answer across
+    /// shards so one tripped SC blocks the tenant everywhere.
+    pub fn sc_quarantined_tenants(&self) -> Vec<u32> {
+        self.sc().map(PcieSc::quarantined_tenants).unwrap_or_default()
+    }
+
     /// Adaptor counters (zeroes in vanilla mode).
     pub fn adaptor_counters(&self) -> AdaptorCounters {
         self.adaptor

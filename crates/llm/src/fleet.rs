@@ -16,6 +16,7 @@
 
 use ccai_core::snapshot::{snapshot_mid_task, spin_up_fleet, SystemSnapshot};
 use ccai_core::system::{ConfidentialSystem, SystemMode, WorkloadError};
+use ccai_pcie::ShardRouter;
 use ccai_sim::SnapshotError;
 use ccai_xpu::XpuSpec;
 use std::fmt;
@@ -138,6 +139,156 @@ impl Fleet {
     }
 }
 
+/// Why a sharded fleet refused to serve a request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The tenant is quarantined on at least one shard's PCIe-SC; every
+    /// shard honors the quarantine, so no shard will take its work.
+    Quarantined(u32),
+    /// The routed shard's workload failed.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Quarantined(t) => {
+                write!(f, "tenant {t} is quarantined fleet-wide")
+            }
+            ServeError::Workload(e) => write!(f, "shard workload failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WorkloadError> for ServeError {
+    fn from(e: WorkloadError) -> Self {
+        ServeError::Workload(e)
+    }
+}
+
+/// A fleet of golden-image replicas behind sharded PCIe-SC instances,
+/// with rendezvous-hashed tenant→shard affinity and fleet-wide
+/// quarantine honoring.
+///
+/// Where [`Fleet`] spreads anonymous prompts round-robin, `ShardedFleet`
+/// gives each tenant a stable home shard (so its SC state — bindings,
+/// counters, quarantine — stays in one place) and refuses a quarantined
+/// tenant on **every** shard, not just the one that tripped containment.
+pub struct ShardedFleet {
+    template: SystemSnapshot,
+    shards: Vec<ConfidentialSystem>,
+    router: ShardRouter,
+}
+
+impl ShardedFleet {
+    /// Warms one template system and stamps out `shards` independent
+    /// replicas, each fronting its own PCIe-SC shard (ids `0..shards`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Fleet::deploy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn deploy(
+        spec: XpuSpec,
+        mode: SystemMode,
+        weights: &[u8],
+        shards: usize,
+    ) -> Result<ShardedFleet, FleetError> {
+        assert!(shards > 0, "sharded fleet needs at least one shard");
+        let mut warm = ConfidentialSystem::build(spec, mode);
+        let template = snapshot_mid_task(&mut warm, weights)?;
+        let replicas = spin_up_fleet(&template, shards)?;
+        let ids: Vec<u32> = (0..shards as u32).collect();
+        Ok(ShardedFleet { template, shards: replicas, router: ShardRouter::new(&ids) })
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false: `deploy` requires at least one shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The golden template every shard was resumed from.
+    pub fn template(&self) -> &SystemSnapshot {
+        &self.template
+    }
+
+    /// A tenant's home shard id (pure function of the shard set).
+    pub fn shard_of(&self, tenant: u32) -> u32 {
+        self.router.shard_for(tenant)
+    }
+
+    /// The shard system a tenant routes to.
+    pub fn shard_system(&self, shard: u32) -> &ConfidentialSystem {
+        &self.shards[shard as usize]
+    }
+
+    /// Mutable access to one shard's system (fault injection, direct
+    /// workloads) — the security suite uses this to trip containment on
+    /// a single shard.
+    pub fn shard_system_mut(&mut self, shard: u32) -> &mut ConfidentialSystem {
+        &mut self.shards[shard as usize]
+    }
+
+    /// Union of quarantined tenant tags across every shard's PCIe-SC,
+    /// ascending and deduplicated.
+    pub fn quarantined_tenants(&self) -> Vec<u32> {
+        let mut all: Vec<u32> = self
+            .shards
+            .iter()
+            .flat_map(ConfidentialSystem::sc_quarantined_tenants)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Serves one prompt for `tenant` on its home shard.
+    ///
+    /// The quarantine check runs against the **fleet-wide** union first:
+    /// a tenant contained on any shard is refused everywhere, so
+    /// containment cannot be dodged by re-hashing onto a different shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Quarantined`] if any shard has the tenant contained;
+    /// [`ServeError::Workload`] if the home shard fails.
+    pub fn serve(&mut self, tenant: u32, prompt: &[u8]) -> Result<Vec<u8>, ServeError> {
+        if self.quarantined_tenants().contains(&tenant) {
+            return Err(ServeError::Quarantined(tenant));
+        }
+        let home = self.router.shard_for(tenant) as usize;
+        Ok(self.shards[home].run_inference(prompt)?)
+    }
+
+    /// Adds `extra` shards resumed from the same template; only tenants
+    /// that re-rendezvous onto the new shards move.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] if a new shard rejects the template.
+    pub fn scale_out(&mut self, extra: usize) -> Result<(), SnapshotError> {
+        let fresh = spin_up_fleet(&self.template, extra)?;
+        let base = self.shards.len() as u32;
+        for (i, system) in fresh.into_iter().enumerate() {
+            self.shards.push(system);
+            self.router
+                .add_shard(base + i as u32)
+                .expect("fresh shard ids are unique");
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +318,37 @@ mod tests {
             .expect("fleet serves");
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn sharded_fleet_routes_tenants_to_stable_homes() {
+        let mut fleet = ShardedFleet::deploy(XpuSpec::a100(), SystemMode::CcAi, WEIGHTS, 4)
+            .expect("sharded fleet deploys");
+        assert_eq!(fleet.len(), 4);
+        let expected = CommandProcessor::surrogate_inference(WEIGHTS, b"prompt");
+        for tenant in [16u32, 17, 42, 1000] {
+            let home = fleet.shard_of(tenant);
+            assert!(home < 4);
+            assert_eq!(home, fleet.shard_of(tenant), "home shard must be stable");
+            let out = fleet.serve(tenant, b"prompt").expect("serves");
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn sharded_scale_out_keeps_surviving_homes() {
+        let mut fleet = ShardedFleet::deploy(XpuSpec::t4(), SystemMode::CcAi, WEIGHTS, 2)
+            .expect("sharded fleet deploys");
+        let before: Vec<u32> = (0..64).map(|t| fleet.shard_of(t)).collect();
+        fleet.scale_out(2).expect("scale-out resumes");
+        assert_eq!(fleet.len(), 4);
+        for (tenant, &old) in before.iter().enumerate() {
+            let new = fleet.shard_of(tenant as u32);
+            assert!(
+                new == old || new >= 2,
+                "tenant {tenant} moved between pre-existing shards"
+            );
+        }
     }
 
     #[test]

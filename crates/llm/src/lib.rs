@@ -20,7 +20,10 @@
 //!   generator used by the KV-cache stress test;
 //! * [`fleet`] — golden-snapshot fleet serving: warm one confidential
 //!   system, snapshot it, stamp out replicas and spread prompts over
-//!   them.
+//!   them;
+//! * [`serve`] — fleet-scale multi-tenant serving: seeded open-loop
+//!   arrivals, per-tenant token-bucket rate limiting with typed sheds,
+//!   a continuous-batching scheduler and per-tenant latency telemetry.
 //!
 //! # Example
 //!
@@ -44,10 +47,12 @@ pub mod harness;
 pub mod kv_cache;
 pub mod metrics;
 pub mod prompts;
+pub mod serve;
 pub mod workload;
 
 pub use catalog::LlmSpec;
-pub use fleet::Fleet;
+pub use fleet::{Fleet, ServeError, ShardedFleet};
+pub use serve::{FleetConfig, FleetServer, FleetSnapshot, ShedReason, TenantSpec};
 pub use harness::{run, Mode};
 pub use kv_cache::KvCache;
 pub use metrics::Metrics;

@@ -1,0 +1,969 @@
+//! Fleet-scale multi-tenant serving.
+//!
+//! This module is the serving layer the paper's §8 deployment sketch
+//! implies but never details: N tenants sharing M xPU-backed confidential
+//! systems behind sharded PCIe-SC instances. It wires together
+//!
+//! * [`arrival`] — deterministic seeded open-loop Poisson arrivals;
+//! * [`limiter`] — per-tenant token-bucket admission with typed shed
+//!   reasons (requests are never silently dropped);
+//! * [`scheduler`] — a continuous-batching scheduler that admits new
+//!   work at pump-round quiesce points with fair round-robin seats;
+//! * [`FleetServer`] — the event loop joining them over `shards`
+//!   parallel service lanes, accounting every picosecond into the
+//!   [`Telemetry`] hub (waits as per-tenant idle, service as per-tenant
+//!   hop spans) so the trace digest covers the whole fleet run.
+//!
+//! Everything is a pure function of [`FleetConfig`]: same config, same
+//! digest, bit-identical [`FleetSnapshot`] — including across a
+//! mid-flight [`FleetServer::snapshot`]/[`FleetServer::resume`] pair.
+
+pub mod arrival;
+pub mod limiter;
+pub mod scheduler;
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use ccai_core::perf::{CostBreakdown, OptimizationConfig, PerfModel};
+use ccai_sim::snapshot::{Decoder, Encoder, SnapshotError};
+use ccai_sim::telemetry::Severity;
+use ccai_sim::{Hop, SimDuration, SimTime, Summary, Telemetry, TelemetrySnapshot};
+use ccai_xpu::XpuSpec;
+
+use crate::catalog::LlmSpec;
+use crate::workload::InferenceWorkload;
+
+pub use arrival::{ArrivalProcess, Request};
+pub use limiter::{RateLimiter, ShedReason};
+pub use scheduler::ContinuousBatcher;
+
+/// Telemetry ring-buffer capacity for fleet runs. The digest covers every
+/// event regardless; the ring only bounds replayable history.
+const EVENT_CAPACITY: usize = 4096;
+
+/// Schema tag for [`FleetSnapshot::to_json`].
+pub const FLEET_SCHEMA: &str = "ccai.fleet.v1";
+
+/// One tenant's serving contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Telemetry tag (matches the SC's `u32` tenant tag space).
+    pub tag: u32,
+    /// Mean inter-arrival gap of the tenant's Poisson source.
+    pub mean_interarrival: SimDuration,
+    /// Token-bucket burst capacity (requests).
+    pub burst: u64,
+    /// Token-bucket refill rate (requests per second).
+    pub rate_per_sec: u64,
+}
+
+impl TenantSpec {
+    /// Convenience constructor.
+    pub fn new(tag: u32, mean_interarrival: SimDuration, burst: u64, rate_per_sec: u64) -> Self {
+        TenantSpec { tag, mean_interarrival, burst, rate_per_sec }
+    }
+}
+
+/// Full fleet configuration; the run is a pure function of this value.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Arrival-process seed.
+    pub seed: u64,
+    /// Number of parallel service lanes (sharded PCIe-SC instances).
+    pub shards: u32,
+    /// Largest batch a shard admits at a quiesce point.
+    pub max_batch: usize,
+    /// Per-tenant admission backlog before tail-dropping with a typed
+    /// shed.
+    pub admission_backlog: usize,
+    /// Whether token-bucket rate limiting is active.
+    pub rate_limiting: bool,
+    /// Model every shard serves (golden image).
+    pub model: LlmSpec,
+    /// Device behind every shard.
+    pub device: XpuSpec,
+    /// The tenant population.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl FleetConfig {
+    /// The acceptance-scale default: eight tenants across four shards,
+    /// all with the same contract, serving OPT-1.3b on A100s.
+    pub fn standard(seed: u64) -> FleetConfig {
+        let tenants = (0..8)
+            .map(|i| TenantSpec::new(100 + i, SimDuration::from_millis(40), 32, 64))
+            .collect();
+        FleetConfig {
+            seed,
+            shards: 4,
+            max_batch: 32,
+            admission_backlog: 64,
+            rate_limiting: true,
+            model: LlmSpec::opt_1_3b(),
+            device: XpuSpec::a100(),
+            tenants,
+        }
+    }
+
+    /// Structural fingerprint folded into snapshots so a resume against a
+    /// different config is rejected instead of silently diverging.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fold(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = fold(OFFSET, &self.seed.to_le_bytes());
+        h = fold(h, &self.shards.to_le_bytes());
+        h = fold(h, &(self.max_batch as u64).to_le_bytes());
+        h = fold(h, &(self.admission_backlog as u64).to_le_bytes());
+        h = fold(h, &[u8::from(self.rate_limiting)]);
+        h = fold(h, self.model.name().as_bytes());
+        h = fold(h, self.device.name().as_bytes());
+        for t in &self.tenants {
+            h = fold(h, &t.tag.to_le_bytes());
+            h = fold(h, &t.mean_interarrival.as_picos().to_le_bytes());
+            h = fold(h, &t.burst.to_le_bytes());
+            h = fold(h, &t.rate_per_sec.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// One service lane (a sharded PCIe-SC fronting one xPU system).
+#[derive(Debug, Clone, Copy)]
+struct ShardState {
+    id: u32,
+    busy_until: SimTime,
+    rounds: u64,
+}
+
+/// Per-tenant serving counters and latency samples.
+#[derive(Debug, Default)]
+struct TenantStats {
+    generated: u64,
+    admitted: u64,
+    served: u64,
+    shed_rate_limited: u64,
+    shed_queue_full: u64,
+    shed_quarantined: u64,
+    queue_delay_us: Vec<f64>,
+    e2e_us: Vec<f64>,
+}
+
+impl TenantStats {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.generated);
+        enc.u64(self.admitted);
+        enc.u64(self.served);
+        enc.u64(self.shed_rate_limited);
+        enc.u64(self.shed_queue_full);
+        enc.u64(self.shed_quarantined);
+        enc.u64(self.queue_delay_us.len() as u64);
+        for &s in &self.queue_delay_us {
+            enc.f64(s);
+        }
+        enc.u64(self.e2e_us.len() as u64);
+        for &s in &self.e2e_us {
+            enc.f64(s);
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<TenantStats, SnapshotError> {
+        let generated = dec.u64()?;
+        let admitted = dec.u64()?;
+        let served = dec.u64()?;
+        let shed_rate_limited = dec.u64()?;
+        let shed_queue_full = dec.u64()?;
+        let shed_quarantined = dec.u64()?;
+        let mut queue_delay_us = Vec::new();
+        for _ in 0..dec.seq_len()? {
+            queue_delay_us.push(dec.f64()?);
+        }
+        let mut e2e_us = Vec::new();
+        for _ in 0..dec.seq_len()? {
+            e2e_us.push(dec.f64()?);
+        }
+        Ok(TenantStats {
+            generated,
+            admitted,
+            served,
+            shed_rate_limited,
+            shed_queue_full,
+            shed_quarantined,
+            queue_delay_us,
+            e2e_us,
+        })
+    }
+}
+
+/// Which event the loop services next; variant order is the tie-break
+/// (completions quiesce a shard before the refill/arrival that would feed
+/// it, so admission happens at quiesce points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    Completion,
+    Refill,
+    Arrival,
+}
+
+/// The fleet event loop: arrivals → admission → continuous batching →
+/// sharded service, with every outcome accounted.
+pub struct FleetServer {
+    config: FleetConfig,
+    hub: Telemetry,
+    now: SimTime,
+    arrivals: ArrivalProcess,
+    limiter: RateLimiter,
+    /// Admitted-pending queues: arrived but not yet through the token
+    /// bucket. Bounded by `admission_backlog` per tenant.
+    pending: BTreeMap<u32, VecDeque<Request>>,
+    batcher: ContinuousBatcher,
+    shards: Vec<ShardState>,
+    quarantined: BTreeSet<u32>,
+    stats: BTreeMap<u32, TenantStats>,
+}
+
+impl FleetServer {
+    /// Builds an idle fleet from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no shards or no tenants, or a tenant has
+    /// a zero mean inter-arrival / zero-shaped bucket.
+    pub fn new(config: FleetConfig) -> FleetServer {
+        assert!(config.shards > 0, "fleet needs at least one shard");
+        assert!(!config.tenants.is_empty(), "fleet needs at least one tenant");
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.admission_backlog > 0, "admission_backlog must be positive");
+        let loads: Vec<(u32, SimDuration)> =
+            config.tenants.iter().map(|t| (t.tag, t.mean_interarrival)).collect();
+        let arrivals = ArrivalProcess::new(config.seed, &loads);
+        let mut limiter = RateLimiter::new(config.rate_limiting);
+        let mut pending = BTreeMap::new();
+        let mut stats = BTreeMap::new();
+        for t in &config.tenants {
+            limiter.add_tenant(t.tag, t.burst, t.rate_per_sec);
+            pending.insert(t.tag, VecDeque::new());
+            stats.insert(t.tag, TenantStats::default());
+        }
+        let tags: Vec<u32> = config.tenants.iter().map(|t| t.tag).collect();
+        let batcher = ContinuousBatcher::new(&tags);
+        let shards = (0..config.shards)
+            .map(|id| ShardState { id, busy_until: SimTime::ZERO, rounds: 0 })
+            .collect();
+        FleetServer {
+            config,
+            hub: Telemetry::new(EVENT_CAPACITY),
+            now: SimTime::ZERO,
+            arrivals,
+            limiter,
+            pending,
+            batcher,
+            shards,
+            quarantined: BTreeSet::new(),
+            stats,
+        }
+    }
+
+    /// The fleet's telemetry hub (digest, counters, per-tenant hops).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.hub
+    }
+
+    /// Current fleet-loop time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Requests generated by the arrival process so far.
+    pub fn generated(&self) -> u64 {
+        self.arrivals.generated()
+    }
+
+    /// Requests waiting for admission (arrived, not yet through the
+    /// bucket) plus admitted-but-undispatched requests.
+    pub fn backlog(&self) -> usize {
+        self.pending.values().map(VecDeque::len).sum::<usize>() + self.batcher.queued()
+    }
+
+    /// Tenants currently quarantined at admission.
+    pub fn quarantined(&self) -> Vec<u32> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    // --- event loop -----------------------------------------------------
+
+    /// Earliest pending refill across tenants with admission-blocked work
+    /// (only meaningful when rate limiting is on).
+    fn next_refill(&mut self) -> Option<SimTime> {
+        if !self.limiter.enabled() {
+            return None;
+        }
+        let now = self.now;
+        let mut earliest: Option<SimTime> = None;
+        let tags: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        for t in tags {
+            let wait = self.limiter.time_until_admit(t, now);
+            let at = now + wait;
+            earliest = Some(earliest.map_or(at, |e| e.min(at)));
+        }
+        earliest
+    }
+
+    /// Earliest busy-shard completion after `now`.
+    fn next_completion(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .map(|s| s.busy_until)
+            .filter(|&t| t > self.now)
+            .min()
+    }
+
+    /// Moves admission-blocked requests through the token buckets into the
+    /// batcher, in tenant-tag order.
+    fn drain_pending(&mut self) {
+        let now = self.now;
+        let tags: Vec<u32> = self.pending.keys().copied().collect();
+        for t in tags {
+            loop {
+                let has_head =
+                    self.pending.get(&t).is_some_and(|q| !q.is_empty());
+                if !has_head || !self.limiter.try_admit(t, now) {
+                    break;
+                }
+                let req = self
+                    .pending
+                    .get_mut(&t)
+                    .and_then(VecDeque::pop_front)
+                    .expect("head checked above");
+                if let Some(s) = self.stats.get_mut(&t) {
+                    s.admitted += 1;
+                }
+                self.hub.counter_add("serve.admitted", 1);
+                self.batcher.enqueue(req);
+            }
+        }
+    }
+
+    /// Gives every idle shard a batch while queued work remains.
+    fn try_dispatch(&mut self) {
+        for i in 0..self.shards.len() {
+            if self.shards[i].busy_until > self.now || self.batcher.queued() == 0 {
+                continue;
+            }
+            let batch = self.batcher.form_batch(self.config.max_batch);
+            if batch.is_empty() {
+                break;
+            }
+            self.serve_round(i, batch);
+        }
+    }
+
+    /// Prices and accounts one pump round on one shard.
+    fn serve_round(&mut self, shard_idx: usize, batch: Vec<Request>) {
+        let now = self.now;
+        let batch_size = batch.len() as u32;
+        let head_id = batch[0].id;
+        let perf = PerfModel::new(self.config.device.clone(), OptimizationConfig::all_on());
+        let mut round_end = now;
+        for req in &batch {
+            // Transfer hops priced per request (each request's prompt and
+            // tokens cross the SC individually); compute priced at the
+            // round's batch size so batching contention is visible.
+            let solo = InferenceWorkload::new(
+                self.config.model.clone(),
+                req.input_tokens,
+                req.output_tokens,
+                1,
+            );
+            let batched = InferenceWorkload::new(
+                self.config.model.clone(),
+                req.input_tokens,
+                req.output_tokens,
+                batch_size,
+            );
+            let prefill: CostBreakdown = perf.price(&solo.prefill_profile());
+            let step: CostBreakdown = perf.price(&solo.step_profile());
+            let steps = u64::from(req.output_tokens);
+            let link = prefill.base_transfer
+                + prefill.tag_traffic
+                + (step.base_transfer + step.tag_traffic) * steps;
+            let stage = prefill.base_mmio
+                + prefill.sc_interaction
+                + (step.base_mmio + step.sc_interaction) * steps;
+            let crypt = prefill.crypto + step.crypto * steps;
+            let filter = prefill.sc_pipeline + step.sc_pipeline * steps;
+            let compute = batched.prefill_time(&self.config.device)
+                + batched.step_time(&self.config.device) * steps;
+            let service = link + stage + crypt + filter + compute;
+
+            let tenant = Some(req.tenant);
+            let stream = Some(req.id);
+            let wait = now.duration_since(req.arrived);
+            self.hub.advance_idle(tenant, wait);
+            self.hub.advance_span(Hop::AdaptorStage, tenant, stream, stage);
+            self.hub.advance_span(Hop::AdaptorCrypt, tenant, stream, crypt);
+            self.hub.advance_span(Hop::ScFilter, tenant, stream, filter);
+            self.hub.advance_span(Hop::ScCrypt, tenant, stream, SimDuration::ZERO);
+            self.hub.advance_span(Hop::Link, tenant, stream, link);
+            self.hub.advance_span(Hop::Dma, tenant, stream, compute);
+
+            let s = self.stats.get_mut(&req.tenant).expect("stats exist for tenant");
+            s.served += 1;
+            s.queue_delay_us.push(wait.as_secs_f64() * 1e6);
+            s.e2e_us.push((wait + service).as_secs_f64() * 1e6);
+            round_end = round_end.max(now + service);
+        }
+        let shard = &mut self.shards[shard_idx];
+        shard.busy_until = round_end;
+        shard.rounds += 1;
+        let shard_id = shard.id;
+        self.hub.record(
+            Severity::Info,
+            "serve.round",
+            None,
+            Some(head_id),
+            format!("shard={shard_id} n={batch_size}"),
+        );
+        self.hub.counter_add("serve.rounds", 1);
+        self.hub.counter_add("serve.served", u64::from(batch_size));
+        self.hub.histogram_record("serve.batch_size", f64::from(batch_size));
+    }
+
+    /// Sheds one request with a typed reason — counted, recorded, never
+    /// silent.
+    fn shed(&mut self, req: &Request, reason: ShedReason) {
+        let s = self.stats.get_mut(&req.tenant).expect("stats exist for tenant");
+        match reason {
+            ShedReason::RateLimited => s.shed_rate_limited += 1,
+            ShedReason::QueueFull => s.shed_queue_full += 1,
+            ShedReason::Quarantined => s.shed_quarantined += 1,
+        }
+        self.hub.record(
+            Severity::Warn,
+            "serve.shed",
+            Some(req.tenant),
+            Some(req.id),
+            reason.as_str(),
+        );
+        self.hub
+            .counter_add(&format!("serve.shed.{}", reason.as_str()), 1);
+    }
+
+    /// Handles one arrival: quarantine check, backlog check, then the
+    /// pending queue.
+    fn accept(&mut self, req: Request) {
+        self.hub.counter_add("serve.generated", 1);
+        if let Some(s) = self.stats.get_mut(&req.tenant) {
+            s.generated += 1;
+        }
+        if self.quarantined.contains(&req.tenant) {
+            self.shed(&req, ShedReason::Quarantined);
+            return;
+        }
+        let backlog = self.pending.get(&req.tenant).map_or(0, VecDeque::len);
+        if backlog >= self.config.admission_backlog {
+            // The backlog exists to absorb rate-limit waits; when it is
+            // full under an active limiter the tenant is over contract,
+            // otherwise the fleet itself cannot keep up.
+            let reason = if self.limiter.enabled() {
+                ShedReason::RateLimited
+            } else {
+                ShedReason::QueueFull
+            };
+            self.shed(&req, reason);
+            return;
+        }
+        self.pending
+            .get_mut(&req.tenant)
+            .expect("pending queue exists for registered tenant")
+            .push_back(req);
+    }
+
+    /// Runs the loop until `target` requests have been generated in
+    /// total. Work may remain queued (or admission-blocked) when this
+    /// returns — exactly the mid-flight state the snapshot tests freeze.
+    pub fn generate(&mut self, target: u64) {
+        while self.arrivals.generated() < target {
+            let arrival_at = self.arrivals.peek();
+            let completion_at = self.next_completion();
+            let refill_at = self.next_refill();
+            let mut best = (EventKind::Arrival, arrival_at);
+            if let Some(at) = refill_at {
+                if at < best.1 || (at == best.1 && EventKind::Refill < best.0) {
+                    best = (EventKind::Refill, at);
+                }
+            }
+            if let Some(at) = completion_at {
+                if at < best.1 || (at == best.1 && EventKind::Completion < best.0) {
+                    best = (EventKind::Completion, at);
+                }
+            }
+            if best.1 > self.now {
+                self.now = best.1;
+            }
+            if best.0 == EventKind::Arrival {
+                let req = self.arrivals.next_request();
+                self.accept(req);
+            }
+            self.drain_pending();
+            self.try_dispatch();
+        }
+    }
+
+    /// Runs completion/refill events (no new arrivals) until every queue
+    /// is empty and every shard idle.
+    pub fn drain(&mut self) {
+        loop {
+            self.drain_pending();
+            self.try_dispatch();
+            let completion_at = self.next_completion();
+            let refill_at = self.next_refill();
+            let next = match (completion_at, refill_at) {
+                (Some(c), Some(r)) => Some(c.min(r)),
+                (Some(c), None) => Some(c),
+                (None, Some(r)) => Some(r),
+                (None, None) => None,
+            };
+            match next {
+                Some(at) => self.now = at,
+                None => break,
+            }
+        }
+        debug_assert_eq!(self.backlog(), 0, "drain left queued work");
+    }
+
+    /// Quarantines a tenant: future arrivals shed at admission and every
+    /// queued (pending or batched) request is shed as
+    /// [`ShedReason::Quarantined`].
+    pub fn quarantine_tenant(&mut self, tenant: u32) {
+        if !self.quarantined.insert(tenant) {
+            return;
+        }
+        self.hub.record(
+            Severity::Error,
+            "serve.quarantine",
+            Some(tenant),
+            None,
+            "tenant quarantined at admission",
+        );
+        let mut stranded: Vec<Request> = self
+            .pending
+            .get_mut(&tenant)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default();
+        stranded.extend(self.batcher.drain_tenant(tenant));
+        for req in stranded {
+            self.shed(&req, ShedReason::Quarantined);
+        }
+    }
+
+    /// Mirrors an externally observed quarantine set (e.g. from the
+    /// sharded systems' PCIe-SCs) into admission control.
+    pub fn sync_quarantine(&mut self, tenants: &[u32]) {
+        for &t in tenants {
+            self.quarantine_tenant(t);
+        }
+    }
+
+    // --- reporting ------------------------------------------------------
+
+    /// Point-in-time serving report.
+    pub fn report(&self) -> FleetSnapshot {
+        let tenants = self
+            .stats
+            .iter()
+            .map(|(&tag, s)| TenantReport {
+                tenant: tag,
+                generated: s.generated,
+                admitted: s.admitted,
+                served: s.served,
+                shed_rate_limited: s.shed_rate_limited,
+                shed_queue_full: s.shed_queue_full,
+                shed_quarantined: s.shed_quarantined,
+                queued: self.pending.get(&tag).map_or(0, VecDeque::len) as u64
+                    + self.batcher.queued_for(tag) as u64,
+                queue_delay_us: Summary::try_from_samples(&s.queue_delay_us),
+                e2e_us: Summary::try_from_samples(&s.e2e_us),
+                idle: self.hub.idle_for_tenant(tag),
+            })
+            .collect();
+        FleetSnapshot {
+            schema: FLEET_SCHEMA,
+            seed: self.config.seed,
+            shards: self.config.shards,
+            rate_limiting: self.config.rate_limiting,
+            generated: self.arrivals.generated(),
+            rounds: self.shards.iter().map(|s| s.rounds).sum(),
+            now: self.now,
+            tenants,
+            telemetry: self.hub.snapshot(),
+        }
+    }
+
+    // --- snapshot/resume ------------------------------------------------
+
+    /// Freezes the whole fleet — arrivals, buckets, queues, shard clocks,
+    /// stats and telemetry — into a resumable byte image.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut enc = Encoder::versioned();
+        enc.u64(self.config.fingerprint());
+        enc.u64(self.now.as_picos());
+        self.arrivals.encode(&mut enc);
+        self.limiter.encode(&mut enc);
+        enc.u64(self.pending.len() as u64);
+        for (&tag, queue) in &self.pending {
+            enc.u32(tag);
+            enc.u64(queue.len() as u64);
+            for req in queue {
+                req.encode(&mut enc);
+            }
+        }
+        self.batcher.encode(&mut enc);
+        enc.u64(self.quarantined.len() as u64);
+        for &t in &self.quarantined {
+            enc.u32(t);
+        }
+        enc.u64(self.shards.len() as u64);
+        for s in &self.shards {
+            enc.u32(s.id);
+            enc.u64(s.busy_until.as_picos());
+            enc.u64(s.rounds);
+        }
+        enc.u64(self.stats.len() as u64);
+        for (&tag, s) in &self.stats {
+            enc.u32(tag);
+            s.encode(&mut enc);
+        }
+        self.hub.encode_snapshot(&mut enc);
+        enc.finish()
+    }
+
+    /// Rebuilds a fleet from a [`FleetServer::snapshot`] image.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] if the image is malformed or was taken under a
+    /// different [`FleetConfig`] (fingerprint mismatch).
+    pub fn resume(config: FleetConfig, bytes: &[u8]) -> Result<FleetServer, SnapshotError> {
+        let mut dec = Decoder::versioned(bytes)?;
+        if dec.u64()? != config.fingerprint() {
+            return Err(SnapshotError::Invalid("fleet config fingerprint mismatch"));
+        }
+        let now = SimTime::from_picos(dec.u64()?);
+        let arrivals = ArrivalProcess::decode(&mut dec)?;
+        let limiter = RateLimiter::decode(&mut dec)?;
+        let mut pending: BTreeMap<u32, VecDeque<Request>> = BTreeMap::new();
+        for _ in 0..dec.seq_len()? {
+            let tag = dec.u32()?;
+            let mut queue = VecDeque::new();
+            for _ in 0..dec.seq_len()? {
+                queue.push_back(Request::decode(&mut dec)?);
+            }
+            pending.insert(tag, queue);
+        }
+        let batcher = ContinuousBatcher::decode(&mut dec)?;
+        let mut quarantined = BTreeSet::new();
+        for _ in 0..dec.seq_len()? {
+            quarantined.insert(dec.u32()?);
+        }
+        let mut shards = Vec::new();
+        for _ in 0..dec.seq_len()? {
+            let id = dec.u32()?;
+            let busy_until = SimTime::from_picos(dec.u64()?);
+            let rounds = dec.u64()?;
+            shards.push(ShardState { id, busy_until, rounds });
+        }
+        if shards.is_empty() {
+            return Err(SnapshotError::Invalid("fleet snapshot has no shards"));
+        }
+        let mut stats = BTreeMap::new();
+        for _ in 0..dec.seq_len()? {
+            let tag = dec.u32()?;
+            stats.insert(tag, TenantStats::decode(&mut dec)?);
+        }
+        let hub = Telemetry::new(EVENT_CAPACITY);
+        hub.restore_snapshot(&mut dec)?;
+        dec.finish()?;
+        Ok(FleetServer {
+            config,
+            hub,
+            now,
+            arrivals,
+            limiter,
+            pending,
+            batcher,
+            shards,
+            quarantined,
+            stats,
+        })
+    }
+}
+
+/// Per-tenant slice of a [`FleetSnapshot`].
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant tag.
+    pub tenant: u32,
+    /// Requests its arrival lane generated.
+    pub generated: u64,
+    /// Requests that cleared admission.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Sheds because the token bucket was dry.
+    pub shed_rate_limited: u64,
+    /// Sheds because the fleet backlog was full.
+    pub shed_queue_full: u64,
+    /// Sheds because the tenant was quarantined.
+    pub shed_quarantined: u64,
+    /// Requests still queued (pending admission or batched).
+    pub queued: u64,
+    /// Queue-delay distribution in microseconds (None until first serve).
+    pub queue_delay_us: Option<Summary>,
+    /// End-to-end latency distribution in microseconds.
+    pub e2e_us: Option<Summary>,
+    /// Idle/wait time charged to this tenant.
+    pub idle: SimDuration,
+}
+
+/// Point-in-time fleet serving report with embedded telemetry.
+#[derive(Debug, Clone)]
+pub struct FleetSnapshot {
+    /// Schema tag ([`FLEET_SCHEMA`]).
+    pub schema: &'static str,
+    /// Arrival seed the run was driven by.
+    pub seed: u64,
+    /// Service lanes.
+    pub shards: u32,
+    /// Whether rate limiting was active.
+    pub rate_limiting: bool,
+    /// Total requests generated.
+    pub generated: u64,
+    /// Pump rounds dispatched across all shards.
+    pub rounds: u64,
+    /// Fleet-loop time of the report.
+    pub now: SimTime,
+    /// Per-tenant breakdown, tag-ascending.
+    pub tenants: Vec<TenantReport>,
+    /// Full telemetry snapshot (per-tenant hop latencies included).
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl FleetSnapshot {
+    /// Renders the report as deterministic JSON (keys in fixed order).
+    pub fn to_json(&self) -> String {
+        fn summary_json(s: &Option<Summary>) -> String {
+            match s {
+                None => "null".to_owned(),
+                Some(s) => format!(
+                    "{{ \"count\": {}, \"mean\": {:.3}, \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3} }}",
+                    s.count(),
+                    s.mean(),
+                    s.p50(),
+                    s.p99(),
+                    s.max()
+                ),
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", self.schema));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"rate_limiting\": {},\n", self.rate_limiting));
+        out.push_str(&format!("  \"generated\": {},\n", self.generated));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        out.push_str(&format!("  \"now_picos\": {},\n", self.now.as_picos()));
+        out.push_str("  \"tenants\": [\n");
+        for (i, t) in self.tenants.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"tenant\": {},\n", t.tenant));
+            out.push_str(&format!("      \"generated\": {},\n", t.generated));
+            out.push_str(&format!("      \"admitted\": {},\n", t.admitted));
+            out.push_str(&format!("      \"served\": {},\n", t.served));
+            out.push_str(&format!(
+                "      \"shed\": {{ \"rate_limited\": {}, \"queue_full\": {}, \"quarantined\": {} }},\n",
+                t.shed_rate_limited, t.shed_queue_full, t.shed_quarantined
+            ));
+            out.push_str(&format!("      \"queued\": {},\n", t.queued));
+            out.push_str(&format!(
+                "      \"queue_delay_us\": {},\n",
+                summary_json(&t.queue_delay_us)
+            ));
+            out.push_str(&format!("      \"e2e_us\": {},\n", summary_json(&t.e2e_us)));
+            out.push_str(&format!("      \"idle_picos\": {}\n", t.idle.as_picos()));
+            out.push_str(if i + 1 == self.tenants.len() { "    }\n" } else { "    },\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"telemetry\":\n");
+        let telemetry = self.telemetry.to_json();
+        for (i, line) in telemetry.lines().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str("  ");
+            out.push_str(line);
+        }
+        out.push('\n');
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64, rate_limiting: bool) -> FleetConfig {
+        let tenants = (0..4)
+            .map(|i| TenantSpec::new(10 + i, SimDuration::from_millis(50), 8, 16))
+            .collect();
+        FleetConfig {
+            seed,
+            shards: 2,
+            max_batch: 8,
+            admission_backlog: 16,
+            rate_limiting,
+            model: LlmSpec::opt_1_3b(),
+            device: XpuSpec::a100(),
+            tenants,
+        }
+    }
+
+    #[test]
+    fn fleet_run_is_deterministic() {
+        let run = |seed| {
+            let mut f = FleetServer::new(small_config(seed, true));
+            f.generate(400);
+            f.drain();
+            (f.telemetry().digest(), f.report().to_json())
+        };
+        let (d1, j1) = run(7);
+        let (d2, j2) = run(7);
+        assert_eq!(d1, d2, "same seed, same digest");
+        assert_eq!(j1, j2, "same seed, same report");
+        let (d3, _) = run(8);
+        assert_ne!(d1, d3, "different seed, different digest");
+    }
+
+    #[test]
+    fn every_generated_request_is_accounted() {
+        let mut f = FleetServer::new(small_config(3, true));
+        f.generate(500);
+        f.drain();
+        let report = f.report();
+        for t in &report.tenants {
+            assert_eq!(
+                t.generated,
+                t.served + t.shed_rate_limited + t.shed_queue_full + t.shed_quarantined,
+                "tenant {} leaked requests",
+                t.tenant
+            );
+            assert_eq!(t.queued, 0, "drain left work queued");
+        }
+        let total: u64 = report.tenants.iter().map(|t| t.generated).sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn rate_limiting_changes_the_trace_but_not_determinism() {
+        let digest = |rl| {
+            let mut f = FleetServer::new(small_config(5, rl));
+            f.generate(300);
+            f.drain();
+            f.telemetry().digest()
+        };
+        assert_eq!(digest(true), digest(true));
+        assert_eq!(digest(false), digest(false));
+        // An aggressive-enough run sheds under limiting, so traces differ.
+        let mut tight = small_config(5, true);
+        for t in &mut tight.tenants {
+            t.burst = 1;
+            t.rate_per_sec = 1;
+        }
+        let mut f = FleetServer::new(tight);
+        f.generate(300);
+        f.drain();
+        let shed = f.telemetry().counter("serve.shed.rate_limited");
+        assert!(shed > 0, "tight buckets must shed");
+    }
+
+    #[test]
+    fn quarantined_tenant_sheds_typed_and_serves_nothing_more() {
+        let mut f = FleetServer::new(small_config(9, true));
+        f.generate(100);
+        f.quarantine_tenant(11);
+        f.generate(400);
+        f.drain();
+        let report = f.report();
+        let victim = report.tenants.iter().find(|t| t.tenant == 11).unwrap();
+        assert!(victim.shed_quarantined > 0, "quarantine must shed");
+        assert_eq!(
+            victim.generated,
+            victim.served + victim.shed_rate_limited + victim.shed_queue_full
+                + victim.shed_quarantined
+        );
+        assert!(f.telemetry().counter("serve.shed.quarantined") > 0);
+    }
+
+    #[test]
+    fn snapshot_mid_flight_resumes_bit_identically() {
+        let config = small_config(21, true);
+        let mut straight = FleetServer::new(config.clone());
+        straight.generate(600);
+        straight.drain();
+
+        let mut first = FleetServer::new(config.clone());
+        first.generate(250);
+        assert!(first.backlog() > 0, "mid-flight snapshot should have queued work");
+        let image = first.snapshot();
+        let mut second = FleetServer::resume(config, &image).unwrap();
+        second.generate(600);
+        second.drain();
+
+        assert_eq!(straight.telemetry().digest(), second.telemetry().digest());
+        assert_eq!(straight.report().to_json(), second.report().to_json());
+    }
+
+    #[test]
+    fn resume_rejects_a_different_config() {
+        let mut f = FleetServer::new(small_config(2, true));
+        f.generate(50);
+        let image = f.snapshot();
+        let err = match FleetServer::resume(small_config(3, true), &image) {
+            Ok(_) => panic!("resume must reject a different config"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, SnapshotError::Invalid(_)));
+    }
+
+    #[test]
+    fn report_json_has_the_pinned_keys() {
+        let mut f = FleetServer::new(small_config(4, true));
+        f.generate(200);
+        f.drain();
+        let json = f.report().to_json();
+        for key in [
+            "\"schema\": \"ccai.fleet.v1\"",
+            "\"tenants\":",
+            "\"shed\":",
+            "\"queue_delay_us\":",
+            "\"e2e_us\":",
+            "\"telemetry\":",
+            "\"schema\": \"ccai.telemetry.v2\"",
+        ] {
+            assert!(json.contains(key), "missing key {key} in:\n{json}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Deterministic tenant→shard routing for sharded PCIe-SC deployments.
+//!
+//! A fleet runs M independent PCIe-SC instances ("shards"), each fronting
+//! its own xPU-backed system. Tenants must map onto shards such that:
+//!
+//! * the mapping is a **pure function** of (tenant tag, shard set) — no
+//!   ambient randomness, so fleet runs replay bit-identically;
+//! * adding or removing one shard remaps only the tenants that lived on
+//!   it (minimal disruption, the classic consistent-hashing contract);
+//! * load spreads evenly without coordination between shards.
+//!
+//! [`ShardRouter`] implements rendezvous (highest-random-weight) hashing
+//! with the same FNV-1a fold the telemetry digest uses: every (tenant,
+//! shard) pair gets a 64-bit weight and the tenant lands on the shard with
+//! the highest weight. Ties cannot occur in practice (64-bit weights over
+//! distinct shard ids), but are broken by the lower shard id for total
+//! determinism anyway.
+
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Weight of a (tenant, shard) pair: one FNV-1a fold over both ids,
+/// finished with an avalanche multiply so nearby tags don't produce
+/// correlated weights.
+fn weight(tenant: u32, shard: u32) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &tenant.to_le_bytes());
+    h = fnv1a(h, &shard.to_le_bytes());
+    // splitmix64-style finalizer.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Error from [`ShardRouter`] mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// The shard id is already registered.
+    Duplicate(u32),
+    /// The shard id is not registered.
+    Unknown(u32),
+    /// Removing the shard would leave the router empty.
+    LastShard(u32),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Duplicate(id) => write!(f, "shard {id} already registered"),
+            ShardError::Unknown(id) => write!(f, "shard {id} not registered"),
+            ShardError::LastShard(id) => {
+                write!(f, "cannot remove shard {id}: router would be empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Rendezvous-hash router mapping tenant tags to shard ids.
+///
+/// # Example
+///
+/// ```
+/// use ccai_pcie::ShardRouter;
+///
+/// let router = ShardRouter::new(&[0, 1, 2, 3]);
+/// let home = router.shard_for(0x0210);
+/// assert!(router.shard_ids().contains(&home));
+/// // Same inputs, same answer — routing is a pure function.
+/// assert_eq!(home, ShardRouter::new(&[0, 1, 2, 3]).shard_for(0x0210));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    /// Registered shard ids, ascending.
+    shards: Vec<u32>,
+}
+
+impl ShardRouter {
+    /// Creates a router over the given shard ids (duplicates are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty: a router with nowhere to route is a
+    /// configuration bug, not a runtime condition.
+    pub fn new(shards: &[u32]) -> Self {
+        assert!(!shards.is_empty(), "shard router needs at least one shard");
+        let mut ids = shards.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        ShardRouter { shards: ids }
+    }
+
+    /// Number of registered shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false: the constructor and `remove_shard` keep ≥ 1 shard.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Registered shard ids, ascending.
+    pub fn shard_ids(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// The home shard for a tenant tag: highest rendezvous weight, ties to
+    /// the lower shard id.
+    pub fn shard_for(&self, tenant: u32) -> u32 {
+        let mut best = self.shards[0];
+        let mut best_w = weight(tenant, best);
+        for &shard in &self.shards[1..] {
+            let w = weight(tenant, shard);
+            if w > best_w {
+                best = shard;
+                best_w = w;
+            }
+        }
+        best
+    }
+
+    /// Registers a new shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Duplicate`] if the id is already registered.
+    pub fn add_shard(&mut self, id: u32) -> Result<(), ShardError> {
+        match self.shards.binary_search(&id) {
+            Ok(_) => Err(ShardError::Duplicate(id)),
+            Err(pos) => {
+                self.shards.insert(pos, id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Unregisters a shard; its tenants re-rendezvous onto the survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Unknown`] if the id is not registered,
+    /// [`ShardError::LastShard`] if it is the only one left.
+    pub fn remove_shard(&mut self, id: u32) -> Result<(), ShardError> {
+        if self.shards.len() == 1 {
+            return Err(if self.shards[0] == id {
+                ShardError::LastShard(id)
+            } else {
+                ShardError::Unknown(id)
+            });
+        }
+        match self.shards.binary_search(&id) {
+            Ok(pos) => {
+                self.shards.remove(pos);
+                Ok(())
+            }
+            Err(_) => Err(ShardError::Unknown(id)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let router = ShardRouter::new(&[0, 1, 2, 3]);
+        for tenant in 0..512u32 {
+            let s = router.shard_for(tenant);
+            assert!(router.shard_ids().contains(&s));
+            assert_eq!(s, router.shard_for(tenant), "same tenant, same shard");
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let router = ShardRouter::new(&[0, 1, 2, 3]);
+        let mut counts = [0u32; 4];
+        for tenant in 0..4096u32 {
+            counts[router.shard_for(tenant) as usize] += 1;
+        }
+        for (shard, &n) in counts.iter().enumerate() {
+            // Perfect balance would be 1024; allow a generous band.
+            assert!(
+                (700..=1350).contains(&n),
+                "shard {shard} got {n}/4096 tenants — rendezvous weights are skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_remaps_its_tenants() {
+        let full = ShardRouter::new(&[0, 1, 2, 3]);
+        let mut reduced = full.clone();
+        reduced.remove_shard(2).unwrap();
+        for tenant in 0..2048u32 {
+            let before = full.shard_for(tenant);
+            let after = reduced.shard_for(tenant);
+            if before != 2 {
+                assert_eq!(before, after, "tenant {tenant} moved off a surviving shard");
+            } else {
+                assert_ne!(after, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_only_steals_for_itself() {
+        let mut router = ShardRouter::new(&[0, 1, 2]);
+        let before: Vec<u32> = (0..2048).map(|t| router.shard_for(t)).collect();
+        router.add_shard(3).unwrap();
+        for (tenant, &old) in before.iter().enumerate() {
+            let new = router.shard_for(tenant as u32);
+            assert!(
+                new == old || new == 3,
+                "tenant {tenant} moved between pre-existing shards ({old} -> {new})"
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_errors_are_typed() {
+        let mut router = ShardRouter::new(&[7]);
+        assert_eq!(router.add_shard(7), Err(ShardError::Duplicate(7)));
+        assert_eq!(router.remove_shard(9), Err(ShardError::Unknown(9)));
+        assert_eq!(router.remove_shard(7), Err(ShardError::LastShard(7)));
+        router.add_shard(8).unwrap();
+        router.remove_shard(7).unwrap();
+        assert_eq!(router.shard_ids(), &[8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_router_rejected() {
+        let _ = ShardRouter::new(&[]);
+    }
+}

@@ -44,7 +44,7 @@ pub mod time;
 
 pub use clock::Clock;
 pub use engine::{EventId, Scheduler};
-pub use rate::Bandwidth;
+pub use rate::{Bandwidth, TokenBucket};
 pub use rng::SimRng;
 pub use snapshot::{Decoder, Encoder, SnapshotError, SnapshotState};
 pub use stats::{Histogram, Summary};

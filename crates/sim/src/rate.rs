@@ -1,6 +1,6 @@
-//! Bandwidth and throughput arithmetic.
+//! Bandwidth and throughput arithmetic, plus token-bucket rate limiting.
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -107,9 +107,250 @@ impl fmt::Display for Bandwidth {
     }
 }
 
+/// One token, in pico-tokens. All bucket arithmetic is exact integer math
+/// at this resolution, so refill is drift-free: after `e` picoseconds a
+/// bucket with rate `r` tokens/s has accrued exactly `r·e` pico-tokens.
+pub const PICO_TOKENS_PER_TOKEN: u128 = 1_000_000_000_000;
+
+/// A deterministic token bucket driven by the sim clock.
+///
+/// Capacity (`burst`) and refill rate are whole tokens; the internal budget
+/// is kept in pico-tokens (`tokens × 10¹²`) so that refill over an elapsed
+/// sim-time interval is *exact* — no floating point, no rounding drift, and
+/// therefore bit-identical across runs and across snapshot/resume.
+///
+/// The bucket is passive: it refills lazily whenever it is consulted with a
+/// later `now`. Time never flows backwards through it (an earlier `now` is
+/// treated as "no time elapsed"), which keeps refills monotone.
+///
+/// # Example
+///
+/// ```
+/// use ccai_sim::{SimDuration, SimTime, TokenBucket};
+///
+/// let mut b = TokenBucket::new(2, 1); // burst 2, refill 1 token/s
+/// let t0 = SimTime::ZERO;
+/// assert!(b.try_take(2, t0));
+/// assert!(!b.try_take(1, t0)); // drained
+/// assert!(b.try_take(1, t0 + SimDuration::from_secs_f64(1.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBucket {
+    burst: u64,
+    rate_per_sec: u64,
+    budget_pt: u128,
+    refilled_at: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket holding `burst` tokens (starts full) that refills
+    /// at `rate_per_sec` tokens per second of sim time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` or `rate_per_sec` is zero: a bucket that can never
+    /// admit anything (or never refills) silently starves its tenant, and
+    /// admission control must shed with a typed error instead.
+    pub fn new(burst: u64, rate_per_sec: u64) -> Self {
+        assert!(burst > 0, "token bucket needs a non-zero burst");
+        assert!(rate_per_sec > 0, "token bucket needs a non-zero refill rate");
+        TokenBucket {
+            burst,
+            rate_per_sec,
+            budget_pt: u128::from(burst) * PICO_TOKENS_PER_TOKEN,
+            refilled_at: SimTime::ZERO,
+        }
+    }
+
+    /// Bucket capacity in whole tokens.
+    pub fn burst(&self) -> u64 {
+        self.burst
+    }
+
+    /// Refill rate in tokens per second.
+    pub fn rate_per_sec(&self) -> u64 {
+        self.rate_per_sec
+    }
+
+    /// Current budget in pico-tokens (after the last refill; call
+    /// [`TokenBucket::refill`] first for an up-to-date reading).
+    pub fn budget_pico_tokens(&self) -> u128 {
+        self.budget_pt
+    }
+
+    /// Advances the lazy refill to `now`. A `now` earlier than the last
+    /// refill point is ignored, so the budget is monotone in time between
+    /// takes.
+    pub fn refill(&mut self, now: SimTime) {
+        if now <= self.refilled_at {
+            return;
+        }
+        let elapsed = now.duration_since(self.refilled_at);
+        let accrued = u128::from(self.rate_per_sec) * u128::from(elapsed.as_picos());
+        let cap = u128::from(self.burst) * PICO_TOKENS_PER_TOKEN;
+        self.budget_pt = cap.min(self.budget_pt + accrued);
+        self.refilled_at = now;
+    }
+
+    /// Takes `tokens` whole tokens at sim time `now` if the (refilled)
+    /// budget covers them. Returns whether the take was admitted; a refused
+    /// take leaves the budget untouched.
+    pub fn try_take(&mut self, tokens: u64, now: SimTime) -> bool {
+        self.refill(now);
+        let need = u128::from(tokens) * PICO_TOKENS_PER_TOKEN;
+        if self.budget_pt >= need {
+            self.budget_pt -= need;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sim time to wait from `now` until the budget covers `tokens`
+    /// (zero if it already does). `tokens` above `burst` can never be
+    /// covered; callers must reject such requests up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens > burst`.
+    pub fn time_until(&mut self, tokens: u64, now: SimTime) -> SimDuration {
+        assert!(
+            tokens <= self.burst,
+            "a take of {tokens} tokens can never fit a burst of {}",
+            self.burst
+        );
+        self.refill(now);
+        let need = u128::from(tokens) * PICO_TOKENS_PER_TOKEN;
+        if self.budget_pt >= need {
+            return SimDuration::ZERO;
+        }
+        let missing = need - self.budget_pt;
+        let rate = u128::from(self.rate_per_sec);
+        let picos = missing.div_ceil(rate);
+        SimDuration::from_picos(u64::try_from(picos).expect("refill wait fits sim time"))
+    }
+}
+
+impl crate::snapshot::SnapshotState for TokenBucket {
+    fn encode_state(&self, enc: &mut crate::snapshot::Encoder) {
+        enc.u64(self.burst);
+        enc.u64(self.rate_per_sec);
+        enc.u64((self.budget_pt >> 64) as u64);
+        enc.u64(self.budget_pt as u64);
+        enc.u64(self.refilled_at.as_picos());
+    }
+
+    fn decode_state(
+        dec: &mut crate::snapshot::Decoder<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let burst = dec.u64()?;
+        let rate_per_sec = dec.u64()?;
+        if burst == 0 || rate_per_sec == 0 {
+            return Err(SnapshotError::Invalid("token bucket shape"));
+        }
+        let budget_pt = (u128::from(dec.u64()?) << 64) | u128::from(dec.u64()?);
+        if budget_pt > u128::from(burst) * PICO_TOKENS_PER_TOKEN {
+            return Err(SnapshotError::Invalid("token bucket budget"));
+        }
+        let refilled_at = SimTime::ZERO + SimDuration::from_picos(dec.u64()?);
+        Ok(TokenBucket { burst, rate_per_sec, budget_pt, refilled_at })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::{Decoder, Encoder, SnapshotState as _};
+
+    fn at(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn bucket_starts_full_and_drains() {
+        let mut b = TokenBucket::new(4, 2);
+        assert!(b.try_take(4, at(0.0)));
+        assert!(!b.try_take(1, at(0.0)));
+    }
+
+    #[test]
+    fn refill_is_exact_integer_math() {
+        let mut b = TokenBucket::new(10, 3);
+        assert!(b.try_take(10, at(0.0)));
+        // After exactly one second, exactly 3 tokens have accrued.
+        b.refill(at(1.0));
+        assert_eq!(b.budget_pico_tokens(), 3 * PICO_TOKENS_PER_TOKEN);
+        assert!(b.try_take(3, at(1.0)));
+        assert!(!b.try_take(1, at(1.0)));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(5, 1_000_000);
+        assert!(b.try_take(5, at(0.0)));
+        b.refill(at(100.0));
+        assert_eq!(b.budget_pico_tokens(), 5 * PICO_TOKENS_PER_TOKEN);
+    }
+
+    #[test]
+    fn time_never_flows_backwards() {
+        let mut b = TokenBucket::new(2, 1);
+        assert!(b.try_take(2, at(10.0)));
+        let before = b.budget_pico_tokens();
+        b.refill(at(5.0));
+        assert_eq!(b.budget_pico_tokens(), before, "stale now must not refill");
+    }
+
+    #[test]
+    fn refused_take_leaves_budget_untouched() {
+        let mut b = TokenBucket::new(3, 1);
+        assert!(b.try_take(2, at(0.0)));
+        let before = b.budget_pico_tokens();
+        assert!(!b.try_take(2, at(0.0)));
+        assert_eq!(b.budget_pico_tokens(), before);
+    }
+
+    #[test]
+    fn time_until_predicts_admission_exactly() {
+        let mut b = TokenBucket::new(4, 2);
+        assert!(b.try_take(4, at(0.0)));
+        let wait = b.time_until(1, at(0.0));
+        assert_eq!(wait, SimDuration::from_secs_f64(0.5));
+        // One pico earlier the take must still be refused.
+        let early = SimTime::from_picos(wait.as_picos() - 1);
+        assert!(!b.try_take(1, early));
+        assert!(b.try_take(1, at(0.0) + wait));
+    }
+
+    #[test]
+    #[should_panic(expected = "never fit")]
+    fn time_until_rejects_oversized_takes() {
+        let mut b = TokenBucket::new(2, 1);
+        let _ = b.time_until(3, at(0.0));
+    }
+
+    #[test]
+    fn bucket_round_trips_through_snapshot() {
+        let mut b = TokenBucket::new(7, 13);
+        assert!(b.try_take(5, at(0.25)));
+        let mut enc = Encoder::new();
+        b.encode_state(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        let restored = TokenBucket::decode_state(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored, b);
+    }
+
+    #[test]
+    fn corrupt_bucket_snapshot_is_refused() {
+        let mut enc = Encoder::new();
+        TokenBucket::new(1, 1).encode_state(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes[..bytes.len() - 1]);
+        assert!(TokenBucket::decode_state(&mut dec).is_err());
+    }
 
     #[test]
     fn transfer_time_is_linear() {

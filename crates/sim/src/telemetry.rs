@@ -154,6 +154,39 @@ impl HopStats {
             hist_us: Histogram::new(0.0, 5_000.0, 50),
         }
     }
+
+    fn record(&mut self, d: SimDuration) {
+        self.count += 1;
+        self.total += d;
+        let us = d.as_secs_f64() * 1e6;
+        self.samples_us.push(us);
+        self.hist_us.record(us);
+    }
+
+    fn encode(&self, enc: &mut crate::snapshot::Encoder) {
+        use crate::snapshot::SnapshotState as _;
+        enc.u64(self.count);
+        enc.u64(self.total.as_picos());
+        enc.u64(self.samples_us.len() as u64);
+        for &s in &self.samples_us {
+            enc.f64(s);
+        }
+        self.hist_us.encode_state(enc);
+    }
+
+    fn decode(
+        dec: &mut crate::snapshot::Decoder<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotState as _;
+        let count = dec.u64()?;
+        let total = SimDuration::from_picos(dec.u64()?);
+        let mut samples_us = Vec::new();
+        for _ in 0..dec.seq_len()? {
+            samples_us.push(dec.f64()?);
+        }
+        let hist_us = Histogram::decode_state(dec)?;
+        Ok(HopStats { count, total, samples_us, hist_us })
+    }
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -181,6 +214,10 @@ struct TelemetryInner {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
     hops: BTreeMap<Hop, HopStats>,
+    /// Per-tenant break-out of the hop stats: spans tagged with a tenant
+    /// are recorded both globally and under the tenant's key, so fleet
+    /// runs can report p50/p99 hop latency per tenant.
+    tenant_hops: BTreeMap<u32, BTreeMap<Hop, HopStats>>,
     idle_total: SimDuration,
     idle_by_tenant: BTreeMap<u32, SimDuration>,
 }
@@ -228,6 +265,7 @@ impl Telemetry {
                 counters: BTreeMap::new(),
                 histograms: BTreeMap::new(),
                 hops: BTreeMap::new(),
+                tenant_hops: BTreeMap::new(),
                 idle_total: SimDuration::ZERO,
                 idle_by_tenant: BTreeMap::new(),
             })),
@@ -328,21 +366,29 @@ impl Telemetry {
     }
 
     /// Advances the hub clock by `d`, attributing the time to `hop`.
+    ///
+    /// When a `tenant` tag is given the span is additionally recorded in
+    /// that tenant's private hop stats, so contention experiments can read
+    /// per-tenant p50/p99 hop latency from one shared hub.
     pub fn advance_span(
         &self,
         hop: Hop,
-        _tenant: Option<u32>,
+        tenant: Option<u32>,
         _stream: Option<u64>,
         d: SimDuration,
     ) {
         let mut inner = self.inner.borrow_mut();
         inner.clock.advance(d);
-        let stats = inner.hops.entry(hop).or_insert_with(HopStats::new);
-        stats.count += 1;
-        stats.total += d;
-        let us = d.as_secs_f64() * 1e6;
-        stats.samples_us.push(us);
-        stats.hist_us.record(us);
+        inner.hops.entry(hop).or_insert_with(HopStats::new).record(d);
+        if let Some(t) = tenant {
+            inner
+                .tenant_hops
+                .entry(t)
+                .or_default()
+                .entry(hop)
+                .or_insert_with(HopStats::new)
+                .record(d);
+        }
     }
 
     /// Advances the hub clock by `d`, attributing the time to idle/backoff
@@ -428,6 +474,42 @@ impl Telemetry {
         self.inner.borrow().hops.get(&hop).map(|s| s.hist_us.clone())
     }
 
+    /// Tenants that have at least one tagged span, in ascending tag order.
+    pub fn span_tenants(&self) -> Vec<u32> {
+        self.inner.borrow().tenant_hops.keys().copied().collect()
+    }
+
+    /// Latency summary (microseconds) for one tenant's spans on one hop,
+    /// if that tenant has recorded any.
+    pub fn tenant_hop_summary(&self, tenant: u32, hop: Hop) -> Option<Summary> {
+        self.inner
+            .borrow()
+            .tenant_hops
+            .get(&tenant)
+            .and_then(|hops| hops.get(&hop))
+            .and_then(|s| Summary::try_from_samples(&s.samples_us))
+    }
+
+    /// Latency histogram (microseconds) for one tenant's spans on one hop.
+    pub fn tenant_hop_histogram(&self, tenant: u32, hop: Hop) -> Option<Histogram> {
+        self.inner
+            .borrow()
+            .tenant_hops
+            .get(&tenant)
+            .and_then(|hops| hops.get(&hop))
+            .map(|s| s.hist_us.clone())
+    }
+
+    /// Sum of all span durations tagged with `tenant`.
+    pub fn tenant_span_total(&self, tenant: u32) -> SimDuration {
+        self.inner
+            .borrow()
+            .tenant_hops
+            .get(&tenant)
+            .map(|hops| hops.values().map(|s| s.total).sum())
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     /// Serializes the hub's full resumable state: clock, trace digest,
     /// event accounting, counters, named histograms, per-hop latency
     /// stats and idle attribution. The event *ring* is deliberately not
@@ -459,19 +541,26 @@ impl Telemetry {
                 .position(|h| h == hop)
                 .expect("hop missing from ALL_HOPS");
             enc.u8(idx as u8);
-            enc.u64(stats.count);
-            enc.u64(stats.total.as_picos());
-            enc.u64(stats.samples_us.len() as u64);
-            for &s in &stats.samples_us {
-                enc.f64(s);
-            }
-            stats.hist_us.encode_state(enc);
+            stats.encode(enc);
         }
         enc.u64(inner.idle_total.as_picos());
         enc.u64(inner.idle_by_tenant.len() as u64);
         for (tenant, idle) in &inner.idle_by_tenant {
             enc.u32(*tenant);
             enc.u64(idle.as_picos());
+        }
+        enc.u64(inner.tenant_hops.len() as u64);
+        for (tenant, hops) in &inner.tenant_hops {
+            enc.u32(*tenant);
+            enc.u64(hops.len() as u64);
+            for (hop, stats) in hops {
+                let idx = ALL_HOPS
+                    .iter()
+                    .position(|h| h == hop)
+                    .expect("hop missing from ALL_HOPS");
+                enc.u8(idx as u8);
+                stats.encode(enc);
+            }
         }
     }
 
@@ -514,14 +603,7 @@ impl Telemetry {
             let hop = *ALL_HOPS
                 .get(idx)
                 .ok_or(SnapshotError::Invalid("hop index"))?;
-            let count = dec.u64()?;
-            let total = SimDuration::from_picos(dec.u64()?);
-            let mut samples_us = Vec::new();
-            for _ in 0..dec.seq_len()? {
-                samples_us.push(dec.f64()?);
-            }
-            let hist_us = Histogram::decode_state(dec)?;
-            hops.insert(hop, HopStats { count, total, samples_us, hist_us });
+            hops.insert(hop, HopStats::decode(dec)?);
         }
         let idle_total = SimDuration::from_picos(dec.u64()?);
         let mut idle_by_tenant = BTreeMap::new();
@@ -529,6 +611,19 @@ impl Telemetry {
             let tenant = dec.u32()?;
             let idle = SimDuration::from_picos(dec.u64()?);
             idle_by_tenant.insert(tenant, idle);
+        }
+        let mut tenant_hops = BTreeMap::new();
+        for _ in 0..dec.seq_len()? {
+            let tenant = dec.u32()?;
+            let mut per_tenant = BTreeMap::new();
+            for _ in 0..dec.seq_len()? {
+                let idx = dec.u8()? as usize;
+                let hop = *ALL_HOPS
+                    .get(idx)
+                    .ok_or(SnapshotError::Invalid("hop index"))?;
+                per_tenant.insert(hop, HopStats::decode(dec)?);
+            }
+            tenant_hops.insert(tenant, per_tenant);
         }
         let mut inner = self.inner.borrow_mut();
         *inner = TelemetryInner {
@@ -541,6 +636,7 @@ impl Telemetry {
             counters,
             histograms,
             hops,
+            tenant_hops,
             idle_total,
             idle_by_tenant,
         };
@@ -549,23 +645,31 @@ impl Telemetry {
 
     /// Point-in-time copy of the metric registry and trace digest.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        fn report(hops: &BTreeMap<Hop, HopStats>) -> Vec<HopReport> {
+            ALL_HOPS
+                .iter()
+                .map(|&hop| match hops.get(&hop) {
+                    Some(s) => HopReport {
+                        hop,
+                        count: s.count,
+                        total: s.total,
+                        summary_us: Summary::try_from_samples(&s.samples_us),
+                    },
+                    None => HopReport {
+                        hop,
+                        count: 0,
+                        total: SimDuration::ZERO,
+                        summary_us: None,
+                    },
+                })
+                .collect()
+        }
         let inner = self.inner.borrow();
-        let hops = ALL_HOPS
+        let hops = report(&inner.hops);
+        let tenants = inner
+            .tenant_hops
             .iter()
-            .map(|&hop| match inner.hops.get(&hop) {
-                Some(s) => HopReport {
-                    hop,
-                    count: s.count,
-                    total: s.total,
-                    summary_us: Summary::try_from_samples(&s.samples_us),
-                },
-                None => HopReport {
-                    hop,
-                    count: 0,
-                    total: SimDuration::ZERO,
-                    summary_us: None,
-                },
-            })
+            .map(|(&tenant, hops)| TenantHopReport { tenant, hops: report(hops) })
             .collect();
         TelemetrySnapshot {
             now: inner.clock.now(),
@@ -578,6 +682,7 @@ impl Telemetry {
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
             hops,
+            tenants,
             span_total: inner.hops.values().map(|s| s.total).sum(),
             idle_total: inner.idle_total,
             idle_by_tenant: inner
@@ -604,8 +709,19 @@ pub struct HopReport {
     pub summary_us: Option<Summary>,
 }
 
+/// Per-tenant break-out of the hop reports inside a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantHopReport {
+    /// Tenant tag (encoded BDF).
+    pub tenant: u32,
+    /// Per-hop latency reports for this tenant, in [`ALL_HOPS`] order.
+    pub hops: Vec<HopReport>,
+}
+
 /// Schema identifier written into every snapshot JSON document.
-pub const SNAPSHOT_SCHEMA: &str = "ccai.telemetry.v1";
+///
+/// v2 added the per-tenant `"tenants"` hop-latency section.
+pub const SNAPSHOT_SCHEMA: &str = "ccai.telemetry.v2";
 
 /// Point-in-time export of the telemetry registry.
 #[derive(Debug, Clone, PartialEq)]
@@ -622,6 +738,9 @@ pub struct TelemetrySnapshot {
     pub counters: Vec<(String, u64)>,
     /// Per-hop latency reports, in [`ALL_HOPS`] order.
     pub hops: Vec<HopReport>,
+    /// Per-tenant hop reports for every tenant with tagged spans, ordered
+    /// by tenant tag.
+    pub tenants: Vec<TenantHopReport>,
     /// Sum of all hop totals.
     pub span_total: SimDuration,
     /// Total idle/backoff time.
@@ -642,6 +761,33 @@ impl TelemetrySnapshot {
     /// runners — this serializer is written by hand. The key set is pinned
     /// by the snapshot-schema CI check.
     pub fn to_json(&self) -> String {
+        fn write_hops(out: &mut String, hops: &[HopReport], indent: &str) {
+            for (i, hop) in hops.iter().enumerate() {
+                let comma = if i + 1 < hops.len() { "," } else { "" };
+                let _ = writeln!(out, "{indent}{{");
+                let _ = writeln!(out, "{indent}  \"hop\": \"{}\",", hop.hop);
+                let _ = writeln!(out, "{indent}  \"count\": {},", hop.count);
+                let _ = writeln!(out, "{indent}  \"total_picos\": {},", hop.total.as_picos());
+                match &hop.summary_us {
+                    Some(s) => {
+                        let _ = writeln!(
+                            out,
+                            "{indent}  \"latency_us\": {{\"mean\": {:.6}, \"min\": {:.6}, \"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"max\": {:.6}}}",
+                            s.mean(),
+                            s.min(),
+                            s.p50(),
+                            s.p95(),
+                            s.p99(),
+                            s.max()
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{indent}  \"latency_us\": null");
+                    }
+                }
+                let _ = writeln!(out, "{indent}}}{comma}");
+            }
+        }
         let mut out = String::new();
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"schema\": \"{SNAPSHOT_SCHEMA}\",");
@@ -656,32 +802,16 @@ impl TelemetrySnapshot {
         }
         let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"hops\": [");
-        for (i, hop) in self.hops.iter().enumerate() {
-            let comma = if i + 1 < self.hops.len() { "," } else { "" };
-            let _ = writeln!(out, "    {{");
-            let _ = writeln!(out, "      \"hop\": \"{}\",", hop.hop);
-            let _ = writeln!(out, "      \"count\": {},", hop.count);
-            let _ = writeln!(out, "      \"total_picos\": {},", hop.total.as_picos());
-            match &hop.summary_us {
-                Some(s) => {
-                    let _ = writeln!(
-                        out,
-                        "      \"latency_us\": {{\"mean\": {:.6}, \"min\": {:.6}, \"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \"max\": {:.6}}}",
-                        s.mean(),
-                        s.min(),
-                        s.p50(),
-                        s.p95(),
-                        s.p99(),
-                        s.max()
-                    );
-                }
-                None => {
-                    let _ = writeln!(out, "      \"latency_us\": null");
-                }
-            }
-            let _ = writeln!(out, "    }}{comma}");
-        }
+        write_hops(&mut out, &self.hops, "    ");
         let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"tenants\": {{");
+        for (i, tenant) in self.tenants.iter().enumerate() {
+            let comma = if i + 1 < self.tenants.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{}\": [", tenant.tenant);
+            write_hops(&mut out, &tenant.hops, "      ");
+            let _ = writeln!(out, "    ]{comma}");
+        }
+        let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"span_total_picos\": {},", self.span_total.as_picos());
         let _ = writeln!(out, "  \"idle_total_picos\": {},", self.idle_total.as_picos());
         let _ = writeln!(out, "  \"idle_by_tenant\": {{");
@@ -796,6 +926,7 @@ mod tests {
             "\"idle_total_picos\"",
             "\"idle_by_tenant\"",
             "\"latency_us\"",
+            "\"tenants\"",
         ] {
             assert!(json.contains(key), "snapshot JSON missing {key}");
         }
@@ -840,6 +971,57 @@ mod tests {
         let mut dec = crate::snapshot::Decoder::new(&bytes[..bytes.len() / 2]);
         assert!(t.restore_snapshot(&mut dec).is_err());
         assert_eq!(t.digest(), digest_before, "failed restore must not disturb the hub");
+    }
+
+    #[test]
+    fn tagged_spans_break_out_per_tenant() {
+        let t = Telemetry::new(64);
+        t.advance_span(Hop::Link, Some(7), None, SimDuration::from_micros(10));
+        t.advance_span(Hop::Link, Some(7), None, SimDuration::from_micros(30));
+        t.advance_span(Hop::Link, Some(9), None, SimDuration::from_micros(100));
+        t.advance_span(Hop::Dma, None, None, SimDuration::from_micros(5));
+
+        assert_eq!(t.span_tenants(), vec![7, 9]);
+        let s7 = t.tenant_hop_summary(7, Hop::Link).unwrap();
+        assert_eq!(s7.count(), 2);
+        assert!((s7.max() - 30.0).abs() < 1e-9);
+        let s9 = t.tenant_hop_summary(9, Hop::Link).unwrap();
+        assert!((s9.min() - 100.0).abs() < 1e-9);
+        assert!(t.tenant_hop_summary(7, Hop::Dma).is_none(), "untagged spans stay global");
+        assert_eq!(t.tenant_span_total(7), SimDuration::from_micros(40));
+        assert_eq!(t.tenant_hop_histogram(9, Hop::Link).unwrap().total(), 1);
+
+        // Global stats still see every span.
+        let snap = t.snapshot();
+        let link = snap.hops.iter().find(|h| h.hop == Hop::Link).unwrap();
+        assert_eq!(link.count, 3);
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.tenants[0].tenant, 7);
+        assert_eq!(snap.tenants[0].hops.len(), ALL_HOPS.len());
+    }
+
+    #[test]
+    fn tenant_hops_survive_snapshot_restore() {
+        let a = Telemetry::new(64);
+        a.advance_span(Hop::ScFilter, Some(3), None, SimDuration::from_micros(21));
+        a.advance_span(Hop::ScCrypt, Some(4), None, SimDuration::from_micros(2));
+        let mut enc = crate::snapshot::Encoder::new();
+        a.encode_snapshot(&mut enc);
+        let bytes = enc.finish();
+
+        let b = Telemetry::new(64);
+        let mut dec = crate::snapshot::Decoder::new(&bytes);
+        b.restore_snapshot(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(b.span_tenants(), vec![3, 4]);
+        assert_eq!(
+            b.tenant_hop_summary(3, Hop::ScFilter).unwrap().count(),
+            a.tenant_hop_summary(3, Hop::ScFilter).unwrap().count()
+        );
+        // A re-snapshot of the restored hub is bit-identical.
+        let mut enc2 = crate::snapshot::Encoder::new();
+        b.encode_snapshot(&mut enc2);
+        assert_eq!(enc2.finish(), bytes);
     }
 
     #[test]

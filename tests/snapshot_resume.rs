@@ -205,3 +205,48 @@ fn trace_digests_replay_across_suite_runs() {
         std::fs::write(&path, dump).expect("write digest dump");
     }
 }
+
+/// The fleet-serving regime: a whole multi-tenant fleet — arrival RNG,
+/// token buckets, admission-pending queues, batch queues, shard clocks
+/// and telemetry — snapshotted mid-flight with requests queued but not
+/// yet admitted, resumed, and driven to the end. The resumed fleet must
+/// reproduce the uninterrupted run's trace digest and report
+/// bit-exactly.
+#[test]
+fn fleet_serving_resume_matches_the_uninterrupted_run() {
+    use ccai_llm::serve::{FleetConfig, FleetServer};
+
+    const TOTAL: u64 = 3_000;
+    const SNAP_AT: u64 = 1_100;
+    let config = FleetConfig::standard(0xF1E7);
+
+    let mut straight = FleetServer::new(config.clone());
+    straight.generate(TOTAL);
+    straight.drain();
+
+    let mut first = FleetServer::new(config.clone());
+    first.generate(SNAP_AT);
+    assert!(
+        first.backlog() > 0,
+        "snapshot point must have queued-but-unadmitted requests to be interesting"
+    );
+    let image = first.snapshot();
+    drop(first);
+    let mut resumed = FleetServer::resume(config, &image).expect("fleet resumes");
+    resumed.generate(TOTAL);
+    resumed.drain();
+
+    assert_eq!(
+        straight.telemetry().digest_hex(),
+        resumed.telemetry().digest_hex(),
+        "resumed fleet diverged from the uninterrupted run"
+    );
+    assert_eq!(straight.report().to_json(), resumed.report().to_json());
+
+    // Sibling dump file: tests run in parallel, so appending to the main
+    // CCAI_TRACE_DIGEST_OUT file would race the other dump test.
+    if let Ok(path) = std::env::var("CCAI_TRACE_DIGEST_OUT") {
+        let dump = format!("fleet_serving={}\n", resumed.telemetry().digest_hex());
+        std::fs::write(format!("{path}.fleet"), dump).expect("write digest dump");
+    }
+}
