@@ -333,6 +333,10 @@ pub struct PcieSc {
     pending_host_writes: Vec<Tlp>,
     expected_reset_addr: Option<u64>,
     quarantine_threshold: u32,
+    /// The bring-up traffic gate: until the attestation-gated bring-up
+    /// reaches `Serving`, only the SC's own control window is reachable
+    /// and every data TLP is A1-denied.
+    serving: bool,
     telemetry: Option<Telemetry>,
 }
 
@@ -375,7 +379,33 @@ impl PcieSc {
             pending_host_writes: Vec::new(),
             expected_reset_addr: None,
             quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
+            // Construction requires the post-attestation master, i.e. the
+            // trust chain already ran — a freshly built SC serves. An
+            // explicit power cycle (`ConfidentialSystem::reset`) de-arms
+            // the gate until bring-up completes again.
+            serving: true,
             telemetry: None,
+        }
+    }
+
+    /// Whether the bring-up gate admits data traffic.
+    pub fn is_serving(&self) -> bool {
+        self.serving
+    }
+
+    /// Arms (`true`) or de-arms (`false`) the bring-up traffic gate.
+    /// While de-armed, only the control window is reachable; all data
+    /// TLPs in either direction are A1-denied.
+    pub fn set_serving(&mut self, serving: bool) {
+        self.serving = serving;
+        if let Some(telemetry) = self.telemetry.clone() {
+            telemetry.record(
+                Severity::Info,
+                "trust.bringup.sc_gate",
+                None,
+                None,
+                format!("serving={serving}"),
+            );
         }
     }
 
@@ -1042,6 +1072,13 @@ impl PcieSc {
         });
     }
 
+    /// Counts a packet denied because bring-up has not reached Serving.
+    fn note_bringup_deny(&self) {
+        if let Some(telemetry) = self.telemetry.clone() {
+            telemetry.counter_add("sc.bringup_deny", 1);
+        }
+    }
+
     /// Counts an A1 deny issued because the tenant's channel is
     /// quarantined (keyed per tenant so starvation is attributable).
     fn note_quarantine_deny(&self, tenant: usize) {
@@ -1139,6 +1176,85 @@ impl PcieSc {
         enc.bool(self.expected_reset_addr.is_some());
         enc.u64(self.expected_reset_addr.unwrap_or(0));
         enc.u32(self.quarantine_threshold);
+        enc.bool(self.serving);
+    }
+
+    /// Serializes only the security state that must survive a device
+    /// *power cycle* (as opposed to a live snapshot): the per-tenant
+    /// anti-replay floors — `ctrl_last_seq`, `mmio_last_seq`, the task
+    /// epoch — and quarantine standing, plus the quarantine threshold.
+    /// Everything else (key-schedule positions, tag queues, staged
+    /// policy, outstanding reads, counters) is volatile by design and is
+    /// rebuilt from scratch by the fresh controller.
+    pub fn encode_persistent(&self, enc: &mut ccai_sim::snapshot::Encoder) {
+        enc.u64(self.tenants.len() as u64);
+        for tenant in &self.tenants {
+            enc.u16(tenant.tvm_bdf.to_u16());
+            enc.u16(tenant.xpu_bdf.to_u16());
+            enc.u32(tenant.epoch);
+            enc.u64(tenant.mmio_last_seq);
+            enc.u64(tenant.ctrl_last_seq);
+            enc.u32(tenant.consecutive_crypt_failures);
+            enc.bool(tenant.quarantined);
+        }
+        enc.u32(self.quarantine_threshold);
+    }
+
+    /// Restores power-cycle-persistent state onto a freshly constructed
+    /// SC whose tenants were re-bound with the same identifiers and
+    /// masters. Key schedules are rebuilt at the persisted epoch (keys
+    /// re-derive from the master; nothing keyed is ever persisted), and
+    /// the sequence floors keep pre-cycle control/MMIO envelopes
+    /// un-replayable.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] for truncated/corrupt input, a tenant-set
+    /// mismatch, or a zero quarantine threshold.
+    pub fn restore_persistent(
+        &mut self,
+        dec: &mut ccai_sim::snapshot::Decoder<'_>,
+    ) -> Result<(), SnapshotError> {
+        let tenant_count = dec.seq_len()?;
+        if tenant_count != self.tenants.len() {
+            return Err(SnapshotError::Invalid("tenant set mismatch"));
+        }
+        for _ in 0..tenant_count {
+            let tvm_bdf = Bdf::from_u16(dec.u16()?);
+            let xpu_bdf = Bdf::from_u16(dec.u16()?);
+            let epoch = dec.u32()?;
+            let mmio_last_seq = dec.u64()?;
+            let ctrl_last_seq = dec.u64()?;
+            let consecutive_crypt_failures = dec.u32()?;
+            let quarantined = dec.bool()?;
+            let tenant = self
+                .tenants
+                .iter_mut()
+                .find(|t| t.tvm_bdf == tvm_bdf && t.xpu_bdf == xpu_bdf)
+                .ok_or(SnapshotError::Invalid("tenant set mismatch"))?;
+            tenant.epoch = epoch;
+            tenant.params =
+                ParamsManager::new(WorkloadKeyManager::new(epoch_master(&tenant.master, epoch)));
+            tenant
+                .params
+                .register_stream(MMIO_STREAM, StreamDirection::HostToDevice, 0..0, 0);
+            tenant.mmio_last_seq = mmio_last_seq;
+            tenant.ctrl_last_seq = ctrl_last_seq;
+            tenant.consecutive_crypt_failures = consecutive_crypt_failures;
+            tenant.quarantined = quarantined;
+        }
+        let quarantine_threshold = dec.u32()?;
+        if quarantine_threshold == 0 {
+            return Err(SnapshotError::Invalid("quarantine threshold is zero"));
+        }
+        self.quarantine_threshold = quarantine_threshold;
+        Ok(())
+    }
+
+    /// `(tvm, xpu, master)` for every bound tenant, in bind order — the
+    /// rebuild recipe a power cycle uses to re-bind the fresh SC.
+    pub(crate) fn tenant_bindings(&self) -> Vec<(Bdf, Bdf, [u8; 32])> {
+        self.tenants.iter().map(|t| (t.tvm_bdf, t.xpu_bdf, t.master)).collect()
     }
 
     /// Restores a freshly built SC to a snapshotted state.
@@ -1237,6 +1353,7 @@ impl PcieSc {
         if quarantine_threshold == 0 {
             return Err(SnapshotError::Invalid("quarantine threshold is zero"));
         }
+        let serving = dec.bool()?;
         self.status = status;
         self.policy_staging = policy_staging;
         self.policy_len = policy_len;
@@ -1247,6 +1364,7 @@ impl PcieSc {
         self.pending_host_writes = pending_host_writes;
         self.expected_reset_addr = has_reset_addr.then_some(reset_addr);
         self.quarantine_threshold = quarantine_threshold;
+        self.serving = serving;
         Ok(())
     }
 }
@@ -1285,6 +1403,14 @@ impl Interposer for PcieSc {
             if self.in_control_window(addr) {
                 return self.handle_control(tlp);
             }
+        }
+
+        // Before bring-up reaches Serving only the control window above
+        // is reachable (policy install and re-attestation need it); all
+        // data traffic is hard-denied.
+        if !self.serving {
+            self.note_bringup_deny();
+            return self.block_a1(&tlp);
         }
 
         // Quarantined channels are demoted to A1-deny for all data
@@ -1338,6 +1464,13 @@ impl Interposer for PcieSc {
     fn on_upstream(&mut self, tlp: Tlp) -> InterposeOutcome {
         self.counters.packets_seen += 1;
         let header = *tlp.header();
+
+        // A device that has not completed bring-up may not reach the
+        // host at all.
+        if !self.serving {
+            self.note_bringup_deny();
+            return self.block_a1(&tlp);
+        }
 
         // A quarantined device may not reach the host at all.
         if let Some(tenant) = self

@@ -38,7 +38,7 @@
 use crate::sc::PcieSc;
 use crate::system::{ConfidentialSystem, SystemMode, WorkloadError};
 use ccai_sim::snapshot::{Decoder, Encoder};
-use ccai_sim::SnapshotError;
+use ccai_sim::{Severity, SnapshotError};
 use ccai_xpu::XpuSpec;
 
 /// A serialized whole-system snapshot (versioned, self-contained bytes).
@@ -164,6 +164,61 @@ impl ConfidentialSystem {
         }
         dec.finish()?;
         Ok(system)
+    }
+
+    /// Power-cycles the SC/device: tears the controller off the fabric
+    /// and replaces it with a factory-fresh one that carries over *only*
+    /// the power-cycle-persistent security state — per-tenant quarantine
+    /// standing and the `ctrl_last_seq`/`mmio_last_seq` anti-replay
+    /// floors plus the task epoch (via [`PcieSc::encode_persistent`]).
+    /// Everything volatile — key-schedule positions, tag queues, staged
+    /// policy, filter tables, outstanding reads, counters, alerts — is
+    /// gone, exactly as on real hardware.
+    ///
+    /// The fresh controller comes up with its bring-up gate **de-armed**:
+    /// until [`ConfidentialSystem::complete_bringup`] walks the trust
+    /// chain again, every data TLP is A1-denied (only the control window
+    /// answers). The persisted sequence floors guarantee that control
+    /// envelopes captured before the cycle stay un-replayable after it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] if the system is unprotected (no SC to cycle)
+    /// or the persistent state does not fit the rebuilt controller.
+    pub fn reset(&mut self) -> Result<(), SnapshotError> {
+        let (config, bindings, persistent) = {
+            let sc = self
+                .sc()
+                .ok_or(SnapshotError::Invalid("no SC interposed (vanilla mode)"))?;
+            let mut enc = Encoder::versioned();
+            sc.encode_persistent(&mut enc);
+            (sc.config().clone(), sc.tenant_bindings(), enc.finish())
+        };
+        let telemetry = self.telemetry().clone();
+        let port = self.xpu_port();
+        let old = self.fabric_mut().remove_interposer(port);
+        debug_assert!(old.is_some(), "sc() above proved an interposer existed");
+        let mut fresh = PcieSc::new(config, ConfidentialSystem::attested_master());
+        for (tvm_bdf, xpu_bdf, master) in bindings.into_iter().skip(1) {
+            fresh.add_tenant(tvm_bdf, xpu_bdf, master);
+        }
+        fresh.set_telemetry(telemetry.clone());
+        let mut dec = Decoder::versioned(&persistent)?;
+        fresh.restore_persistent(&mut dec)?;
+        dec.finish()?;
+        fresh.set_serving(false);
+        self.fabric_mut().interpose(port, Box::new(fresh));
+        // The policy died with the old controller; the next bring-up (or
+        // workload) must reinstall it through the control window.
+        self.set_policy_installed(false);
+        telemetry.record(
+            Severity::Warn,
+            "trust.bringup.power_cycle",
+            None,
+            None,
+            "SC reset: volatile state cleared, gate de-armed".to_string(),
+        );
+        Ok(())
     }
 }
 

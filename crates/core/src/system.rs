@@ -53,6 +53,8 @@ pub enum WorkloadError {
     Driver(DriverError),
     /// Policy installation was rejected by the SC.
     PolicyRejected,
+    /// The attestation-gated bring-up refused a transition.
+    BringUp(ccai_trust::BringUpError),
 }
 
 impl fmt::Display for WorkloadError {
@@ -60,6 +62,7 @@ impl fmt::Display for WorkloadError {
         match self {
             WorkloadError::Driver(e) => write!(f, "driver error: {e}"),
             WorkloadError::PolicyRejected => write!(f, "PCIe-SC rejected the policy"),
+            WorkloadError::BringUp(e) => write!(f, "bring-up refused: {e}"),
         }
     }
 }
@@ -69,6 +72,12 @@ impl std::error::Error for WorkloadError {}
 impl From<DriverError> for WorkloadError {
     fn from(e: DriverError) -> Self {
         WorkloadError::Driver(e)
+    }
+}
+
+impl From<ccai_trust::BringUpError> for WorkloadError {
+    fn from(e: ccai_trust::BringUpError) -> Self {
+        WorkloadError::BringUp(e)
     }
 }
 
@@ -283,6 +292,49 @@ impl ConfidentialSystem {
         adaptor.register_reset_address(&mut port, self.reset_reg_addr);
         self.policy_installed = true;
         Ok(())
+    }
+
+    /// Walks the full attestation-gated bring-up chain — secure boot,
+    /// Fig. 6 attestation, TOCTOU-checked key release, policy install
+    /// through the (pre-`Serving` reachable) control window, filter
+    /// arming against the installed tables' digest — and opens the SC's
+    /// traffic gate. A no-op in vanilla mode.
+    ///
+    /// Freshly built protected systems serve without this (construction
+    /// implies a completed trust chain); it is required after
+    /// [`ConfidentialSystem::reset`] de-arms the gate.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::BringUp`] if any transition is refused, or
+    /// [`WorkloadError::PolicyRejected`] if the SC rejects the policy.
+    pub fn complete_bringup(&mut self) -> Result<(), WorkloadError> {
+        if !self.mode.protected() {
+            return Ok(());
+        }
+        let (mut bringup, mut env) = ccai_trust::TrustFixture::deterministic(0);
+        bringup.set_telemetry(self.telemetry.clone());
+        bringup.secure_boot(&env.boot, &env.flash, &env.boot_entropy)?;
+        bringup.attest(&mut env.verifier, &env.dh_entropy, env.nonce)?;
+        // The released master is the one the TVM↔SC DH agreement
+        // produced — the secret every SC/Adaptor key derives from.
+        bringup.release_keys(Self::attested_master())?;
+        // Filter arming consumes the digest of tables actually installed
+        // through the control window (reachable before Serving).
+        self.ensure_policy()?;
+        let digest = self.sc_filter_digest();
+        bringup.arm_filters(&digest)?;
+        bringup.serve()?;
+        if let Some(sc) = self.sc_mut() {
+            sc.set_serving(true);
+        }
+        Ok(())
+    }
+
+    /// Whether the SC's bring-up traffic gate is armed (vacuously true
+    /// in vanilla mode, which has no gate).
+    pub fn sc_is_serving(&self) -> bool {
+        self.sc().is_none_or(PcieSc::is_serving)
     }
 
     /// Runs a full confidential inference: load the model, run the

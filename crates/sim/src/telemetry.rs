@@ -204,6 +204,9 @@ fn fnv1a_u64(h: u64, v: u64) -> u64 {
     fnv1a(h, &v.to_le_bytes())
 }
 
+/// The installed full-stream event consumer (see [`Telemetry::set_sink`]).
+type EventSink = Box<dyn FnMut(&TelemetryEvent)>;
+
 struct TelemetryInner {
     clock: Clock,
     capacity: usize,
@@ -220,6 +223,13 @@ struct TelemetryInner {
     tenant_hops: BTreeMap<u32, BTreeMap<Hop, HopStats>>,
     idle_total: SimDuration,
     idle_by_tenant: BTreeMap<u32, SimDuration>,
+    /// Optional full-stream consumer: sees every recorded event *after*
+    /// it has been digested and pushed to the ring, including the ones
+    /// the 4096-event ring will evict. Purely observational — installing
+    /// one never perturbs the digest, the clock, or any metric — and
+    /// deliberately not serialized (a restored hub starts unsinked
+    /// unless the handle already had one).
+    sink: Option<EventSink>,
 }
 
 /// Shared handle to the telemetry hub. Cheap to clone; all clones observe
@@ -268,8 +278,24 @@ impl Telemetry {
                 tenant_hops: BTreeMap::new(),
                 idle_total: SimDuration::ZERO,
                 idle_by_tenant: BTreeMap::new(),
+                sink: None,
             })),
         }
+    }
+
+    /// Installs the full-stream event sink. Every subsequent
+    /// [`Telemetry::record`] call hands the sink a reference to the event
+    /// after it has been digested and ring-buffered, so a consumer that
+    /// needs more history than the ring keeps can tee the stream without
+    /// growing the ring — and without perturbing the trace digest.
+    /// Replaces any previously installed sink.
+    pub fn set_sink(&self, sink: impl FnMut(&TelemetryEvent) + 'static) {
+        self.inner.borrow_mut().sink = Some(Box::new(sink));
+    }
+
+    /// Removes the installed event sink, if any.
+    pub fn clear_sink(&self) {
+        self.inner.borrow_mut().sink = None;
     }
 
     /// Current hub virtual time.
@@ -311,7 +337,20 @@ impl Telemetry {
             inner.events.pop_front();
             inner.events_dropped += 1;
         }
+        let for_sink = inner.sink.is_some().then(|| event.clone());
         inner.events.push_back(event);
+        // Run the sink outside the borrow so a consumer may call back
+        // into the hub (counters, queries) without panicking; the slot is
+        // re-installed afterwards unless the callback replaced it.
+        let sink_slot = inner.sink.take();
+        drop(inner);
+        if let Some(mut sink) = sink_slot {
+            sink(&for_sink.expect("cloned when a sink was installed"));
+            let mut inner = self.inner.borrow_mut();
+            if inner.sink.is_none() {
+                inner.sink = Some(sink);
+            }
+        }
     }
 
     /// Adds `delta` to the named monotonic counter (created at zero).
@@ -626,6 +665,9 @@ impl Telemetry {
             tenant_hops.insert(tenant, per_tenant);
         }
         let mut inner = self.inner.borrow_mut();
+        // The sink is a live consumer attached to this handle, not
+        // snapshotted state: carry it across the restore.
+        let sink = inner.sink.take();
         *inner = TelemetryInner {
             clock: Clock::starting_at(now),
             capacity,
@@ -639,6 +681,7 @@ impl Telemetry {
             tenant_hops,
             idle_total,
             idle_by_tenant,
+            sink,
         };
         Ok(())
     }
@@ -871,6 +914,77 @@ mod tests {
         assert_eq!(small.events().len(), 2);
         assert_eq!(small.events_dropped(), 8);
         assert_eq!(small.events_recorded(), 10);
+    }
+
+    #[test]
+    fn sink_sees_every_event_including_ring_evictions() {
+        let t = Telemetry::new(2);
+        let seen: Rc<RefCell<Vec<(u64, &'static str)>>> = Rc::new(RefCell::new(Vec::new()));
+        let tee = Rc::clone(&seen);
+        t.set_sink(move |ev| tee.borrow_mut().push((ev.seq, ev.kind)));
+        for i in 0..10 {
+            t.record(Severity::Debug, "evict.me", None, Some(i), "");
+        }
+        let seen = seen.borrow();
+        assert_eq!(seen.len() as u64, t.events_recorded());
+        for (expected_seq, (seq, kind)) in seen.iter().enumerate() {
+            assert_eq!(*seq, expected_seq as u64);
+            assert_eq!(*kind, "evict.me");
+        }
+        // The ring only kept the tail; the sink kept the whole stream.
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events_dropped(), 8);
+    }
+
+    #[test]
+    fn sink_never_perturbs_the_digest() {
+        let sinked = Telemetry::new(64);
+        let bare = Telemetry::new(64);
+        let count = Rc::new(RefCell::new(0u64));
+        let tee = Rc::clone(&count);
+        sinked.set_sink(move |_| *tee.borrow_mut() += 1);
+        drive(&sinked);
+        drive(&bare);
+        assert_eq!(sinked.digest(), bare.digest());
+        assert_eq!(*count.borrow(), sinked.events_recorded());
+        sinked.clear_sink();
+        drive(&sinked);
+        // No events observed after clearing, and digests still agree.
+        assert_eq!(*count.borrow(), bare.events_recorded());
+        drive(&bare);
+        assert_eq!(sinked.digest(), bare.digest());
+    }
+
+    #[test]
+    fn sink_may_reenter_the_hub() {
+        let t = Telemetry::new(64);
+        let handle = t.clone();
+        t.set_sink(move |ev| {
+            // Counters are digest-neutral, so a consumer may classify
+            // the stream back into the hub it is observing.
+            handle.counter_add("sink.observed", 1);
+            let _ = handle.now();
+            assert!(!ev.kind.is_empty());
+        });
+        drive(&t);
+        assert_eq!(t.counter("sink.observed"), t.events_recorded());
+    }
+
+    #[test]
+    fn sink_survives_snapshot_restore_on_the_same_handle() {
+        let t = Telemetry::new(64);
+        let count = Rc::new(RefCell::new(0u64));
+        let tee = Rc::clone(&count);
+        t.set_sink(move |_| *tee.borrow_mut() += 1);
+        t.record(Severity::Info, "before.snap", None, None, "");
+        let mut enc = crate::snapshot::Encoder::versioned();
+        t.encode_snapshot(&mut enc);
+        let bytes = enc.finish();
+        let mut dec = crate::snapshot::Decoder::versioned(&bytes).unwrap();
+        t.restore_snapshot(&mut dec).unwrap();
+        dec.finish().unwrap();
+        t.record(Severity::Info, "after.restore", None, None, "");
+        assert_eq!(*count.borrow(), 2);
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! * [`keymgmt`] — workload key negotiation, per-stream IV discipline and
 //!   H100-style rotation on IV exhaustion, destruction at task end;
 //! * [`sealing`] — the sealed-chassis sensors sampled over I²C whose
-//!   readings extend a PCR, making physical tampering attestable.
+//!   readings extend a PCR, making physical tampering attestable;
+//! * [`bringup`] — the attestation-gated bring-up state machine
+//!   (`PowerOn → SecureBooted → Attested → KeysReleased → FiltersArmed →
+//!   Serving`) that sequences all of the above and refuses every
+//!   out-of-order or stale-evidence transition.
 //!
 //! # Example
 //!
@@ -34,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod attest;
+pub mod bringup;
 pub mod hrot;
 pub mod keymgmt;
 pub mod pcr;
@@ -41,6 +46,7 @@ pub mod sealing;
 pub mod secure_boot;
 
 pub use attest::{AttestationError, Platform, Verifier};
+pub use bringup::{BringUp, BringUpError, BringUpState, BringUpStep, TrustFixture};
 pub use hrot::HrotBlade;
 pub use keymgmt::{KeyManagerError, WorkloadKeyManager};
 pub use pcr::{PcrBank, PcrIndex};

@@ -396,6 +396,150 @@ fn quarantine_and_replay_protection_survive_snapshot_resume() {
 }
 
 #[test]
+fn quarantine_and_replay_floors_survive_a_power_cycle() {
+    // The reset-replay attack of the bring-up battery, driven end to
+    // end at the security-analysis level: an SC power cycle clears all
+    // volatile state, but the quarantine flag and the exactly-once
+    // sequence floors ride the persistent state across the cycle. A
+    // captured pre-reset control session replayed after a clean
+    // re-attested bring-up is refused wholesale.
+    let (weights, prompt) = secrets();
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    let snooper = BusAdversary::new();
+    system.fabric_mut().add_tap(snooper.tap());
+    system.run_workload(&weights, &prompt).unwrap();
+
+    let captured: Vec<Tlp> = snooper
+        .log()
+        .of_type(TlpType::MemWrite)
+        .into_iter()
+        .filter(|t| {
+            let addr = t.header().address().unwrap_or(0);
+            (layout::SC_REGION..layout::SC_REGION + ccai_core::sc::regs::WINDOW_LEN)
+                .contains(&addr)
+                && parse_ctrl_envelope(t.payload()).is_some()
+        })
+        .cloned()
+        .collect();
+    assert!(!captured.is_empty(), "a protected run must emit sequenced control writes");
+
+    system.inject_faults(FaultPlan::corrupt_only(0xBAD, 1024));
+    assert!(system.run_workload(&weights, &prompt).is_err(), "channel is unrecoverable");
+    system.clear_faults();
+    let xpu_bdf = Bdf::new(layout::XPU_BDF.0, layout::XPU_BDF.1, layout::XPU_BDF.2);
+    assert!(system.sc().unwrap().is_quarantined(xpu_bdf));
+
+    system.reset().expect("power cycle");
+    assert!(!system.sc_is_serving(), "a reset SC must not serve");
+    assert!(
+        system.sc().unwrap().is_quarantined(xpu_bdf),
+        "a power cycle must not launder a quarantine"
+    );
+    system.complete_bringup().expect("fresh attested bring-up");
+    assert!(system.sc_is_serving());
+
+    let filter_before = system.sc_filter_digest();
+    let before = system.sc_counters();
+    for tlp in captured {
+        system.fabric_mut().host_request(tlp);
+    }
+    let after = system.sc_counters();
+
+    assert!(
+        system.sc().unwrap().is_quarantined(xpu_bdf),
+        "replayed control writes must not lift the quarantine after a power cycle"
+    );
+    assert_eq!(
+        system.sc_filter_digest(),
+        filter_before,
+        "stale pre-reset control sequences must not move the filter tables"
+    );
+    assert!(
+        after.control_dup_suppressed > before.control_dup_suppressed
+            || after.packets_blocked > before.packets_blocked,
+        "the replay must be visibly rejected by the reborn SC"
+    );
+
+    let probe = Tlp::memory_read(system.tvm_bdf(), layout::XPU_BAR_BASE, 8, 0x7B);
+    let replies = system.fabric_mut().host_request(probe);
+    assert!(
+        replies.iter().all(|r| r.payload().is_empty()),
+        "quarantined tenant must stay A1-denied after the power cycle"
+    );
+}
+
+#[test]
+fn control_authority_is_scoped_to_the_sc_trust_domain() {
+    // Keys released for one SC are worthless against another trust
+    // domain: an Adaptor holding a different attested master cannot
+    // install policy — every control write fails the MAC check and the
+    // SC's installed tables do not move.
+    let mut system = ConfidentialSystem::build(XpuSpec::a100(), SystemMode::CcAi);
+    system.run_workload(b"w", b"i").unwrap();
+    let filter_before = system.sc_filter_digest();
+
+    // Any constant is foreign: the real master is DH-derived during
+    // attestation and never equals a fixed pattern.
+    let foreign_master = [0x5A; 32];
+    let (_, _, _, _, adaptor) = system.parts();
+    let adaptor = adaptor.expect("ccai mode");
+    let installed = {
+        let fabric = system.fabric_mut();
+        let mut port = adaptor.port(fabric);
+        adaptor.install_default_policy(&mut port, &foreign_master)
+    };
+    assert!(!installed, "a foreign-keyed Adaptor must not configure this SC");
+    assert_eq!(
+        system.sc_filter_digest(),
+        filter_before,
+        "rejected foreign control writes must not move the filter tables"
+    );
+    // The rightful tenant is unharmed.
+    system.run_workload(b"w2", b"i2").unwrap();
+}
+
+#[test]
+fn quarantine_is_contained_to_the_tripped_shard() {
+    // Trust topology across a fleet: each shard has its own PCIe-SC,
+    // and containment state is per-SC. Tripping the quarantine on one
+    // shard must not bleed SC-level admission state onto the healthy
+    // shards — they keep serving their own data paths untouched.
+    use ccai_llm::fleet::ShardedFleet;
+
+    let (weights, prompt) = secrets();
+    let mut fleet = ShardedFleet::deploy(XpuSpec::a100(), SystemMode::CcAi, &weights, 4)
+        .expect("sharded fleet deploys");
+    let victim = 2u32;
+    {
+        let system = fleet.shard_system_mut(victim);
+        system.inject_faults(FaultPlan::corrupt_only(0xBAD, 1024));
+        assert!(system.run_workload(&weights, &prompt).is_err());
+        system.clear_faults();
+    }
+
+    let xpu_bdf = Bdf::new(layout::XPU_BDF.0, layout::XPU_BDF.1, layout::XPU_BDF.2);
+    for shard in 0..4 {
+        assert_eq!(
+            fleet.shard_system(shard).sc().unwrap().is_quarantined(xpu_bdf),
+            shard == victim,
+            "quarantine state must be exactly per-SC, shard {shard}"
+        );
+    }
+
+    // A healthy shard's SC still admits its tenant's data path.
+    let healthy = (victim + 1) % 4;
+    assert!(
+        fleet.shard_system_mut(healthy).run_workload(&weights, &prompt).is_ok(),
+        "healthy shards keep serving"
+    );
+    // The victim's SC does not.
+    assert!(
+        fleet.shard_system_mut(victim).run_workload(&weights, &prompt).is_err(),
+        "the tripped shard stays contained"
+    );
+}
+
+#[test]
 fn quarantine_is_honored_by_every_shard_and_shed_at_admission() {
     // Containment must be fleet-wide: when one shard's PCIe-SC
     // quarantines a tenant, the tenant cannot dodge it by landing on a

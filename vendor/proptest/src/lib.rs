@@ -3,9 +3,10 @@
 //! The build environment has no crates.io access, so this crate implements
 //! the slice of the proptest API the ccAI test suite uses: the `proptest!`
 //! macro, `Strategy` (ranges, tuples, `any`, `prop_map`, `prop_flat_map`,
-//! `boxed`), `Just`, `Union` / `prop_oneof!`, `collection::vec`,
-//! `prop::sample::Index`, `ProptestConfig`, and the `prop_assert*` /
-//! `prop_assume!` macros.
+//! `prop_shuffle`, `boxed`), `Just`, `Union` / `prop_oneof!`,
+//! `collection::vec`, `prop::sample::Index`,
+//! `prop::sample::subsequence`, `ProptestConfig`, and the
+//! `prop_assert*` / `prop_assume!` macros.
 //!
 //! Inputs are generated from a deterministic per-test xorshift stream, so
 //! failures reproduce bit-for-bit across runs and machines. Shrinking and
@@ -101,6 +102,15 @@ pub trait Strategy {
         FlatMap { inner: self, f }
     }
 
+    /// Uniformly permutes generated `Vec`s (a Fisher–Yates pass over the
+    /// same deterministic stream). Mirrors `proptest`'s `prop_shuffle`.
+    fn prop_shuffle<T>(self) -> Shuffle<Self>
+    where
+        Self: Strategy<Value = Vec<T>> + Sized,
+    {
+        Shuffle { inner: self }
+    }
+
     /// Erases the concrete strategy type, so strategies of different
     /// shapes (but the same `Value`) can share a signature or be mixed
     /// by [`Union`] / [`prop_oneof!`].
@@ -109,6 +119,23 @@ pub trait Strategy {
         Self: Sized + 'static,
     {
         Box::new(self)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<T, S: Strategy<Value = Vec<T>>> Strategy for Shuffle<S> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut values = self.inner.generate(rng);
+        for i in (1..values.len()).rev() {
+            let j = rng.next_u64() as usize % (i + 1);
+            values.swap(i, j);
+        }
+        values
     }
 }
 
@@ -327,6 +354,51 @@ pub mod prop {
         impl super::super::Arbitrary for Index {
             fn arbitrary(rng: &mut super::super::test_runner::TestRng) -> Index {
                 Index(rng.next_u64() as usize)
+            }
+        }
+
+        /// Strategy for order-preserving subsequences of a fixed vector
+        /// (see [`subsequence`]).
+        pub struct Subsequence<T: Clone> {
+            values: Vec<T>,
+            size: std::ops::Range<usize>,
+        }
+
+        /// Generates subsequences of `values` — distinct elements, in
+        /// their original relative order — with a length drawn uniformly
+        /// from `size`. Mirrors `proptest::sample::subsequence`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `size` is empty or allows lengths longer than
+        /// `values`.
+        pub fn subsequence<T: Clone>(
+            values: Vec<T>,
+            size: std::ops::Range<usize>,
+        ) -> Subsequence<T> {
+            assert!(size.start < size.end, "empty size range");
+            assert!(
+                size.end <= values.len() + 1,
+                "subsequence length can exceed the source vector"
+            );
+            Subsequence { values, size }
+        }
+
+        impl<T: Clone> super::super::Strategy for Subsequence<T> {
+            type Value = Vec<T>;
+            fn generate(&self, rng: &mut super::super::test_runner::TestRng) -> Vec<T> {
+                let span = self.size.end - self.size.start;
+                let len = self.size.start + rng.next_u64() as usize % span;
+                // Draw a uniform combination: shuffle the index set, take
+                // the prefix, then restore source order.
+                let mut indices: Vec<usize> = (0..self.values.len()).collect();
+                for i in (1..indices.len()).rev() {
+                    let j = rng.next_u64() as usize % (i + 1);
+                    indices.swap(i, j);
+                }
+                indices.truncate(len);
+                indices.sort_unstable();
+                indices.into_iter().map(|i| self.values[i].clone()).collect()
             }
         }
     }
