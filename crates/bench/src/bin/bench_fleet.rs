@@ -15,7 +15,8 @@
 //! bit-identical run-to-run for the same seed.
 
 use ccai_core::system::SystemMode;
-use ccai_llm::{Fleet, FleetConfig, FleetServer};
+use ccai_llm::{ChaosEvent, ChaosPlan, Fleet, FleetConfig, FleetServer};
+use ccai_sim::SimTime;
 use ccai_xpu::XpuSpec;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -32,6 +33,31 @@ fn smoke() -> bool {
 fn serving_run(requests: u64) -> (ccai_llm::FleetSnapshot, f64) {
     let config = FleetConfig::standard(SEED);
     let mut fleet = FleetServer::new(config);
+    let t0 = Instant::now();
+    fleet.generate(requests);
+    fleet.drain();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (fleet.report(), wall_ms)
+}
+
+/// Failover run: the same fixed-seed serving shape with a scripted chaos
+/// plan — crash one replica mid-run, hot-plug a replacement, migrate a
+/// tenant onto it — so the recovery-path bookkeeping (events applied,
+/// requests requeued, migrations completed) is tracked PR to PR along
+/// with the wall-clock cost of absorbing the failover.
+fn failover_run(requests: u64) -> (ccai_llm::FleetSnapshot, f64) {
+    let at_ms = |ms: u64| SimTime::from_picos(ms * 1_000_000_000);
+    let mut fleet = FleetServer::new(FleetConfig::standard(SEED));
+    // Crash the replica that actually homes tenant 101, inside the very
+    // first dispatch wave, so the requeue path is exercised — not just
+    // the routing remap — before the tenant later migrates onto the
+    // hot-plugged replacement.
+    let victim = fleet.home_of(101);
+    fleet.set_chaos_plan(ChaosPlan::new(vec![
+        (at_ms(50), ChaosEvent::Crash { replica: victim }),
+        (at_ms(900), ChaosEvent::HotPlug { replica: 4 }),
+        (at_ms(1_200), ChaosEvent::Migrate { tenant: 101, to: 4 }),
+    ]));
     let t0 = Instant::now();
     fleet.generate(requests);
     fleet.drain();
@@ -63,6 +89,7 @@ fn to_json(
     requests: u64,
     wall_ms: f64,
     spin_up: (usize, f64, f64),
+    failover: (&ccai_llm::FleetSnapshot, f64),
 ) -> String {
     let served: u64 = report.tenants.iter().map(|t| t.served).sum();
     let shed: u64 = report
@@ -85,6 +112,17 @@ fn to_json(
     writeln!(
         out,
         "  \"spin_up\": {{\"replicas\": {replicas}, \"wall_ms\": {spin_ms:.1}, \"per_replica_us\": {per_replica_us:.1}}},"
+    )
+    .expect("write");
+    let (chaos, chaos_wall_ms) = failover;
+    let chaos_served: u64 = chaos.tenants.iter().map(|t| t.served).sum();
+    writeln!(
+        out,
+        "  \"failover\": {{\"chaos_events\": {}, \"requeued\": {}, \"migrations\": {}, \"served\": {chaos_served}, \"trace_digest\": \"{}\", \"wall_ms\": {chaos_wall_ms:.1}}},",
+        chaos.chaos_events,
+        chaos.requeued,
+        chaos.migrations,
+        chaos.telemetry.digest_hex()
     )
     .expect("write");
     out.push_str("  \"fleet\": ");
@@ -135,12 +173,21 @@ fn main() {
             p50, p99
         );
     }
+    let (chaos, chaos_wall_ms) = failover_run(requests);
+    println!(
+        "failover: {} chaos events, {} requeued, {} migrations, served {} in {chaos_wall_ms:.1} ms (digest {})",
+        chaos.chaos_events,
+        chaos.requeued,
+        chaos.migrations,
+        chaos.tenants.iter().map(|t| t.served).sum::<u64>(),
+        chaos.telemetry.digest_hex()
+    );
     let spin_up = spin_up_sweep(replicas);
     println!(
         "spin-up: {} golden-image replicas in {:.1} ms ({:.1} us each)",
         spin_up.0, spin_up.1, spin_up.2
     );
-    let json = to_json(&report, requests, wall_ms, spin_up);
+    let json = to_json(&report, requests, wall_ms, spin_up, (&chaos, chaos_wall_ms));
     if let Err(e) = std::fs::write(&out_path, json) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);

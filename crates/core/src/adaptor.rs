@@ -654,6 +654,37 @@ impl Adaptor {
         }
         self.flush_control(port);
     }
+
+    /// Fast-forwards the Adaptor's key schedule to `epoch` without the
+    /// task-end doorbell. Used by live migration: the SC side has already
+    /// been rotated out-of-band (restore of the migrated tenant slice
+    /// followed by an epoch rotation), so the Adaptor must jump to the
+    /// same epoch to stay in lockstep. The old schedule is destroyed
+    /// first — the pre-migration keys cease to exist on this side too.
+    ///
+    /// The sequence counters *adopt* the imported anti-replay floors
+    /// (`mmio_floor` / `ctrl_floor`) exactly: the SC now enforces the
+    /// *source's* high-water marks, and its control window is strict
+    /// in-order — the only acceptable next sequence is `floor + 1`.
+    /// Jumping merely *past* the floor is not enough: a replacement
+    /// blade's own post-reset bring-up writes leave its counters above
+    /// the floor the source exported, and every later write would then
+    /// be dropped as a gap. Rewinding is safe because the epoch rotation
+    /// puts every future seal under a schedule neither side has used.
+    /// Unacknowledged pre-migration control writes are dropped — they
+    /// were sealed under the retired epoch and would only ever be
+    /// suppressed.
+    pub(crate) fn sync_epoch(&self, epoch: u32, mmio_floor: u64, ctrl_floor: u64) {
+        let mut state = self.state.borrow_mut();
+        state.keys.destroy();
+        state.epoch = epoch;
+        let master = state.master;
+        state.keys = WorkloadKeyManager::new(crate::sc::epoch_master(&master, epoch));
+        state.keys.provision_stream(MMIO_STREAM, u64::MAX - 1);
+        state.mmio_seq = mmio_floor;
+        state.ctrl_seq = ctrl_floor;
+        state.unacked.clear();
+    }
 }
 
 impl DmaStager for Adaptor {

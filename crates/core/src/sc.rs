@@ -494,6 +494,51 @@ impl PcieSc {
         self.tenants.len()
     }
 
+    /// Current key-schedule epoch of the tenant bound to `tvm_bdf`.
+    ///
+    /// Exposed so migration machinery (and its tests) can prove that a
+    /// migrated tenant's streams were *rotated*, never copied: the target
+    /// must report the source's epoch plus one.
+    pub fn tenant_epoch(&self, tvm_bdf: Bdf) -> Option<u32> {
+        self.tenant_by_tvm(tvm_bdf).map(|t| self.tenants[t].epoch)
+    }
+
+    /// The anti-replay floors `(mmio_last_seq, ctrl_last_seq)` of the
+    /// tenant bound to `tvm_bdf`. After a migration import these carry
+    /// the *source's* high-water marks, and the target's Adaptor must
+    /// fast-forward its own sequence counters past them or every fresh
+    /// sequenced write would be suppressed as a replay.
+    pub fn replay_floors(&self, tvm_bdf: Bdf) -> Option<(u64, u64)> {
+        self.tenant_by_tvm(tvm_bdf)
+            .map(|t| (self.tenants[t].mmio_last_seq, self.tenants[t].ctrl_last_seq))
+    }
+
+    /// Rotates every bound tenant to its next key-schedule epoch: each
+    /// tenant's current workload keys are destroyed and a fresh schedule
+    /// is derived from `epoch_master(master, epoch + 1)`.
+    ///
+    /// This is the migration-side rekey ("rekey in flight"): after a
+    /// tenant slice is restored on a migration target, the target rotates
+    /// so that ciphertext captured against the source's schedule can never
+    /// open here. Replay floors (`mmio_last_seq` / `ctrl_last_seq`) are
+    /// deliberately *not* reset — they survive the rotation exactly as
+    /// they survive a task-end rekey.
+    pub fn rekey_all_epochs(&mut self) {
+        for tenant in &mut self.tenants {
+            tenant.rekey_epoch();
+        }
+        if let Some(telemetry) = self.telemetry.clone() {
+            telemetry.record(
+                Severity::Warn,
+                "sc.rekey.migrate",
+                None,
+                None,
+                format!("tenants={}", self.tenants.len()),
+            );
+            telemetry.counter_add("sc.rekey.migrations", 1);
+        }
+    }
+
     fn tenant_by_tvm(&self, bdf: Bdf) -> Option<usize> {
         self.tenants.iter().position(|t| t.tvm_bdf == bdf)
     }

@@ -12,7 +12,7 @@ use crate::perf::OptimizationConfig;
 use crate::sc::{regs, PcieSc, ScConfig, ScCounters};
 use ccai_crypto::{DhGroup, DhKeyPair};
 use ccai_pcie::{Bdf, Fabric, FaultEvent, FaultInjector, FaultPlan, PortId, Tlp};
-use ccai_sim::{Telemetry, TelemetrySnapshot};
+use ccai_sim::{SnapshotError, Telemetry, TelemetrySnapshot};
 use ccai_tvm::{DmaStager, DriverError, GuestMemory, IdentityStager, TlpPort, XpuDriver};
 use ccai_xpu::{Reg, Xpu, XpuSpec, registers::RESET_MAGIC};
 use std::fmt;
@@ -521,6 +521,81 @@ impl ConfidentialSystem {
     /// shards so one tripped SC blocks the tenant everywhere.
     pub fn sc_quarantined_tenants(&self) -> Vec<u32> {
         self.sc().map(PcieSc::quarantined_tenants).unwrap_or_default()
+    }
+
+    /// Current key-schedule epoch of this system's data-plane tenant
+    /// (`None` in vanilla mode).
+    pub fn tenant_epoch(&self) -> Option<u32> {
+        self.sc().and_then(|sc| sc.tenant_epoch(self.tvm_bdf))
+    }
+
+    /// Exports this system's per-tenant persistent SC slice — epochs,
+    /// replay floors, quarantine standing — as a versioned `ccAIsnap`
+    /// blob, the unit that live migration moves between replicas. No key
+    /// material is ever serialized: schedules re-derive from the target's
+    /// own attested master. Returns `None` in vanilla mode.
+    pub fn export_tenant_slice(&self) -> Option<Vec<u8>> {
+        let sc = self.sc()?;
+        let mut enc = ccai_sim::snapshot::Encoder::versioned();
+        sc.encode_persistent(&mut enc);
+        Some(enc.finish())
+    }
+
+    /// Imports a tenant slice exported by
+    /// [`ConfidentialSystem::export_tenant_slice`] from a migration
+    /// source, then immediately rotates every tenant to the next
+    /// key-schedule epoch — on the SC *and* the Adaptor, in lockstep.
+    ///
+    /// The rotation is the "rekey in flight" guarantee: the target honors
+    /// the source's replay floors and quarantine standing, but derives a
+    /// schedule the source never held, so ciphertext captured against the
+    /// source's keys can never open here. Returns the tenant's
+    /// post-rotation epoch (source epoch + 1).
+    pub fn import_tenant_slice(&mut self, slice: &[u8]) -> Result<u32, SnapshotError> {
+        let tvm_bdf = self.tvm_bdf;
+        let sc = self
+            .sc_mut()
+            .ok_or(SnapshotError::Invalid("no PCIe-SC to migrate into (vanilla mode)"))?;
+        let mut dec = ccai_sim::snapshot::Decoder::versioned(slice)?;
+        sc.restore_persistent(&mut dec)?;
+        dec.finish()?;
+        sc.rekey_all_epochs();
+        let epoch = sc
+            .tenant_epoch(tvm_bdf)
+            .ok_or(SnapshotError::Invalid("migrated slice lacks the data tenant"))?;
+        let (mmio_floor, ctrl_floor) = sc
+            .replay_floors(tvm_bdf)
+            .expect("tenant_epoch above proved the tenant exists");
+        if let Some(adaptor) = &self.adaptor {
+            adaptor.sync_epoch(epoch, mmio_floor, ctrl_floor);
+        }
+        self.telemetry.record(
+            ccai_sim::Severity::Warn,
+            "fleet.migrate.import",
+            None,
+            None,
+            format!("epoch={epoch}"),
+        );
+        self.telemetry.counter_add("fleet.migrate.imports", 1);
+        Ok(epoch)
+    }
+
+    /// Severs the link to this system's xPU port (taking the PCIe-SC
+    /// interposer down with it) and reports the in-flight TLPs lost on
+    /// the severed segment. The system is dead afterwards — requests to
+    /// the device window complete as Unsupported Request — which is
+    /// exactly the state a fleet layer replaces through the attested
+    /// bring-up chain. Returns `None` if the port was already severed.
+    pub fn hot_unplug_xpu(&mut self) -> Option<ccai_pcie::UnplugReport> {
+        let (_device, _interposer, report) = self.fabric.hot_unplug(self.xpu_port)?;
+        self.telemetry.record(
+            ccai_sim::Severity::Warn,
+            "fleet.chaos.unplug",
+            None,
+            None,
+            format!("lost_tlps={}", report.total()),
+        );
+        Some(report)
     }
 
     /// Adaptor counters (zeroes in vanilla mode).

@@ -16,9 +16,10 @@
 
 use ccai_core::snapshot::{snapshot_mid_task, spin_up_fleet, SystemSnapshot};
 use ccai_core::system::{ConfidentialSystem, SystemMode, WorkloadError};
-use ccai_pcie::ShardRouter;
+use ccai_pcie::{ShardRouter, UnplugReport};
 use ccai_sim::SnapshotError;
 use ccai_xpu::XpuSpec;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Why a fleet could not be deployed or grown.
@@ -168,6 +169,63 @@ impl From<WorkloadError> for ServeError {
     }
 }
 
+/// Why a fleet chaos or migration operation was refused.
+#[derive(Debug)]
+pub enum ChaosError {
+    /// The named replica id is not live in the fleet.
+    UnknownReplica(u32),
+    /// Removing the named replica would leave the fleet empty.
+    LastReplica(u32),
+    /// A hot-plug named an id that is already live (ids are never
+    /// reused, so this is a plan bug, not a race).
+    DuplicateReplica(u32),
+    /// A replacement blade failed to resume from the golden template.
+    Resume(SnapshotError),
+    /// The replacement blade's attested bring-up chain was refused; the
+    /// blade stays out of the routing table.
+    BringUp(WorkloadError),
+    /// Exporting the tenant slice from the source replica or importing
+    /// it into the target failed; the tenant keeps its old home.
+    Migrate(SnapshotError),
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::UnknownReplica(id) => write!(f, "replica {id} is not live"),
+            ChaosError::LastReplica(id) => {
+                write!(f, "removing replica {id} would empty the fleet")
+            }
+            ChaosError::DuplicateReplica(id) => {
+                write!(f, "replica id {id} is already live")
+            }
+            ChaosError::Resume(e) => write!(f, "replacement resume failed: {e}"),
+            ChaosError::BringUp(e) => write!(f, "replacement bring-up refused: {e}"),
+            ChaosError::Migrate(e) => write!(f, "tenant migration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+/// Receipt of a completed live tenant migration: the tenant's sealed
+/// slice moved from `from` to `to` and the target rotated every stream
+/// key by advancing the task epoch, so ciphertext captured on the source
+/// before the move can never open on the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The migrated tenant tag.
+    pub tenant: u32,
+    /// Source replica id.
+    pub from: u32,
+    /// Destination replica id.
+    pub to: u32,
+    /// Task epoch of the source at export time.
+    pub source_epoch: u32,
+    /// Task epoch the target rekeyed to (always past the source's).
+    pub target_epoch: u32,
+}
+
 /// A fleet of golden-image replicas behind sharded PCIe-SC instances,
 /// with rendezvous-hashed tenant→shard affinity and fleet-wide
 /// quarantine honoring.
@@ -176,10 +234,19 @@ impl From<WorkloadError> for ServeError {
 /// gives each tenant a stable home shard (so its SC state — bindings,
 /// counters, quarantine — stays in one place) and refuses a quarantined
 /// tenant on **every** shard, not just the one that tripped containment.
+///
+/// Replicas carry **stable ids**: an id survives removals of other
+/// replicas and is never reused for a replacement, so chaos plans can
+/// name targets deterministically across a whole run.
 pub struct ShardedFleet {
     template: SystemSnapshot,
-    shards: Vec<ConfidentialSystem>,
+    /// Live replicas as `(stable id, system)`, id-ascending.
+    shards: Vec<(u32, ConfidentialSystem)>,
     router: ShardRouter,
+    /// Migration overrides: tenant → replica id, consulted before HRW.
+    overrides: BTreeMap<u32, u32>,
+    /// Next never-used replica id.
+    next_id: u32,
 }
 
 impl ShardedFleet {
@@ -204,7 +271,13 @@ impl ShardedFleet {
         let template = snapshot_mid_task(&mut warm, weights)?;
         let replicas = spin_up_fleet(&template, shards)?;
         let ids: Vec<u32> = (0..shards as u32).collect();
-        Ok(ShardedFleet { template, shards: replicas, router: ShardRouter::new(&ids) })
+        Ok(ShardedFleet {
+            template,
+            shards: ids.iter().copied().zip(replicas).collect(),
+            router: ShardRouter::new(&ids),
+            overrides: BTreeMap::new(),
+            next_id: shards as u32,
+        })
     }
 
     /// Number of shards.
@@ -222,21 +295,44 @@ impl ShardedFleet {
         &self.template
     }
 
-    /// A tenant's home shard id (pure function of the shard set).
+    /// Stable ids of the live replicas, ascending.
+    pub fn replica_ids(&self) -> Vec<u32> {
+        self.shards.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// A tenant's home shard id: an active migration override if one is
+    /// installed, the HRW rendezvous home otherwise.
     pub fn shard_of(&self, tenant: u32) -> u32 {
-        self.router.shard_for(tenant)
+        self.overrides
+            .get(&tenant)
+            .copied()
+            .unwrap_or_else(|| self.router.shard_for(tenant))
     }
 
-    /// The shard system a tenant routes to.
+    fn index_of(&self, replica: u32) -> Option<usize> {
+        self.shards.iter().position(|(id, _)| *id == replica)
+    }
+
+    /// The system behind one replica id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not live.
     pub fn shard_system(&self, shard: u32) -> &ConfidentialSystem {
-        &self.shards[shard as usize]
+        let idx = self.index_of(shard).expect("replica id is live");
+        &self.shards[idx].1
     }
 
-    /// Mutable access to one shard's system (fault injection, direct
+    /// Mutable access to one replica's system (fault injection, direct
     /// workloads) — the security suite uses this to trip containment on
     /// a single shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not live.
     pub fn shard_system_mut(&mut self, shard: u32) -> &mut ConfidentialSystem {
-        &mut self.shards[shard as usize]
+        let idx = self.index_of(shard).expect("replica id is live");
+        &mut self.shards[idx].1
     }
 
     /// Union of quarantined tenant tags across every shard's PCIe-SC,
@@ -245,7 +341,7 @@ impl ShardedFleet {
         let mut all: Vec<u32> = self
             .shards
             .iter()
-            .flat_map(ConfidentialSystem::sc_quarantined_tenants)
+            .flat_map(|(_, s)| s.sc_quarantined_tenants())
             .collect();
         all.sort_unstable();
         all.dedup();
@@ -266,26 +362,131 @@ impl ShardedFleet {
         if self.quarantined_tenants().contains(&tenant) {
             return Err(ServeError::Quarantined(tenant));
         }
-        let home = self.router.shard_for(tenant) as usize;
-        Ok(self.shards[home].run_inference(prompt)?)
+        let home = self.shard_of(tenant);
+        Ok(self.shard_system_mut(home).run_inference(prompt)?)
     }
 
-    /// Adds `extra` shards resumed from the same template; only tenants
-    /// that re-rendezvous onto the new shards move.
+    /// Adds `extra` shards resumed from the same template under fresh
+    /// never-reused ids; only tenants that re-rendezvous onto the new
+    /// shards move.
     ///
     /// # Errors
     ///
     /// [`SnapshotError`] if a new shard rejects the template.
     pub fn scale_out(&mut self, extra: usize) -> Result<(), SnapshotError> {
         let fresh = spin_up_fleet(&self.template, extra)?;
-        let base = self.shards.len() as u32;
-        for (i, system) in fresh.into_iter().enumerate() {
-            self.shards.push(system);
-            self.router
-                .add_shard(base + i as u32)
-                .expect("fresh shard ids are unique");
+        for system in fresh {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.shards.push((id, system));
+            self.router.add_shard(id).expect("fresh shard ids are unique");
         }
         Ok(())
+    }
+
+    // --- chaos operations -----------------------------------------------
+
+    /// Validates a removal against the router and tears the replica out:
+    /// routing entry gone (HRW re-homes its tenants), overrides pointing
+    /// at it dropped, the system returned to the caller.
+    fn take_replica(&mut self, replica: u32) -> Result<ConfidentialSystem, ChaosError> {
+        use ccai_pcie::ShardError;
+        self.router.remove_shard(replica).map_err(|e| match e {
+            ShardError::LastShard(_) => ChaosError::LastReplica(replica),
+            _ => ChaosError::UnknownReplica(replica),
+        })?;
+        let idx = self.index_of(replica).expect("router and shard list agree");
+        let (_, system) = self.shards.remove(idx);
+        self.overrides.retain(|_, &mut to| to != replica);
+        Ok(system)
+    }
+
+    /// Hard-crashes a replica: it disappears between two instructions and
+    /// its tenants re-home by HRW minimal remap.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::UnknownReplica`] / [`ChaosError::LastReplica`].
+    pub fn crash_replica(&mut self, replica: u32) -> Result<(), ChaosError> {
+        let system = self.take_replica(replica)?;
+        drop(system);
+        Ok(())
+    }
+
+    /// Severs a replica's xPU link mid-flight and then removes it: the
+    /// TLPs queued on the severed link become typed losses in the
+    /// returned report (the serving layer's requeue is the retry that
+    /// absorbs them).
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::UnknownReplica`] / [`ChaosError::LastReplica`].
+    pub fn hot_unplug_replica(&mut self, replica: u32) -> Result<UnplugReport, ChaosError> {
+        let mut system = self.take_replica(replica)?;
+        let report = system.hot_unplug_xpu().unwrap_or_default();
+        drop(system);
+        Ok(report)
+    }
+
+    /// Admits a replacement blade under a fresh never-reused id. The
+    /// blade resumes from the golden template, is power-cycled (volatile
+    /// SC state cleared, bring-up gate de-armed, persisted anti-replay
+    /// floors kept) and must then walk the full attested bring-up chain
+    /// before it enters the routing table — a replacement that cannot
+    /// re-attest never serves.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::Resume`] if the template is rejected,
+    /// [`ChaosError::BringUp`] if the trust chain refuses.
+    pub fn admit_replacement(&mut self) -> Result<u32, ChaosError> {
+        let mut system =
+            ConfidentialSystem::resume(&self.template).map_err(ChaosError::Resume)?;
+        system.reset().map_err(ChaosError::Resume)?;
+        system.complete_bringup().map_err(ChaosError::BringUp)?;
+        debug_assert!(system.sc_is_serving(), "bring-up chain armed the gate");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.router.add_shard(id).expect("fresh shard ids are unique");
+        self.shards.push((id, system));
+        Ok(id)
+    }
+
+    /// Live-migrates `tenant` to replica `to` with rekey in flight: the
+    /// source's sealed tenant slice (quarantine standing, anti-replay
+    /// floors, task epoch — never keys) is exported in the `ccAIsnap`
+    /// format and imported on the target, which re-derives its masters
+    /// and **advances the task epoch**, rotating every stream key. Any
+    /// ciphertext captured on the source before the move is sealed under
+    /// the pre-migration epoch keys and can never open on the target.
+    ///
+    /// # Errors
+    ///
+    /// [`ChaosError::UnknownReplica`] if `to` is not live;
+    /// [`ChaosError::Migrate`] if the slice export/import fails (the
+    /// tenant keeps its old home).
+    pub fn migrate_tenant(&mut self, tenant: u32, to: u32) -> Result<Migration, ChaosError> {
+        if self.index_of(to).is_none() {
+            return Err(ChaosError::UnknownReplica(to));
+        }
+        let from = self.shard_of(tenant);
+        if from == to {
+            let epoch = self.shard_system(from).tenant_epoch().unwrap_or(0);
+            return Ok(Migration { tenant, from, to, source_epoch: epoch, target_epoch: epoch });
+        }
+        let source = self.shard_system(from);
+        let source_epoch = source.tenant_epoch().ok_or(ChaosError::Migrate(
+            SnapshotError::Invalid("source replica has no tenant slice (vanilla mode)"),
+        ))?;
+        let slice = source.export_tenant_slice().ok_or(ChaosError::Migrate(
+            SnapshotError::Invalid("source replica has no tenant slice (vanilla mode)"),
+        ))?;
+        let target_epoch = self
+            .shard_system_mut(to)
+            .import_tenant_slice(&slice)
+            .map_err(ChaosError::Migrate)?;
+        self.overrides.insert(tenant, to);
+        Ok(Migration { tenant, from, to, source_epoch, target_epoch })
     }
 }
 
@@ -349,6 +550,110 @@ mod tests {
                 "tenant {tenant} moved between pre-existing shards"
             );
         }
+    }
+
+    #[test]
+    fn crashed_replica_rehomes_its_tenants_minimally() {
+        let mut fleet = ShardedFleet::deploy(XpuSpec::a100(), SystemMode::CcAi, WEIGHTS, 3)
+            .expect("sharded fleet deploys");
+        let before: Vec<u32> = (0..64).map(|t| fleet.shard_of(t)).collect();
+        fleet.crash_replica(1).expect("crash succeeds");
+        assert_eq!(fleet.replica_ids(), vec![0, 2], "ids are stable, not re-packed");
+        for (tenant, &old) in before.iter().enumerate() {
+            let new = fleet.shard_of(tenant as u32);
+            if old != 1 {
+                assert_eq!(new, old, "tenant {tenant} moved although its home survived");
+            } else {
+                assert_ne!(new, 1, "tenant {tenant} still routed to the dead replica");
+            }
+        }
+        let expected = CommandProcessor::surrogate_inference(WEIGHTS, b"after crash");
+        assert_eq!(fleet.serve(7, b"after crash").expect("survivors serve"), expected);
+    }
+
+    #[test]
+    fn last_replica_cannot_be_removed() {
+        let mut fleet = ShardedFleet::deploy(XpuSpec::t4(), SystemMode::CcAi, WEIGHTS, 1)
+            .expect("sharded fleet deploys");
+        assert!(matches!(fleet.crash_replica(0), Err(ChaosError::LastReplica(0))));
+        assert!(matches!(fleet.crash_replica(9), Err(ChaosError::UnknownReplica(9))));
+        assert_eq!(fleet.replica_ids(), vec![0]);
+    }
+
+    #[test]
+    fn replacement_blade_reattests_under_a_fresh_id() {
+        let mut fleet = ShardedFleet::deploy(XpuSpec::a100(), SystemMode::CcAi, WEIGHTS, 2)
+            .expect("sharded fleet deploys");
+        fleet.crash_replica(0).expect("crash succeeds");
+        let id = fleet.admit_replacement().expect("replacement admits");
+        assert_eq!(id, 2, "replacement gets a fresh id, never the dead one");
+        assert_eq!(fleet.replica_ids(), vec![1, 2]);
+        assert!(fleet.shard_system(id).sc_is_serving(), "gate armed after bring-up");
+        // A tenant homed on the replacement is served by it.
+        let tenant = (0..u32::MAX).find(|&t| fleet.shard_of(t) == id).unwrap();
+        let expected = CommandProcessor::surrogate_inference(WEIGHTS, b"on replacement");
+        assert_eq!(fleet.serve(tenant, b"on replacement").expect("serves"), expected);
+    }
+
+    #[test]
+    fn replacement_that_skips_bringup_refuses_service() {
+        let fleet = ShardedFleet::deploy(XpuSpec::a100(), SystemMode::CcAi, WEIGHTS, 1)
+            .expect("sharded fleet deploys");
+        let mut blade =
+            ConfidentialSystem::resume(fleet.template()).expect("template resumes");
+        blade.reset().expect("power-cycle succeeds");
+        // Gate de-armed, bring-up chain not walked: data traffic refused.
+        assert!(!blade.sc_is_serving());
+        assert!(blade.run_inference(b"smuggled").is_err(), "un-attested blade served");
+        blade.complete_bringup().expect("bring-up chain completes");
+        assert!(blade.run_inference(b"legit").is_ok(), "attested blade must serve");
+    }
+
+    #[test]
+    fn migration_rekeys_and_rehomes_the_tenant() {
+        let mut fleet = ShardedFleet::deploy(XpuSpec::a100(), SystemMode::CcAi, WEIGHTS, 3)
+            .expect("sharded fleet deploys");
+        let tenant = 42u32;
+        let from = fleet.shard_of(tenant);
+        let to = fleet.replica_ids().into_iter().find(|&id| id != from).unwrap();
+        let m = fleet.migrate_tenant(tenant, to).expect("migration succeeds");
+        assert_eq!((m.from, m.to), (from, to));
+        assert!(
+            m.target_epoch > m.source_epoch,
+            "migration must advance the epoch ({} -> {})",
+            m.source_epoch,
+            m.target_epoch
+        );
+        assert_eq!(fleet.shard_of(tenant), to, "override re-homes the tenant");
+        assert_eq!(fleet.shard_system(to).tenant_epoch(), Some(m.target_epoch));
+        let expected = CommandProcessor::surrogate_inference(WEIGHTS, b"post-migration");
+        assert_eq!(fleet.serve(tenant, b"post-migration").expect("serves"), expected);
+        // The override dies with its target.
+        fleet.migrate_tenant(tenant, 99).expect_err("dead target refused");
+        fleet.crash_replica(to).expect("crash succeeds");
+        assert_ne!(fleet.shard_of(tenant), to, "override dropped with dead target");
+    }
+
+    #[test]
+    fn migration_onto_a_replacement_blade_serves() {
+        // The hard composition: the target went through reset +
+        // re-attestation, so its Adaptor's control counters sit *above*
+        // the floor the source exports — the import must make the Adaptor
+        // adopt the imported floors exactly or every post-migration
+        // control write dies as a gap in the SC's strict in-order window.
+        let mut fleet = ShardedFleet::deploy(XpuSpec::a100(), SystemMode::CcAi, WEIGHTS, 3)
+            .expect("deploys");
+        let tenant = 19u32;
+        fleet.serve(tenant, b"pre").expect("pre-crash serve");
+        fleet.crash_replica(1).expect("crash");
+        let fresh = fleet.admit_replacement().expect("replacement");
+        fleet.migrate_tenant(tenant, fresh).expect("migrate");
+        assert_eq!(fleet.shard_of(tenant), fresh);
+        let expected = CommandProcessor::surrogate_inference(WEIGHTS, b"post");
+        assert_eq!(
+            fleet.serve(tenant, b"post").expect("post-migration serve"),
+            expected
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!   them;
 //! * [`serve`] — fleet-scale multi-tenant serving: seeded open-loop
 //!   arrivals, per-tenant token-bucket rate limiting with typed sheds,
-//!   a continuous-batching scheduler and per-tenant latency telemetry.
+//!   a continuous-batching scheduler and per-tenant latency telemetry;
+//! * [`chaos`] — deterministic fleet chaos plans: replica crash, drain,
+//!   link hot-unplug, blade hot-plug and live tenant migration injected
+//!   into a running [`FleetServer`] at quiesce points.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod chaos;
 pub mod fleet;
 pub mod harness;
 pub mod kv_cache;
@@ -51,8 +55,9 @@ pub mod serve;
 pub mod workload;
 
 pub use catalog::LlmSpec;
-pub use fleet::{Fleet, ServeError, ShardedFleet};
-pub use serve::{FleetConfig, FleetServer, FleetSnapshot, ShedReason, TenantSpec};
+pub use chaos::{ChaosEvent, ChaosPlan};
+pub use fleet::{ChaosError, Fleet, Migration, ServeError, ShardedFleet};
+pub use serve::{FleetConfig, FleetServer, FleetSnapshot, ShedReason, TenantSpec, BRINGUP_LATENCY};
 pub use harness::{run, Mode};
 pub use kv_cache::KvCache;
 pub use metrics::Metrics;

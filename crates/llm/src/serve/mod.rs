@@ -25,12 +25,14 @@ pub mod scheduler;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use ccai_core::perf::{CostBreakdown, OptimizationConfig, PerfModel};
+use ccai_pcie::ShardRouter;
 use ccai_sim::snapshot::{Decoder, Encoder, SnapshotError};
 use ccai_sim::telemetry::Severity;
 use ccai_sim::{Hop, SimDuration, SimTime, Summary, Telemetry, TelemetrySnapshot};
 use ccai_xpu::XpuSpec;
 
 use crate::catalog::LlmSpec;
+use crate::chaos::{ChaosEvent, ChaosPlan};
 use crate::workload::InferenceWorkload;
 
 pub use arrival::{ArrivalProcess, Request};
@@ -43,6 +45,12 @@ const EVENT_CAPACITY: usize = 4096;
 
 /// Schema tag for [`FleetSnapshot::to_json`].
 pub const FLEET_SCHEMA: &str = "ccai.fleet.v1";
+
+/// Deterministic bring-up latency a hot-plugged blade pays before its
+/// first batch, modeling the attested bring-up chain (secure boot →
+/// attest → key release → policy install → filter arming) a replacement
+/// must clear before it may serve.
+pub const BRINGUP_LATENCY: SimDuration = SimDuration::from_micros(250);
 
 /// One tenant's serving contract.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,12 +142,68 @@ impl FleetConfig {
     }
 }
 
+/// One request currently being served by a shard. The wait and per-hop
+/// service components are priced at dispatch and *recorded* at
+/// completion, so a crash between the two can hand the raw request back
+/// to the batcher with nothing accounted — exactly-once stats.
+#[derive(Debug, Clone)]
+struct InFlight {
+    req: Request,
+    wait: SimDuration,
+    stage: SimDuration,
+    crypt: SimDuration,
+    filter: SimDuration,
+    link: SimDuration,
+    compute: SimDuration,
+}
+
+impl InFlight {
+    fn service(&self) -> SimDuration {
+        self.stage + self.crypt + self.filter + self.link + self.compute
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        self.req.encode(enc);
+        enc.u64(self.wait.as_picos());
+        enc.u64(self.stage.as_picos());
+        enc.u64(self.crypt.as_picos());
+        enc.u64(self.filter.as_picos());
+        enc.u64(self.link.as_picos());
+        enc.u64(self.compute.as_picos());
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<InFlight, SnapshotError> {
+        Ok(InFlight {
+            req: Request::decode(dec)?,
+            wait: SimDuration::from_picos(dec.u64()?),
+            stage: SimDuration::from_picos(dec.u64()?),
+            crypt: SimDuration::from_picos(dec.u64()?),
+            filter: SimDuration::from_picos(dec.u64()?),
+            link: SimDuration::from_picos(dec.u64()?),
+            compute: SimDuration::from_picos(dec.u64()?),
+        })
+    }
+}
+
 /// One service lane (a sharded PCIe-SC fronting one xPU system).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 struct ShardState {
+    /// Stable replica id — survives removals, never reused for a
+    /// hot-plugged blade, and is the name chaos events target.
     id: u32,
     busy_until: SimTime,
     rounds: u64,
+    /// The batch currently in service (empty when idle).
+    in_flight: Vec<InFlight>,
+    /// A draining replica finishes its current round but is never
+    /// offered another batch; it retires once idle.
+    draining: bool,
+}
+
+impl ShardState {
+    fn idle_at(&self, now: SimTime) -> bool {
+        self.in_flight.is_empty() && self.busy_until <= now
+    }
 }
 
 /// Per-tenant serving counters and latency samples.
@@ -202,11 +266,13 @@ impl TenantStats {
 }
 
 /// Which event the loop services next; variant order is the tie-break
-/// (completions quiesce a shard before the refill/arrival that would feed
-/// it, so admission happens at quiesce points).
+/// (completions quiesce a shard before the chaos/refill/arrival that
+/// would touch it, so both admission and chaos injection happen at
+/// quiesce points).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
     Completion,
+    Chaos,
     Refill,
     Arrival,
 }
@@ -224,6 +290,24 @@ pub struct FleetServer {
     pending: BTreeMap<u32, VecDeque<Request>>,
     batcher: ContinuousBatcher,
     shards: Vec<ShardState>,
+    /// Rendezvous router over the *live* replica ids; every tenant has a
+    /// home replica, recomputed with HRW minimal remap as replicas come
+    /// and go.
+    router: ShardRouter,
+    /// Migration overrides: tenant → replica id, consulted before the
+    /// router. An override is dropped (the tenant falls back to its HRW
+    /// home) if its target replica dies.
+    overrides: BTreeMap<u32, u32>,
+    /// Scheduled chaos events, fired at quiesce points.
+    chaos: ChaosPlan,
+    /// Next un-fired event in `chaos`.
+    chaos_cursor: usize,
+    /// Chaos events applied (skipped ones excluded).
+    chaos_applied: u64,
+    /// In-flight requests requeued by crashes/unplugs.
+    requeued: u64,
+    /// Migrations applied.
+    migrations: u64,
     quarantined: BTreeSet<u32>,
     stats: BTreeMap<u32, TenantStats>,
 }
@@ -253,9 +337,16 @@ impl FleetServer {
         }
         let tags: Vec<u32> = config.tenants.iter().map(|t| t.tag).collect();
         let batcher = ContinuousBatcher::new(&tags);
-        let shards = (0..config.shards)
-            .map(|id| ShardState { id, busy_until: SimTime::ZERO, rounds: 0 })
+        let shards: Vec<ShardState> = (0..config.shards)
+            .map(|id| ShardState {
+                id,
+                busy_until: SimTime::ZERO,
+                rounds: 0,
+                in_flight: Vec::new(),
+                draining: false,
+            })
             .collect();
+        let ids: Vec<u32> = shards.iter().map(|s| s.id).collect();
         FleetServer {
             config,
             hub: Telemetry::new(EVENT_CAPACITY),
@@ -265,9 +356,37 @@ impl FleetServer {
             pending,
             batcher,
             shards,
+            router: ShardRouter::new(&ids),
+            overrides: BTreeMap::new(),
+            chaos: ChaosPlan::default(),
+            chaos_cursor: 0,
+            chaos_applied: 0,
+            requeued: 0,
+            migrations: 0,
             quarantined: BTreeSet::new(),
             stats,
         }
+    }
+
+    /// Installs (replacing) the chaos plan. Events strictly before the
+    /// current loop time fire at the next quiesce point.
+    pub fn set_chaos_plan(&mut self, plan: ChaosPlan) {
+        self.chaos = plan;
+        self.chaos_cursor = 0;
+    }
+
+    /// Stable ids of the currently live replicas, ascending.
+    pub fn replicas(&self) -> Vec<u32> {
+        self.router.shard_ids().to_vec()
+    }
+
+    /// The replica id a tenant's batches are routed to right now —
+    /// a migration override if one is active, the HRW home otherwise.
+    pub fn home_of(&self, tenant: u32) -> u32 {
+        self.overrides
+            .get(&tenant)
+            .copied()
+            .unwrap_or_else(|| self.router.shard_for(tenant))
     }
 
     /// The fleet's telemetry hub (digest, counters, per-tenant hops).
@@ -324,9 +443,248 @@ impl FleetServer {
     fn next_completion(&self) -> Option<SimTime> {
         self.shards
             .iter()
+            .filter(|s| !s.in_flight.is_empty())
             .map(|s| s.busy_until)
             .filter(|&t| t > self.now)
             .min()
+    }
+
+    /// Fire time of the next un-fired chaos event, if any.
+    fn next_chaos(&self) -> Option<SimTime> {
+        self.chaos.events().get(self.chaos_cursor).map(|&(at, _)| at)
+    }
+
+    /// Records completions: every shard whose round has finished by `now`
+    /// has its in-flight batch accounted (idle + per-hop spans + stats),
+    /// in ascending replica order for determinism. Draining replicas that
+    /// fall idle retire here.
+    fn finish_rounds(&mut self) {
+        for i in 0..self.shards.len() {
+            if self.shards[i].in_flight.is_empty() || self.shards[i].busy_until > self.now {
+                continue;
+            }
+            let done = std::mem::take(&mut self.shards[i].in_flight);
+            for inf in done {
+                let tenant = Some(inf.req.tenant);
+                let stream = Some(inf.req.id);
+                self.hub.advance_idle(tenant, inf.wait);
+                self.hub.advance_span(Hop::AdaptorStage, tenant, stream, inf.stage);
+                self.hub.advance_span(Hop::AdaptorCrypt, tenant, stream, inf.crypt);
+                self.hub.advance_span(Hop::ScFilter, tenant, stream, inf.filter);
+                self.hub.advance_span(Hop::ScCrypt, tenant, stream, SimDuration::ZERO);
+                self.hub.advance_span(Hop::Link, tenant, stream, inf.link);
+                self.hub.advance_span(Hop::Dma, tenant, stream, inf.compute);
+                let service = inf.service();
+                let s = self.stats.get_mut(&inf.req.tenant).expect("stats exist for tenant");
+                s.served += 1;
+                s.queue_delay_us.push(inf.wait.as_secs_f64() * 1e6);
+                s.e2e_us.push((inf.wait + service).as_secs_f64() * 1e6);
+                self.hub.counter_add("serve.served", 1);
+            }
+        }
+        self.retire_drained();
+    }
+
+    /// Removes draining replicas that have fallen idle.
+    fn retire_drained(&mut self) {
+        let now = self.now;
+        let mut retired: Vec<u32> = Vec::new();
+        self.shards.retain(|s| {
+            if s.draining && s.idle_at(now) {
+                retired.push(s.id);
+                false
+            } else {
+                true
+            }
+        });
+        for id in retired {
+            self.hub.record(
+                Severity::Info,
+                "fleet.chaos.drain_complete",
+                None,
+                None,
+                format!("replica={id}"),
+            );
+            self.hub.counter_add("fleet.chaos.replicas_removed", 1);
+        }
+    }
+
+    /// Applies the next scheduled chaos event (the caller has checked the
+    /// fire time) at the current quiesce point.
+    fn apply_next_chaos(&mut self) {
+        let (_, event) = self.chaos.events()[self.chaos_cursor];
+        self.chaos_cursor += 1;
+        match event {
+            ChaosEvent::Crash { replica } | ChaosEvent::HotUnplug { replica } => {
+                self.remove_replica(replica, event);
+            }
+            ChaosEvent::Drain { replica } => self.drain_replica(replica),
+            ChaosEvent::HotPlug { replica } => self.plug_replica(replica),
+            ChaosEvent::Migrate { tenant, to } => self.migrate_tenant(tenant, to),
+        }
+    }
+
+    /// Records a chaos event the fleet cannot apply (unknown/last
+    /// replica, dead migration target). Skips are visible, never silent.
+    fn skip_chaos(&mut self, event: ChaosEvent, why: &str) {
+        self.hub.record(
+            Severity::Warn,
+            "fleet.chaos.skipped",
+            None,
+            None,
+            format!("class={} why={why}", event.class()),
+        );
+        self.hub.counter_add("fleet.chaos.skipped", 1);
+    }
+
+    /// Kills a replica (hard crash or link hot-unplug): the routing entry
+    /// disappears (HRW minimal remap re-homes its tenants), its in-flight
+    /// batch is requeued at the front of the owning tenants' queues with
+    /// original arrival stamps, and overrides pointing at it fall back to
+    /// HRW homes. Unplug additionally types the in-flight losses.
+    fn remove_replica(&mut self, replica: u32, event: ChaosEvent) {
+        if self.router.remove_shard(replica).is_err() {
+            let why =
+                if self.router.shard_ids().contains(&replica) { "last" } else { "unknown" };
+            self.skip_chaos(event, why);
+            return;
+        }
+        let idx = self
+            .shards
+            .iter()
+            .position(|s| s.id == replica)
+            .expect("router and shard list agree");
+        let dead = self.shards.remove(idx);
+        let lost = dead.in_flight.len();
+        // Reverse order so front-pushes restore the original FIFO order.
+        for inf in dead.in_flight.into_iter().rev() {
+            self.batcher.requeue_front(inf.req);
+        }
+        self.requeued += lost as u64;
+        self.chaos_applied += 1;
+        let rehomed: Vec<u32> = self
+            .overrides
+            .iter()
+            .filter(|&(_, &to)| to == replica)
+            .map(|(&t, _)| t)
+            .collect();
+        for t in &rehomed {
+            self.overrides.remove(t);
+        }
+        let kind = match event {
+            ChaosEvent::HotUnplug { .. } => "fleet.chaos.hot_unplug",
+            _ => "fleet.chaos.crash",
+        };
+        self.hub.record(
+            Severity::Error,
+            kind,
+            None,
+            None,
+            format!("replica={replica} requeued={lost} rehomed={}", rehomed.len()),
+        );
+        self.hub.counter_add("fleet.chaos.events", 1);
+        self.hub.counter_add("fleet.chaos.requeued", lost as u64);
+        self.hub.counter_add("fleet.chaos.replicas_removed", 1);
+        if matches!(event, ChaosEvent::HotUnplug { .. }) {
+            // Each in-flight request had DMA on the severed link; the
+            // requeue is the retry that absorbs the typed loss.
+            self.hub.counter_add("fleet.chaos.unplug_lost_tlps", lost as u64);
+        }
+    }
+
+    /// Starts a graceful drain: the replica leaves the routing table now
+    /// (new work re-homes), finishes its current round, and retires at
+    /// the next quiesce point it is idle.
+    fn drain_replica(&mut self, replica: u32) {
+        if self.router.remove_shard(replica).is_err() {
+            let why =
+                if self.router.shard_ids().contains(&replica) { "last" } else { "unknown" };
+            self.skip_chaos(ChaosEvent::Drain { replica }, why);
+            return;
+        }
+        let shard = self
+            .shards
+            .iter_mut()
+            .find(|s| s.id == replica)
+            .expect("router and shard list agree");
+        shard.draining = true;
+        self.overrides.retain(|_, &mut to| to != replica);
+        self.chaos_applied += 1;
+        self.hub.record(
+            Severity::Warn,
+            "fleet.chaos.drain",
+            None,
+            None,
+            format!("replica={replica}"),
+        );
+        self.hub.counter_add("fleet.chaos.events", 1);
+        self.retire_drained();
+    }
+
+    /// Hot-plugs a fresh blade under a never-used stable id. The blade is
+    /// routable immediately but pays [`BRINGUP_LATENCY`] (the attested
+    /// bring-up chain) before its first batch.
+    fn plug_replica(&mut self, replica: u32) {
+        if self.router.add_shard(replica).is_err() {
+            self.skip_chaos(ChaosEvent::HotPlug { replica }, "duplicate");
+            return;
+        }
+        let pos = self.shards.partition_point(|s| s.id < replica);
+        self.shards.insert(
+            pos,
+            ShardState {
+                id: replica,
+                busy_until: self.now + BRINGUP_LATENCY,
+                rounds: 0,
+                in_flight: Vec::new(),
+                draining: false,
+            },
+        );
+        self.chaos_applied += 1;
+        self.hub.record(
+            Severity::Info,
+            "fleet.chaos.hot_plug",
+            None,
+            None,
+            format!("replica={replica} bringup_picos={}", BRINGUP_LATENCY.as_picos()),
+        );
+        self.hub.counter_add("fleet.chaos.events", 1);
+        self.hub.counter_add("fleet.chaos.replicas_added", 1);
+    }
+
+    /// Live-migrates a tenant's home to `to`. The tenant's token bucket,
+    /// pending queue, batcher queue, stats, and quarantine standing are
+    /// tenant-keyed fleet-global state, so they move exactly-once by
+    /// construction; only the routing home changes.
+    fn migrate_tenant(&mut self, tenant: u32, to: u32) {
+        if !self.stats.contains_key(&tenant) {
+            self.skip_chaos(ChaosEvent::Migrate { tenant, to }, "unknown_tenant");
+            return;
+        }
+        if !self.router.shard_ids().contains(&to) {
+            self.skip_chaos(ChaosEvent::Migrate { tenant, to }, "dead_target");
+            return;
+        }
+        let from = self.home_of(tenant);
+        self.hub.record(
+            Severity::Info,
+            "fleet.migrate.start",
+            Some(tenant),
+            None,
+            format!("from={from} to={to}"),
+        );
+        self.overrides.insert(tenant, to);
+        self.chaos_applied += 1;
+        self.migrations += 1;
+        self.hub.record(
+            Severity::Info,
+            "fleet.migrate.complete",
+            Some(tenant),
+            None,
+            format!("from={from} to={to} carried=bucket,queue,quarantine"),
+        );
+        self.hub.counter_add("fleet.chaos.events", 1);
+        self.hub.counter_add("fleet.migrate.count", 1);
     }
 
     /// Moves admission-blocked requests through the token buckets into the
@@ -355,28 +713,44 @@ impl FleetServer {
         }
     }
 
-    /// Gives every idle shard a batch while queued work remains.
+    /// Gives every idle, non-draining shard a batch of the tenants homed
+    /// to it, in ascending replica order.
     fn try_dispatch(&mut self) {
         for i in 0..self.shards.len() {
-            if self.shards[i].busy_until > self.now || self.batcher.queued() == 0 {
+            let shard = &self.shards[i];
+            if shard.draining || shard.busy_until > self.now || self.batcher.queued() == 0 {
                 continue;
             }
-            let batch = self.batcher.form_batch(self.config.max_batch);
+            let id = shard.id;
+            let router = &self.router;
+            let overrides = &self.overrides;
+            let batch = self.batcher.form_batch_where(self.config.max_batch, |tenant| {
+                overrides
+                    .get(&tenant)
+                    .copied()
+                    .unwrap_or_else(|| router.shard_for(tenant))
+                    == id
+            });
             if batch.is_empty() {
-                break;
+                continue;
             }
             self.serve_round(i, batch);
         }
     }
 
-    /// Prices and accounts one pump round on one shard.
+    /// Prices one pump round on one shard and marks the batch in flight.
+    /// Nothing is *recorded* here — waits, spans, and served counts are
+    /// accounted by [`FleetServer::finish_rounds`] when the round
+    /// completes, so a crash mid-round can requeue the batch with
+    /// exactly-once stats.
     fn serve_round(&mut self, shard_idx: usize, batch: Vec<Request>) {
         let now = self.now;
         let batch_size = batch.len() as u32;
         let head_id = batch[0].id;
         let perf = PerfModel::new(self.config.device.clone(), OptimizationConfig::all_on());
         let mut round_end = now;
-        for req in &batch {
+        let mut in_flight = Vec::with_capacity(batch.len());
+        for req in batch {
             // Transfer hops priced per request (each request's prompt and
             // tokens cross the SC individually); compute priced at the
             // round's batch size so batching contention is visible.
@@ -406,27 +780,14 @@ impl FleetServer {
             let compute = batched.prefill_time(&self.config.device)
                 + batched.step_time(&self.config.device) * steps;
             let service = link + stage + crypt + filter + compute;
-
-            let tenant = Some(req.tenant);
-            let stream = Some(req.id);
             let wait = now.duration_since(req.arrived);
-            self.hub.advance_idle(tenant, wait);
-            self.hub.advance_span(Hop::AdaptorStage, tenant, stream, stage);
-            self.hub.advance_span(Hop::AdaptorCrypt, tenant, stream, crypt);
-            self.hub.advance_span(Hop::ScFilter, tenant, stream, filter);
-            self.hub.advance_span(Hop::ScCrypt, tenant, stream, SimDuration::ZERO);
-            self.hub.advance_span(Hop::Link, tenant, stream, link);
-            self.hub.advance_span(Hop::Dma, tenant, stream, compute);
-
-            let s = self.stats.get_mut(&req.tenant).expect("stats exist for tenant");
-            s.served += 1;
-            s.queue_delay_us.push(wait.as_secs_f64() * 1e6);
-            s.e2e_us.push((wait + service).as_secs_f64() * 1e6);
             round_end = round_end.max(now + service);
+            in_flight.push(InFlight { req, wait, stage, crypt, filter, link, compute });
         }
         let shard = &mut self.shards[shard_idx];
         shard.busy_until = round_end;
         shard.rounds += 1;
+        shard.in_flight = in_flight;
         let shard_id = shard.id;
         self.hub.record(
             Severity::Info,
@@ -436,7 +797,6 @@ impl FleetServer {
             format!("shard={shard_id} n={batch_size}"),
         );
         self.hub.counter_add("serve.rounds", 1);
-        self.hub.counter_add("serve.served", u64::from(batch_size));
         self.hub.histogram_record("serve.batch_size", f64::from(batch_size));
     }
 
@@ -498,10 +858,16 @@ impl FleetServer {
             let arrival_at = self.arrivals.peek();
             let completion_at = self.next_completion();
             let refill_at = self.next_refill();
+            let chaos_at = self.next_chaos();
             let mut best = (EventKind::Arrival, arrival_at);
             if let Some(at) = refill_at {
                 if at < best.1 || (at == best.1 && EventKind::Refill < best.0) {
                     best = (EventKind::Refill, at);
+                }
+            }
+            if let Some(at) = chaos_at {
+                if at < best.1 || (at == best.1 && EventKind::Chaos < best.0) {
+                    best = (EventKind::Chaos, at);
                 }
             }
             if let Some(at) = completion_at {
@@ -512,32 +878,60 @@ impl FleetServer {
             if best.1 > self.now {
                 self.now = best.1;
             }
-            if best.0 == EventKind::Arrival {
-                let req = self.arrivals.next_request();
-                self.accept(req);
+            self.finish_rounds();
+            match best.0 {
+                EventKind::Arrival => {
+                    let req = self.arrivals.next_request();
+                    self.accept(req);
+                }
+                EventKind::Chaos => self.apply_next_chaos(),
+                EventKind::Completion | EventKind::Refill => {}
             }
             self.drain_pending();
             self.try_dispatch();
         }
     }
 
-    /// Runs completion/refill events (no new arrivals) until every queue
-    /// is empty and every shard idle.
+    /// Runs completion/refill/chaos events (no new arrivals) until every
+    /// queue is empty and every shard idle. Chaos events scheduled past
+    /// that point stay un-fired.
     pub fn drain(&mut self) {
         loop {
+            self.finish_rounds();
             self.drain_pending();
             self.try_dispatch();
+            let idle = self.backlog() == 0
+                && self.shards.iter().all(|s| s.in_flight.is_empty());
+            if idle {
+                break;
+            }
             let completion_at = self.next_completion();
             let refill_at = self.next_refill();
-            let next = match (completion_at, refill_at) {
-                (Some(c), Some(r)) => Some(c.min(r)),
-                (Some(c), None) => Some(c),
-                (None, Some(r)) => Some(r),
-                (None, None) => None,
-            };
+            let chaos_at = self.next_chaos().filter(|&at| at > self.now);
+            let mut next: Option<SimTime> = None;
+            for at in [completion_at, chaos_at, refill_at].into_iter().flatten() {
+                next = Some(next.map_or(at, |n| n.min(at)));
+            }
             match next {
-                Some(at) => self.now = at,
-                None => break,
+                Some(at) => {
+                    if at > self.now {
+                        self.now = at;
+                    }
+                    self.finish_rounds();
+                    if self.next_chaos().is_some_and(|c| c <= self.now) {
+                        self.apply_next_chaos();
+                    }
+                }
+                None => {
+                    // No future event but work remains: a chaos event at
+                    // or before now must be blocking (e.g. every tenant's
+                    // home is draining). Fire it.
+                    if self.next_chaos().is_some_and(|c| c <= self.now) {
+                        self.apply_next_chaos();
+                    } else {
+                        break;
+                    }
+                }
             }
         }
         debug_assert_eq!(self.backlog(), 0, "drain left queued work");
@@ -606,6 +1000,10 @@ impl FleetServer {
             generated: self.arrivals.generated(),
             rounds: self.shards.iter().map(|s| s.rounds).sum(),
             now: self.now,
+            replicas: self.replicas(),
+            chaos_events: self.chaos_applied,
+            requeued: self.requeued,
+            migrations: self.migrations,
             tenants,
             telemetry: self.hub.snapshot(),
         }
@@ -639,7 +1037,22 @@ impl FleetServer {
             enc.u32(s.id);
             enc.u64(s.busy_until.as_picos());
             enc.u64(s.rounds);
+            enc.bool(s.draining);
+            enc.u64(s.in_flight.len() as u64);
+            for inf in &s.in_flight {
+                inf.encode(&mut enc);
+            }
         }
+        enc.u64(self.overrides.len() as u64);
+        for (&tenant, &to) in &self.overrides {
+            enc.u32(tenant);
+            enc.u32(to);
+        }
+        self.chaos.encode(&mut enc);
+        enc.u64(self.chaos_cursor as u64);
+        enc.u64(self.chaos_applied);
+        enc.u64(self.requeued);
+        enc.u64(self.migrations);
         enc.u64(self.stats.len() as u64);
         for (&tag, s) in &self.stats {
             enc.u32(tag);
@@ -682,11 +1095,37 @@ impl FleetServer {
             let id = dec.u32()?;
             let busy_until = SimTime::from_picos(dec.u64()?);
             let rounds = dec.u64()?;
-            shards.push(ShardState { id, busy_until, rounds });
+            let draining = dec.bool()?;
+            let mut in_flight = Vec::new();
+            for _ in 0..dec.seq_len()? {
+                in_flight.push(InFlight::decode(&mut dec)?);
+            }
+            shards.push(ShardState { id, busy_until, rounds, in_flight, draining });
         }
         if shards.is_empty() {
             return Err(SnapshotError::Invalid("fleet snapshot has no shards"));
         }
+        let live: Vec<u32> =
+            shards.iter().filter(|s| !s.draining).map(|s| s.id).collect();
+        if live.is_empty() {
+            return Err(SnapshotError::Invalid("fleet snapshot has no live shards"));
+        }
+        let router = ShardRouter::new(&live);
+        let mut overrides = BTreeMap::new();
+        for _ in 0..dec.seq_len()? {
+            let tenant = dec.u32()?;
+            let to = dec.u32()?;
+            overrides.insert(tenant, to);
+        }
+        let chaos = ChaosPlan::decode(&mut dec)?;
+        let chaos_cursor = usize::try_from(dec.u64()?)
+            .map_err(|_| SnapshotError::Invalid("chaos cursor"))?;
+        if chaos_cursor > chaos.len() {
+            return Err(SnapshotError::Invalid("chaos cursor out of range"));
+        }
+        let chaos_applied = dec.u64()?;
+        let requeued = dec.u64()?;
+        let migrations = dec.u64()?;
         let mut stats = BTreeMap::new();
         for _ in 0..dec.seq_len()? {
             let tag = dec.u32()?;
@@ -704,6 +1143,13 @@ impl FleetServer {
             pending,
             batcher,
             shards,
+            router,
+            overrides,
+            chaos,
+            chaos_cursor,
+            chaos_applied,
+            requeued,
+            migrations,
             quarantined,
             stats,
         })
@@ -754,6 +1200,15 @@ pub struct FleetSnapshot {
     pub rounds: u64,
     /// Fleet-loop time of the report.
     pub now: SimTime,
+    /// Stable ids of the live (routable) replicas, ascending. Chaos
+    /// events name their targets by these ids.
+    pub replicas: Vec<u32>,
+    /// Chaos events applied so far (skipped events excluded).
+    pub chaos_events: u64,
+    /// In-flight requests requeued by crash/unplug failovers.
+    pub requeued: u64,
+    /// Live tenant migrations applied.
+    pub migrations: u64,
     /// Per-tenant breakdown, tag-ascending.
     pub tenants: Vec<TenantReport>,
     /// Full telemetry snapshot (per-tenant hop latencies included).
@@ -784,6 +1239,12 @@ impl FleetSnapshot {
         out.push_str(&format!("  \"rate_limiting\": {},\n", self.rate_limiting));
         out.push_str(&format!("  \"generated\": {},\n", self.generated));
         out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        let replicas: Vec<String> = self.replicas.iter().map(u32::to_string).collect();
+        out.push_str(&format!("  \"replicas\": [{}],\n", replicas.join(", ")));
+        out.push_str(&format!(
+            "  \"chaos\": {{ \"events\": {}, \"requeued\": {}, \"migrations\": {} }},\n",
+            self.chaos_events, self.requeued, self.migrations
+        ));
         out.push_str(&format!("  \"now_picos\": {},\n", self.now.as_picos()));
         out.push_str("  \"tenants\": [\n");
         for (i, t) in self.tenants.iter().enumerate() {

@@ -91,6 +91,61 @@ impl ContinuousBatcher {
         batch
     }
 
+    /// Like [`ContinuousBatcher::form_batch`], but only tenants for which
+    /// `eligible` returns true are offered seats. Used by sharded
+    /// dispatch: a shard forming a batch may only seat tenants homed to
+    /// it, leaving other tenants' queues untouched for their own shards.
+    /// The rotation cursor still advances over every visited slot, so
+    /// fairness is preserved across shards.
+    pub fn form_batch_where(
+        &mut self,
+        max: usize,
+        mut eligible: impl FnMut(u32) -> bool,
+    ) -> Vec<Request> {
+        let mut batch = Vec::new();
+        if max == 0 || self.queued == 0 {
+            return batch;
+        }
+        let lanes = self.rotation.len();
+        let mut idle_lap = 0;
+        while batch.len() < max && idle_lap < lanes {
+            let tenant = self.rotation[self.cursor];
+            self.cursor = (self.cursor + 1) % lanes;
+            if !eligible(tenant) {
+                idle_lap += 1;
+                continue;
+            }
+            match self.queues.get_mut(&tenant).and_then(VecDeque::pop_front) {
+                Some(req) => {
+                    self.queued -= 1;
+                    batch.push(req);
+                    idle_lap = 0;
+                }
+                None => idle_lap += 1,
+            }
+        }
+        batch
+    }
+
+    /// Returns an already-admitted request to the *front* of its tenant's
+    /// queue, ahead of everything later. This is the failover path: when
+    /// a replica dies mid-round, its in-flight batch is requeued here so
+    /// the requests keep their original admission (and arrival stamp) and
+    /// are re-dispatched before newer work — exactly-once, never dropped,
+    /// never double-counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's tenant was not registered at construction.
+    pub fn requeue_front(&mut self, request: Request) {
+        let queue = self
+            .queues
+            .get_mut(&request.tenant)
+            .expect("requeue for a tenant the batcher does not know");
+        queue.push_front(request);
+        self.queued += 1;
+    }
+
     /// Removes and returns every queued request for one tenant (used when
     /// a tenant is quarantined mid-flight: its queued work is shed, not
     /// silently dropped).
@@ -247,5 +302,37 @@ mod tests {
     #[should_panic(expected = "at least one tenant")]
     fn empty_batcher_rejected() {
         let _ = ContinuousBatcher::new(&[]);
+    }
+
+    #[test]
+    fn filtered_batch_leaves_ineligible_tenants_queued() {
+        let mut b = ContinuousBatcher::new(&[1, 2, 3]);
+        for id in 0..2 {
+            b.enqueue(req(id, 1));
+            b.enqueue(req(10 + id, 2));
+            b.enqueue(req(20 + id, 3));
+        }
+        let batch = b.form_batch_where(8, |t| t != 2);
+        assert_eq!(batch.len(), 4);
+        assert!(batch.iter().all(|r| r.tenant != 2), "filtered tenant keeps its seats");
+        assert_eq!(b.queued_for(2), 2);
+        assert_eq!(b.queued(), 2);
+    }
+
+    #[test]
+    fn requeue_front_preserves_fifo_order() {
+        let mut b = ContinuousBatcher::new(&[7]);
+        for id in 0..4 {
+            b.enqueue(req(id, 7));
+        }
+        let batch = b.form_batch(2);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        // Failover: the in-flight batch comes back in reverse so the
+        // front of the queue reads 0, 1, 2, 3 again.
+        for r in batch.into_iter().rev() {
+            b.requeue_front(r);
+        }
+        let again = b.form_batch(4);
+        assert_eq!(again.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
     }
 }

@@ -18,7 +18,7 @@ use crate::fault::{CompletionVerdict, FaultEvent, FaultInjector, FaultPlan};
 use crate::link::{LinkConfig, LinkSpeed};
 use crate::tlp::{CplStatus, Tlp, TlpPool, TlpPoolStats, TlpType};
 use crate::Bdf;
-use ccai_sim::{Hop, Telemetry};
+use ccai_sim::{Hop, Severity, Telemetry};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -111,6 +111,40 @@ struct Port {
     device: Box<dyn PcieDevice>,
     interposer: Option<Box<dyn Interposer>>,
 }
+
+/// Typed accounting of the in-flight TLPs lost when a link is severed by
+/// [`Fabric::hot_unplug`].
+///
+/// A hot-unplug is not a silent disappearance: every packet that was on
+/// the severed segment becomes a *typed* loss. Posted writes vanish (the
+/// requester gets no signal — exactly why the driver's retry path
+/// re-verifies), non-posted reads never complete (the requester's timeout
+/// / retry absorbs them), and completions already in flight toward the
+/// port are dropped on the floor.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct UnplugReport {
+    /// Posted writes (DMA write-back, doorbells) lost on the wire.
+    pub lost_writes: usize,
+    /// Non-posted read requests lost before a completion could form.
+    pub lost_reads: usize,
+    /// Messages (interrupts, vendor-defined) lost on the wire.
+    pub lost_messages: usize,
+    /// Completions already in flight toward the severed port (including
+    /// ones a `DelayCompletion` fault was holding back).
+    pub lost_completions: usize,
+}
+
+impl UnplugReport {
+    /// Total TLPs lost to the sever.
+    pub fn total(&self) -> usize {
+        self.lost_writes + self.lost_reads + self.lost_messages + self.lost_completions
+    }
+}
+
+/// Everything [`Fabric::hot_unplug`] tears off a port: the detached
+/// device, the interposer if one was installed, and the typed in-flight
+/// losses.
+pub type UnpluggedPort = (Box<dyn PcieDevice>, Option<Box<dyn Interposer>>, UnplugReport);
 
 impl fmt::Debug for Port {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -212,6 +246,90 @@ impl Fabric {
         );
         self.bdf_map.insert(bdf, port);
         self.ports.insert(port, Port { device, interposer: None });
+    }
+
+    /// Severs the link to `port`: the device (and any interposer) is
+    /// detached, every TLP still in flight on the segment becomes a typed
+    /// loss in the returned [`UnplugReport`], and all routing entries
+    /// (BDFs and BAR windows) pointing at the port disappear — subsequent
+    /// requests to the region complete as Unsupported Request, which the
+    /// driver's retry path surfaces as a hard error.
+    ///
+    /// Returns `None` if the port is empty.
+    pub fn hot_unplug(&mut self, port: PortId) -> Option<UnpluggedPort> {
+        let mut entry = self.ports.remove(&port)?;
+        let mut report = UnplugReport::default();
+        // TLPs queued at the severed endpoint were "on the wire" from the
+        // device's point of view; classify and drop them.
+        for tlp in entry.device.poll_outbound() {
+            let ty = tlp.header().tlp_type();
+            if ty.is_write() {
+                report.lost_writes += 1;
+            } else if ty.is_read() {
+                report.lost_reads += 1;
+            } else if ty.is_completion() {
+                report.lost_completions += 1;
+            } else {
+                report.lost_messages += 1;
+            }
+        }
+        // Completions a DelayCompletion fault was holding back for this
+        // port will never be deliverable — they are lost too.
+        let before = self.delayed.len();
+        self.delayed.retain(|(p, _)| *p != port);
+        report.lost_completions += before - self.delayed.len();
+        self.bdf_map.retain(|_, p| *p != port);
+        self.address_map.retain(|(_, p)| *p != port);
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record(
+                Severity::Warn,
+                "fabric.hot_unplug",
+                None,
+                None,
+                format!(
+                    "port={} lost_writes={} lost_reads={} lost_msgs={} lost_cpls={}",
+                    port.0,
+                    report.lost_writes,
+                    report.lost_reads,
+                    report.lost_messages,
+                    report.lost_completions
+                ),
+            );
+            telemetry.counter_add("fabric.unplug.count", 1);
+            telemetry.counter_add("fabric.unplug.lost_tlps", report.total() as u64);
+        }
+        Some((entry.device, entry.interposer, report))
+    }
+
+    /// Hot-plugs a replacement endpoint into an empty `port`: attaches the
+    /// device and registers its BAR windows in one step, recording the
+    /// admission in telemetry. The caller is responsible for gating the
+    /// plug behind attestation — the fabric only restores connectivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Fabric::attach`] / [`Fabric::map_range`] if the port
+    /// or a window is still occupied.
+    pub fn hot_plug(
+        &mut self,
+        port: PortId,
+        device: Box<dyn PcieDevice>,
+        ranges: Vec<std::ops::Range<u64>>,
+    ) {
+        self.attach(port, device);
+        for range in ranges {
+            self.map_range(range, port);
+        }
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.record(
+                Severity::Info,
+                "fabric.hot_plug",
+                None,
+                None,
+                format!("port={}", port.0),
+            );
+            telemetry.counter_add("fabric.plug.count", 1);
+        }
     }
 
     /// Installs an interposer in front of `port`'s endpoint.
@@ -884,5 +1002,47 @@ mod tests {
     fn overlapping_ranges_rejected() {
         let mut fabric = build_fabric();
         fabric.map_range(0x10_0800..0x10_0900, PortId(0));
+    }
+
+    #[test]
+    fn hot_unplug_turns_in_flight_tlps_into_typed_losses() {
+        let mut fabric = Fabric::new();
+        let mut dev = ScratchEndpoint::new(Bdf::new(1, 0, 0), 0x10_0000, 0x1000);
+        // Mid-DMA: a posted write-back, a read request, and an interrupt
+        // are all still on the wire when the link is severed.
+        dev.queue_outbound(Tlp::memory_write(Bdf::new(1, 0, 0), 0x40, vec![5, 6, 7]));
+        dev.queue_outbound(Tlp::memory_read(Bdf::new(1, 0, 0), 0x80, 4, 9));
+        dev.queue_outbound(Tlp::message(Bdf::new(1, 0, 0), 0x21));
+        fabric.attach(PortId(0), Box::new(dev));
+        fabric.map_range(0x10_0000..0x10_1000, PortId(0));
+
+        let (_dev, interposer, report) = fabric.hot_unplug(PortId(0)).expect("port occupied");
+        assert!(interposer.is_none());
+        assert_eq!(report.lost_writes, 1);
+        assert_eq!(report.lost_reads, 1);
+        assert_eq!(report.lost_messages, 1);
+        assert_eq!(report.lost_completions, 0);
+        assert_eq!(report.total(), 3);
+
+        // The severed region no longer routes: reads complete as UR, the
+        // shape the driver's retry path escalates as a hard error.
+        let replies = fabric.host_request(Tlp::memory_read(host(), 0x10_0000, 4, 0));
+        assert_eq!(replies[0].header().cpl_status(), Some(CplStatus::UnsupportedRequest));
+        assert!(fabric.hot_unplug(PortId(0)).is_none(), "second unplug is a no-op");
+    }
+
+    #[test]
+    fn hot_plug_restores_routing_after_unplug() {
+        let mut fabric = build_fabric();
+        fabric.host_request(Tlp::memory_write(host(), 0x10_0040, vec![1, 2, 3]));
+        let _ = fabric.hot_unplug(PortId(0)).expect("port occupied");
+
+        // A fresh blade in the same slot, same window — traffic flows again.
+        let fresh = ScratchEndpoint::new(Bdf::new(1, 0, 0), 0x10_0000, 0x1000);
+        let windows = std::iter::once(0x10_0000..0x10_1000).collect();
+        fabric.hot_plug(PortId(0), Box::new(fresh), windows);
+        fabric.host_request(Tlp::memory_write(host(), 0x10_0040, vec![9, 9, 9]));
+        let replies = fabric.host_request(Tlp::memory_read(host(), 0x10_0040, 3, 1));
+        assert_eq!(replies[0].payload(), &[9, 9, 9], "replacement serves the window");
     }
 }

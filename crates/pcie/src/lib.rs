@@ -60,7 +60,7 @@ pub use ctrlseq::{
     parse_ctrl_envelope, seal_ctrl_envelope, CTRL_ENVELOPE_LEN, CTRL_ENVELOPE_MAGIC,
 };
 pub use device::{HostMemory, PcieDevice, VecHostMemory};
-pub use fabric::{Fabric, Interposer, InterposeOutcome, PortId, WireAttack};
+pub use fabric::{Fabric, Interposer, InterposeOutcome, PortId, UnplugReport, WireAttack};
 pub use fault::{CompletionVerdict, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use link::{LinkConfig, LinkSpeed};
 pub use shard::{ShardError, ShardRouter};

@@ -868,6 +868,57 @@ impl TelemetrySnapshot {
     }
 }
 
+/// Streaming full-trace digest built on the [`Telemetry::set_sink`] hook.
+///
+/// The hub's own running digest already survives ring eviction, but some
+/// consumers want an *independent* fold over the full stream — e.g. a
+/// million-event soak that cross-checks the hub, or a tee that keeps
+/// digesting after the hub is snapshotted. `SinkDigest` replicates the
+/// hub's FNV-1a fold byte for byte, so a digest installed before the first
+/// event equals [`Telemetry::digest`] at every point in the run, without
+/// growing the bounded event ring. Installing one is digest-neutral: the
+/// sink hook runs after the hub has digested and ring-buffered the event.
+#[derive(Clone)]
+pub struct SinkDigest {
+    state: Rc<std::cell::Cell<(u64, u64)>>,
+}
+
+impl SinkDigest {
+    /// Installs a fresh streaming digest on `hub` (replacing any existing
+    /// sink) and returns a handle that can be queried mid-run.
+    pub fn install(hub: &Telemetry) -> SinkDigest {
+        let state = Rc::new(std::cell::Cell::new((FNV_OFFSET, 0u64)));
+        let shared = Rc::clone(&state);
+        hub.set_sink(move |event| {
+            let (mut h, seen) = shared.get();
+            h = fnv1a_u64(h, event.seq);
+            h = fnv1a_u64(h, event.at.as_picos());
+            h = fnv1a(h, event.severity.as_str().as_bytes());
+            h = fnv1a(h, event.kind.as_bytes());
+            h = fnv1a_u64(h, event.tenant.map_or(0, |t| u64::from(t) + 1));
+            h = fnv1a_u64(h, event.stream.map_or(0, |s| s.wrapping_add(1)));
+            h = fnv1a(h, event.detail.as_bytes());
+            shared.set((h, seen + 1));
+        });
+        SinkDigest { state }
+    }
+
+    /// FNV-1a digest over every event folded so far.
+    pub fn digest(&self) -> u64 {
+        self.state.get().0
+    }
+
+    /// Digest as a fixed-width hex string.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
+    /// Number of events folded so far.
+    pub fn events_seen(&self) -> u64 {
+        self.state.get().1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1145,5 +1196,41 @@ mod tests {
         let h = t.hop_histogram(Hop::ScCrypt).unwrap();
         assert_eq!(h.total(), 1);
         assert!(t.hop_histogram(Hop::Dma).is_none());
+    }
+
+    #[test]
+    fn sink_digest_matches_ring_digest() {
+        let t = Telemetry::new(64);
+        let sink = SinkDigest::install(&t);
+        drive(&t);
+        assert_eq!(sink.digest(), t.digest());
+        assert_eq!(sink.digest_hex(), t.digest_hex());
+        assert_eq!(sink.events_seen(), t.events_recorded());
+        // Spans, idle, and counters are not events; the fold ignores them.
+        t.advance_span(Hop::Link, Some(1), None, SimDuration::from_micros(3));
+        t.counter_add("sink.noise", 1);
+        assert_eq!(sink.digest(), t.digest());
+    }
+
+    #[test]
+    fn sink_digest_survives_ring_eviction() {
+        let t = Telemetry::new(2);
+        let sink = SinkDigest::install(&t);
+        for i in 0..100 {
+            t.record(Severity::Debug, "evict.me", Some(5), Some(i), "payload");
+        }
+        assert_eq!(t.events_dropped(), 98, "the tiny ring must have evicted");
+        assert_eq!(sink.digest(), t.digest(), "fold is eviction-independent");
+        assert_eq!(sink.events_seen(), 100);
+    }
+
+    #[test]
+    fn sink_digest_installation_is_digest_neutral() {
+        let bare = Telemetry::new(64);
+        let sinked = Telemetry::new(64);
+        let _sink = SinkDigest::install(&sinked);
+        drive(&bare);
+        drive(&sinked);
+        assert_eq!(bare.digest(), sinked.digest());
     }
 }

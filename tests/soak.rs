@@ -3,8 +3,11 @@
 //! so failures reproduce.
 
 use ccai_core::system::{ConfidentialSystem, SystemMode};
+use ccai_llm::chaos::ChaosPlan;
+use ccai_llm::serve::{FleetConfig, FleetServer, TenantSpec};
+use ccai_llm::{LlmSpec, ShardedFleet};
 use ccai_pcie::{BusAdversary, FaultPlan};
-use ccai_sim::SimRng;
+use ccai_sim::{SimDuration, SimRng, SinkDigest};
 use ccai_tvm::RetryPolicy;
 use ccai_xpu::{CommandProcessor, XpuSpec};
 
@@ -115,6 +118,129 @@ fn seeded_fault_schedules_never_diverge() {
             );
         }
     }
+}
+
+/// Combined regime: one seeded run layers **data faults** (seeded fabric
+/// fault plans on every real shard), **control-plane chaos** (crash →
+/// attested replacement → live migration with rekey), and an analytic
+/// fleet absorbing a seeded [`ChaosPlan`] with a streaming digest
+/// consumer attached from the first event. Every workspace invariant
+/// must hold simultaneously: golden surrogate outputs, the span+idle
+/// picosecond identity, counter/report mirrors, and a bit-identical
+/// streaming digest across a replay.
+#[test]
+fn combined_regime_holds_every_invariant_in_one_seeded_run() {
+    const MASTER_SEED: u64 = 0xFA_17_5C_ED;
+
+    // --- analytic layer: seeded chaos plan + streaming digest ----------
+    let run = || {
+        let tenants: Vec<TenantSpec> = (0..4)
+            .map(|i| TenantSpec::new(300 + i, SimDuration::from_millis(40), 32, 96))
+            .collect();
+        let cfg = FleetConfig {
+            seed: MASTER_SEED,
+            shards: 3,
+            max_batch: 8,
+            admission_backlog: 2048,
+            rate_limiting: false,
+            model: LlmSpec::opt_1_3b(),
+            device: XpuSpec::a100(),
+            tenants,
+        };
+        let tags: Vec<u32> = (300..304).collect();
+        let mut fleet = FleetServer::new(cfg);
+        let sink = SinkDigest::install(fleet.telemetry());
+        fleet.set_chaos_plan(ChaosPlan::seeded(
+            MASTER_SEED ^ 0xC4A0,
+            &[0, 1, 2],
+            &tags,
+            SimDuration::from_secs(3),
+            6,
+        ));
+        fleet.generate(600);
+        fleet.drain();
+        (fleet, sink)
+    };
+    let (fleet, sink) = run();
+    let report = fleet.report();
+    let t = fleet.telemetry();
+    assert!(report.chaos_events > 0, "the seeded plan must fire");
+    assert_eq!(
+        (t.span_total() + t.idle_total()).as_picos(),
+        t.now().as_picos(),
+        "span+idle identity must survive the combined regime"
+    );
+    assert_eq!(t.counter("fleet.chaos.requeued"), report.requeued);
+    assert_eq!(t.counter("fleet.migrate.count"), report.migrations);
+    for tenant in &report.tenants {
+        assert_eq!(
+            tenant.generated,
+            tenant.served
+                + tenant.shed_rate_limited
+                + tenant.shed_queue_full
+                + tenant.shed_quarantined,
+            "tenant {} leaked requests",
+            tenant.tenant,
+        );
+    }
+    assert!(sink.events_seen() > 0, "the sink must have folded the stream");
+    assert_eq!(sink.digest(), t.digest(), "streaming digest mirrors the hub");
+    let (replay, replay_sink) = run();
+    assert_eq!(
+        replay_sink.digest(),
+        sink.digest(),
+        "combined regime must replay bit-identically"
+    );
+    assert_eq!(replay.report().to_json(), report.to_json());
+
+    // --- real layer: data faults + control-plane chaos ------------------
+    const POLICY: RetryPolicy = RetryPolicy {
+        max_attempts: 8,
+        backoff_base: 2,
+        backoff_unit: RetryPolicy::DEFAULT_BACKOFF_UNIT,
+    };
+    let mut rng = SimRng::seed_from(MASTER_SEED);
+    let weights = rng.bytes(18_000);
+    let mut real = ShardedFleet::deploy(XpuSpec::a100(), SystemMode::CcAi, &weights, 3)
+        .expect("sharded fleet deploys");
+    for id in real.replica_ids() {
+        let system = real.shard_system_mut(id);
+        system.driver_mut().set_retry_policy(POLICY);
+        system.inject_faults(FaultPlan::light(MASTER_SEED.wrapping_add(u64::from(id))));
+    }
+    let tenants = [3u32, 11, 27, 50];
+    for &tenant in &tenants {
+        let prompt = rng.bytes(900);
+        let out = real
+            .serve(tenant, &prompt)
+            .unwrap_or_else(|e| panic!("tenant {tenant} under data faults: {e}"));
+        assert_eq!(
+            out,
+            CommandProcessor::surrogate_inference(&weights, &prompt),
+            "tenant {tenant} diverged under data faults"
+        );
+    }
+    real.crash_replica(1).expect("crash mid-soak");
+    let fresh = real.admit_replacement().expect("replacement re-attests");
+    let system = real.shard_system_mut(fresh);
+    system.driver_mut().set_retry_policy(POLICY);
+    system.inject_faults(FaultPlan::light(MASTER_SEED.wrapping_add(u64::from(fresh))));
+    real.migrate_tenant(tenants[1], fresh).expect("live migration mid-soak");
+    for &tenant in &tenants {
+        let prompt = rng.bytes(700);
+        let out = real.serve(tenant, &prompt).unwrap_or_else(|e| {
+            panic!("tenant {tenant} after failover + migration: {e}")
+        });
+        assert_eq!(
+            out,
+            CommandProcessor::surrogate_inference(&weights, &prompt),
+            "tenant {tenant} diverged after failover + migration"
+        );
+    }
+    assert!(
+        real.quarantined_tenants().is_empty(),
+        "recoverable chaos must never trip containment"
+    );
 }
 
 #[test]
